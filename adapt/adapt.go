@@ -1,0 +1,296 @@
+// Package adapt is the public API of the ADAPT on-board GRB analysis
+// library, a Go reproduction of "Machine Learning Aboard the ADAPT
+// Gamma-Ray Telescope" (SC 2024).
+//
+// The library covers the full stack the paper builds on:
+//
+//   - a Monte-Carlo simulator of the ADAPT four-layer scintillator detector
+//     and its balloon-altitude background environment;
+//   - Compton-ring reconstruction with analytic (propagation-of-error) ring
+//     width estimates;
+//   - the approximate-then-refine ring-intersection localization solver;
+//   - the paper's two neural networks — a background-ring classifier and a
+//     dη regressor — trained from simulation ground truth with a
+//     from-scratch float32 NN library; and
+//   - the ML-in-the-loop localization pipeline of the paper's Fig. 6, with
+//     per-stage timing, INT8 quantization of the background network, and an
+//     FPGA dataflow cost model.
+//
+// # Quick start
+//
+//	inst := adapt.DefaultInstrument()
+//	obs := inst.Observe(adapt.Burst{Fluence: 1.0, PolarDeg: 30}, 42)
+//	res := inst.Localize(obs, nil) // nil models: the prior, no-ML pipeline
+//	fmt.Println(res.Loc.ErrorDeg(obs.TrueDirection))
+//
+// Train the networks once (minutes on a laptop) and pass them to Localize
+// to enable the ML stage:
+//
+//	m := adapt.TrainModels(adapt.DefaultTraining(7))
+//	res = inst.Localize(obs, m)
+package adapt
+
+import (
+	"repro/internal/background"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/detector"
+	"repro/internal/geom"
+	"repro/internal/localize"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/nn/quant"
+	"repro/internal/pipeline"
+	"repro/internal/recon"
+	"repro/internal/xrand"
+)
+
+// Burst describes a simulated gamma-ray burst: fluence in MeV/cm², source
+// polar angle (0° = zenith) and azimuth in degrees.
+type Burst = detector.Burst
+
+// Event is one detected photon: measured hits plus simulation ground truth.
+type Event = detector.Event
+
+// Ring is a reconstructed Compton ring.
+type Ring = recon.Ring
+
+// Models is a trained pair of networks (background classifier + dη
+// regressor) with their feature normalizers and per-polar-bin thresholds.
+type Models = models.Bundle
+
+// Direction is a unit 3-vector in instrument coordinates (+Z toward the
+// sky).
+type Direction = geom.Vec
+
+// Instrument bundles the detector, environment, and pipeline configuration.
+type Instrument struct {
+	// Detector is the instrument geometry and measurement model.
+	Detector detector.Config
+	// Background is the balloon-altitude radiation environment.
+	Background background.Model
+	// Recon holds reconstruction quality filters.
+	Recon recon.Config
+	// Loc holds the localization solver settings.
+	Loc localize.Config
+	// MaxNNIters bounds the ML loop (paper default: 5). The pipeline may be
+	// halted earlier for real-time budget reasons by lowering this.
+	MaxNNIters int
+}
+
+// DefaultInstrument returns the ADAPT configuration used throughout the
+// paper reproduction.
+func DefaultInstrument() Instrument {
+	return Instrument{
+		Detector:   detector.DefaultConfig(),
+		Background: background.DefaultModel(),
+		Recon:      recon.DefaultConfig(),
+		Loc:        localize.DefaultConfig(),
+		MaxNNIters: 5,
+	}
+}
+
+// Observation is one simulated exposure: the burst's photons plus the
+// background particles of the same 1-second window.
+type Observation struct {
+	// Events holds every detected photon, GRB and background mixed.
+	Events []*Event
+	// TrueDirection is the burst's actual source direction.
+	TrueDirection Direction
+	// Burst echoes the simulated burst parameters.
+	Burst Burst
+}
+
+// Observe simulates a burst and its background window. The result is
+// deterministic in (instrument, burst, seed).
+func (inst *Instrument) Observe(b Burst, seed uint64) *Observation {
+	rng := xrand.New(seed)
+	events := detector.SimulateBurst(&inst.Detector, b, rng)
+	events = append(events, inst.Background.Simulate(&inst.Detector, 1.0, rng)...)
+	return &Observation{Events: events, TrueDirection: b.SourceDirection(), Burst: b}
+}
+
+// Result is a localization outcome.
+type Result = pipeline.Result
+
+// Localize runs the analysis pipeline over an observation. Passing nil
+// models runs the paper's prior no-ML pipeline; with models, the Fig. 6
+// ML-in-the-loop pipeline runs (background rejection iterated up to
+// MaxNNIters, then dη refinement, then a final localization).
+func (inst *Instrument) Localize(obs *Observation, m *Models) Result {
+	return inst.LocalizeEvents(obs.Events, m, 1)
+}
+
+// LocalizeEvents is Localize for a caller-assembled event list; seed
+// controls the solver's random sampling.
+func (inst *Instrument) LocalizeEvents(events []*Event, m *Models, seed uint64) Result {
+	opts := pipeline.DefaultOptions()
+	opts.Recon = inst.Recon
+	opts.Loc = inst.Loc
+	if inst.MaxNNIters > 0 {
+		opts.MaxNNIters = inst.MaxNNIters
+	}
+	opts.Bundle = m
+	return pipeline.Run(opts, events, xrand.New(seed))
+}
+
+// Training configures TrainModels.
+type Training struct {
+	// Seed makes dataset generation and training deterministic.
+	Seed uint64
+	// BurstsPerAngle sizes the training set (bursts per polar angle, nine
+	// angles 0°–80°).
+	BurstsPerAngle int
+	// Epochs bounds training (the paper trains up to 120 with early
+	// stopping).
+	Epochs int
+	// WithPolar includes the polar-angle guess input (the paper's
+	// production configuration).
+	WithPolar bool
+	// Logf, when non-nil, receives training progress lines.
+	Logf func(format string, args ...any)
+
+	// swapped selects the fusion-friendly architecture (see
+	// TrainingQuantizable).
+	swapped bool
+}
+
+// DefaultTraining returns a laptop-scale training configuration.
+func DefaultTraining(seed uint64) Training {
+	return Training{Seed: seed, BurstsPerAngle: 3, Epochs: 30, WithPolar: true}
+}
+
+// TrainModels generates a labeled simulation dataset and trains both
+// networks with the paper's protocol (80/20 train/test, nested 80/20
+// train/validation, SGD with early stopping, per-polar-bin thresholds).
+func TrainModels(cfg Training) *Models {
+	gen := datagen.DefaultConfig(cfg.Seed)
+	if cfg.BurstsPerAngle > 0 {
+		gen.BurstsPerAngle = cfg.BurstsPerAngle
+	}
+	set := datagen.Generate(gen)
+	opts := models.DefaultTrainOptions(cfg.Seed + 1)
+	opts.WithPolar = cfg.WithPolar
+	opts.Swapped = cfg.swapped
+	opts.Logf = cfg.Logf
+	if cfg.Epochs > 0 {
+		opts.MaxEpochs = cfg.Epochs
+	}
+	// Scaled-dataset step size; see EXPERIMENTS.md "Training protocol".
+	opts.BkgLR = 5e-3
+	opts.BkgBatch = 1024
+	return models.Train(set, opts)
+}
+
+// LoadModels reads a model pair saved with SaveModels (or Models.SaveFile).
+func LoadModels(path string) (*Models, error) { return models.LoadBundleFile(path) }
+
+// SaveModels writes a trained model pair to path.
+func SaveModels(m *Models, path string) error { return m.SaveFile(path) }
+
+// Int8Background is the quantized background classifier (paper §V).
+type Int8Background = quant.Int8Net
+
+// QuantizeBackground converts a model bundle's background network to INT8.
+// The bundle must have been trained with TrainingQuantizable (the
+// layer-swapped architecture that permits Linear+BN+ReLU fusion). The
+// calibration/fine-tuning data is regenerated from cfg's simulation
+// settings, as in TrainModels.
+func QuantizeBackground(m *Models, cfg Training) (*Int8Background, error) {
+	gen := datagen.DefaultConfig(cfg.Seed)
+	if cfg.BurstsPerAngle > 0 {
+		gen.BurstsPerAngle = cfg.BurstsPerAngle
+	}
+	set := datagen.Generate(gen)
+	qopts := models.DefaultQuantizeOptions(cfg.Seed + 2)
+	qopts.Logf = cfg.Logf
+	if cfg.Epochs > 0 && cfg.Epochs < qopts.QATEpochs {
+		qopts.QATEpochs = cfg.Epochs
+	}
+	int8net, _, err := models.QuantizeBackground(m, set, qopts)
+	return int8net, err
+}
+
+// TrainingQuantizable marks a Training configuration to produce the
+// layer-swapped (fusion-friendly) background architecture required by
+// QuantizeBackground.
+func TrainingQuantizable(cfg Training) Training {
+	cfg.swapped = true
+	return cfg
+}
+
+// LocalizeQuantized is Localize with the INT8 background classifier
+// substituted for the bundle's FP32 network (thresholds and normalizers
+// still come from the bundle).
+func (inst *Instrument) LocalizeQuantized(obs *Observation, m *Models, int8net *Int8Background) Result {
+	opts := pipeline.DefaultOptions()
+	opts.Recon = inst.Recon
+	opts.Loc = inst.Loc
+	if inst.MaxNNIters > 0 {
+		opts.MaxNNIters = inst.MaxNNIters
+	}
+	opts.Bundle = m
+	opts.BkgOverride = int8Classifier{net: int8net}
+	return pipeline.Run(opts, obs.Events, xrand.New(1))
+}
+
+// int8Classifier adapts the integer network to the pipeline interface.
+type int8Classifier struct{ net *quant.Int8Net }
+
+func (c int8Classifier) Probs(x *nn.Tensor) []float32 {
+	out := make([]float32, x.Rows)
+	for i := range out {
+		out[i] = c.net.Prob(x.Row(i))
+	}
+	return out
+}
+
+// Alert is one burst detected and localized by the on-board system.
+type Alert = core.Alert
+
+// Onboard is the full flight system: a count-rate burst trigger feeding the
+// localization pipeline (internal/core). Unlike Localize, which assumes the
+// caller already knows which events belong to the burst, Onboard scans a
+// whole exposure, finds the burst windows itself, and localizes each.
+type Onboard struct {
+	sys *core.System
+}
+
+// NewOnboard builds the flight system. meanBackgroundRate is the expected
+// quiet-sky detected-event rate in events/second (calibrated in flight; use
+// the observed rate of a burst-free exposure). m may be nil for the no-ML
+// pipeline.
+func (inst *Instrument) NewOnboard(m *Models, meanBackgroundRate float64) *Onboard {
+	cfg := core.DefaultConfig(meanBackgroundRate)
+	cfg.Recon = inst.Recon
+	cfg.Loc = inst.Loc
+	cfg.Bundle = m
+	if inst.MaxNNIters > 0 {
+		cfg.MaxNNIters = inst.MaxNNIters
+	}
+	return &Onboard{sys: core.NewSystem(cfg)}
+}
+
+// NewOnboardWithSkyMaps is NewOnboard with posterior sky maps attached to
+// each alert: bands sets the map resolution (16–24 typical) and
+// temperature the empirically fitted systematic inflation (8 reproduces
+// near-nominal credible-region coverage on the default instrument; see the
+// coverage study in internal/expt).
+func (inst *Instrument) NewOnboardWithSkyMaps(m *Models, meanBackgroundRate float64, bands int, temperature float64) *Onboard {
+	cfg := core.DefaultConfig(meanBackgroundRate)
+	cfg.Recon = inst.Recon
+	cfg.Loc = inst.Loc
+	cfg.Bundle = m
+	if inst.MaxNNIters > 0 {
+		cfg.MaxNNIters = inst.MaxNNIters
+	}
+	cfg.SkyMapBands = bands
+	cfg.SkyMapTemperature = temperature
+	return &Onboard{sys: core.NewSystem(cfg)}
+}
+
+// ProcessExposure scans an exposure's events for bursts and returns one
+// alert per detected burst.
+func (o *Onboard) ProcessExposure(events []*Event, seed uint64) []Alert {
+	return o.sys.ProcessExposure(events, xrand.New(seed))
+}

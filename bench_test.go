@@ -1,0 +1,217 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper (DESIGN.md §4) under `go test -bench=.`. Each benchmark iteration
+// runs the full experiment at the benchmark scale.
+//
+// Scale: benchmarks honor ADAPT_SCALE (ci | default | full) and fall back
+// to "ci" when unset, so a plain `go test -bench=. -benchmem` finishes in
+// minutes. Paper-quality curves come from `adaptbench -scale full` (or
+// default), which shares the same experiment drivers and model caches.
+package repro
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/expt"
+)
+
+// benchScale resolves the benchmark workload size.
+func benchScale() expt.Scale {
+	if s, ok := expt.ScaleByName(os.Getenv("ADAPT_SCALE")); ok {
+		return s
+	}
+	s, _ := expt.ScaleByName("ci")
+	return s
+}
+
+// BenchmarkFig4 regenerates the motivation study: no-ML pipeline accuracy
+// with background+dη errors vs the two oracle arms (paper Fig. 4).
+func BenchmarkFig4(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		expt.Fig4(io.Discard, sc)
+	}
+}
+
+// BenchmarkFig7 regenerates the polar-angle-input ablation (paper Fig. 7).
+func BenchmarkFig7(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc) // exclude one-time training from the timing
+	expt.NoPolarBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Fig7(io.Discard, sc)
+	}
+}
+
+// BenchmarkFig8 regenerates accuracy vs polar angle, ML vs no-ML (Fig. 8).
+func BenchmarkFig8(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Fig8(io.Discard, sc)
+	}
+}
+
+// BenchmarkFig9 regenerates accuracy vs fluence (paper Fig. 9).
+func BenchmarkFig9(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Fig9(io.Discard, sc)
+	}
+}
+
+// BenchmarkFig10 regenerates the perturbation robustness study (Fig. 10).
+func BenchmarkFig10(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Fig10(io.Discard, sc)
+	}
+}
+
+// BenchmarkTableI regenerates the single-worker (RPi 3B+ proxy) stage
+// timing table (paper Table I).
+func BenchmarkTableI(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.TableI(io.Discard, sc)
+	}
+}
+
+// BenchmarkTableII regenerates the 4-worker (Atom proxy) stage timing table
+// (paper Table II).
+func BenchmarkTableII(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.TableII(io.Discard, sc)
+	}
+}
+
+// BenchmarkFig11 regenerates the INT8-vs-FP32 background-model accuracy
+// study (paper Fig. 11).
+func BenchmarkFig11(b *testing.B) {
+	sc := benchScale()
+	expt.Int8Background(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Fig11(io.Discard, sc)
+	}
+}
+
+// BenchmarkTableIII regenerates the FPGA kernel comparison (paper
+// Table III) from the analytic dataflow model.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.Table3(io.Discard)
+	}
+}
+
+// BenchmarkAblationThresholds compares per-polar-bin vs global
+// classification thresholds (design choice, DESIGN.md §4).
+func BenchmarkAblationThresholds(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.AblationThresholds(io.Discard, sc)
+	}
+}
+
+// BenchmarkAblationIterations compares iterative vs single-shot background
+// rejection (the Fig. 6 design rationale).
+func BenchmarkAblationIterations(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.AblationIterations(io.Discard, sc)
+	}
+}
+
+// BenchmarkAblationGating compares gated vs ungated refinement.
+func BenchmarkAblationGating(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		expt.AblationGating(io.Discard, sc)
+	}
+}
+
+// BenchmarkAblationWidening compares dEta update policies.
+func BenchmarkAblationWidening(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.AblationWidening(io.Discard, sc)
+	}
+}
+
+// BenchmarkAblationThreeCompton compares the optional three-Compton
+// incident-energy estimate against the paper's summed-deposit energies.
+func BenchmarkAblationThreeCompton(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		expt.AblationThreeCompton(io.Discard, sc)
+	}
+}
+
+// BenchmarkAPTStudy regenerates the §VI full-APT dim-burst study.
+func BenchmarkAPTStudy(b *testing.B) {
+	sc := benchScale()
+	expt.APTBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.APTStudy(io.Discard, sc)
+	}
+}
+
+// BenchmarkPileUpStudy regenerates the §VI simultaneous-events study.
+func BenchmarkPileUpStudy(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.PileUpStudy(io.Discard, sc)
+	}
+}
+
+// BenchmarkQuantStudy regenerates the §VI quantization-strategy study.
+func BenchmarkQuantStudy(b *testing.B) {
+	sc := benchScale()
+	expt.SwappedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.QuantStudy(io.Discard, sc)
+	}
+}
+
+// BenchmarkCoverageStudy regenerates the credible-region coverage
+// calibration study (an addition of this reproduction).
+func BenchmarkCoverageStudy(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.CoverageStudy(io.Discard, sc)
+	}
+}
+
+// BenchmarkAblationDEtaLoss compares L2 vs Huber dEta training losses.
+func BenchmarkAblationDEtaLoss(b *testing.B) {
+	sc := benchScale()
+	expt.SharedBundle(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.AblationDEtaLoss(io.Discard, sc)
+	}
+}

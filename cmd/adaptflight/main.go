@@ -1,0 +1,79 @@
+// Command adaptflight runs a mission-analysis campaign: a population of
+// bursts with a log N–log S brightness distribution processed by the full
+// on-board system (trigger + localization), reporting detection efficiency
+// and localization accuracy per fluence band, the estimated sensitivity
+// threshold, and the false-alert count.
+//
+// Usage:
+//
+//	adaptflight -bursts 30
+//	adaptflight -bursts 50 -models models.gob -alerts alerts.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/adapt"
+	"repro/internal/campaign"
+)
+
+type alertRecord struct {
+	Fluence     float64 `json:"fluence_mev_cm2"`
+	PolarDeg    float64 `json:"true_polar_deg"`
+	Detected    bool    `json:"detected"`
+	Localized   bool    `json:"localized"`
+	ErrorDeg    float64 `json:"error_deg,omitempty"`
+	EstimateDeg float64 `json:"self_estimate_deg,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaptflight: ")
+	bursts := flag.Int("bursts", 30, "number of bursts to inject")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	modelPath := flag.String("models", "", "trained model bundle (empty = no-ML pipeline)")
+	alertsPath := flag.String("alerts", "", "write per-burst outcomes as JSON lines to this file")
+	quiet := flag.Float64("quiet", 2, "quiet seconds around each burst")
+	flag.Parse()
+
+	cfg := campaign.DefaultConfig(*seed)
+	cfg.Bursts = *bursts
+	cfg.QuietSecondsPerBurst = *quiet
+	if *modelPath != "" {
+		m, err := adapt.LoadModels(*modelPath)
+		if err != nil {
+			log.Fatalf("load models: %v", err)
+		}
+		cfg.Bundle = m
+	}
+
+	res := campaign.Run(cfg, os.Stdout)
+	fmt.Printf("estimated 90%%-efficiency sensitivity: %.2f MeV/cm²\n", res.SensitivityFluence())
+
+	if *alertsPath != "" {
+		f, err := os.Create(*alertsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		for _, o := range res.Outcomes {
+			rec := alertRecord{
+				Fluence:  o.Burst.Fluence,
+				PolarDeg: o.Burst.PolarDeg,
+				Detected: o.Detected, Localized: o.Localized,
+				ErrorDeg: o.ErrorDeg, EstimateDeg: o.EstimateDeg,
+			}
+			if err := enc.Encode(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d outcome records to %s", len(res.Outcomes), *alertsPath)
+	}
+}

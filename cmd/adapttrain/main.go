@@ -1,0 +1,102 @@
+// Command adapttrain trains the paper's two neural networks from freshly
+// simulated data and saves the model bundle. It can also run the §III
+// hyperparameter search (the paper used a WandB sweep over batch size,
+// learning rate, depth, and widths) before training.
+//
+// Usage:
+//
+//	adapttrain -bursts 3 -epochs 30 -o models.gob
+//	adapttrain -tune 12             # random search, report the best configs
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/adapt"
+	"repro/internal/datagen"
+	"repro/internal/features"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tune"
+	"repro/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adapttrain: ")
+	bursts := flag.Int("bursts", 3, "training bursts per polar angle (nine angles)")
+	epochs := flag.Int("epochs", 30, "maximum training epochs (early stopping applies)")
+	seed := flag.Uint64("seed", 7, "dataset and training seed")
+	out := flag.String("o", "models.gob", "output model file")
+	noPolar := flag.Bool("no-polar", false, "train the Fig. 7 ablation variant without the polar-angle input")
+	quiet := flag.Bool("q", false, "suppress per-epoch progress")
+	tuneN := flag.Int("tune", 0, "run a random hyperparameter search with this many candidates before training (0 = off)")
+	flag.Parse()
+
+	if *tuneN > 0 {
+		runTuner(*seed, *bursts, *tuneN, !*noPolar)
+		return
+	}
+
+	cfg := adapt.Training{
+		Seed:           *seed,
+		BurstsPerAngle: *bursts,
+		Epochs:         *epochs,
+		WithPolar:      !*noPolar,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	m := adapt.TrainModels(cfg)
+	log.Printf("background net test accuracy: %.3f", m.BkgTestAcc)
+	log.Printf("dEta net test MSE (ln space): %.3f (width calibration %.2f)", m.DEtaTestMSE, m.DEtaScale)
+	log.Printf("per-bin thresholds: %v", m.Thr.ByBin)
+
+	// Per-bin classifier report on a fresh evaluation set.
+	evalGen := datagen.DefaultConfig(*seed + 100)
+	evalGen.BurstsPerAngle = 1
+	evalSet := datagen.Generate(evalGen)
+	ds := datagen.BackgroundDataset(evalSet, m.WithPolar)
+	m.BkgNorm.Apply(ds.X)
+	probs := m.Bkg.PredictProbs(ds.X)
+	log.Printf("held-out AUC: %.3f", models.AUC(probs, ds.Y))
+	models.ReportByBin(os.Stderr, probs, ds.Y, datagen.PolarBins(evalSet), m.Thr)
+
+	if err := adapt.SaveModels(m, *out); err != nil {
+		log.Fatalf("save: %v", err)
+	}
+	log.Printf("saved models to %s", *out)
+}
+
+// runTuner reproduces the paper's hyperparameter sweep for the background
+// network and prints the candidates best-first.
+func runTuner(seed uint64, bursts, trials int, withPolar bool) {
+	gen := datagen.DefaultConfig(seed)
+	gen.BurstsPerAngle = bursts
+	set := datagen.Generate(gen)
+	ds := datagen.BackgroundDataset(set, withPolar)
+	norm := features.FitNormalizer(ds.X)
+	norm.Apply(ds.X)
+	rng := xrand.New(seed + 1)
+	train, val := ds.Split(0.8, rng)
+
+	in := features.NumFeaturesNoPolar
+	if withPolar {
+		in = features.NumFeatures
+	}
+	results := tune.Search(tune.DefaultSpace(), tune.Options{
+		Seed: seed + 2, Trials: trials, MaxEpochs: 15, Patience: 5,
+		InFeatures: in, Loss: nn.BCEWithLogits{}, Build: models.NewMLP,
+		Logf: log.Printf,
+	}, train, val)
+
+	log.Printf("top candidates (val BCE):")
+	for i, r := range results {
+		if i == 5 {
+			break
+		}
+		log.Printf("  %d. %s → %.5f", i+1, r.Candidate, r.ValLoss)
+	}
+}

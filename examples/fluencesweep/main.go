@@ -1,0 +1,42 @@
+// Fluencesweep: measure localization accuracy as a function of burst
+// brightness, the workload behind the paper's Fig. 9. Compares the no-ML
+// and ML pipelines at each fluence and prints 68%/95% containment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/adapt"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	const trials = 15
+
+	log.Println("training models (quick settings)...")
+	cfg := adapt.DefaultTraining(11)
+	cfg.BurstsPerAngle = 2
+	cfg.Epochs = 15
+	m := adapt.TrainModels(cfg)
+
+	inst := adapt.DefaultInstrument()
+	fmt.Printf("%-10s %-22s %-22s\n", "fluence", "no-ML 68%/95% (deg)", "ML 68%/95% (deg)")
+	for _, fluence := range []float64{0.5, 1.0, 2.0, 4.0} {
+		var plain, ml []float64
+		for t := uint64(0); t < trials; t++ {
+			burst := adapt.Burst{Fluence: fluence, PolarDeg: 0, AzimuthDeg: float64(t) * 24}
+			obs := inst.Observe(burst, 1000*uint64(fluence*4)+t)
+			if r := inst.Localize(obs, nil); r.Loc.OK {
+				plain = append(plain, r.Loc.ErrorDeg(obs.TrueDirection))
+			}
+			if r := inst.Localize(obs, m); r.Loc.OK {
+				ml = append(ml, r.Loc.ErrorDeg(obs.TrueDirection))
+			}
+		}
+		p68, p95 := stats.Containment68And95(plain)
+		m68, m95 := stats.Containment68And95(ml)
+		fmt.Printf("%-10.2f %6.2f / %-13.2f %6.2f / %-13.2f\n", fluence, p68, p95, m68, m95)
+	}
+}

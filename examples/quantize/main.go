@@ -1,0 +1,51 @@
+// Quantize: the paper's §V flow end to end — train the background network
+// in the fusion-friendly layer order, quantize it to INT8 with QAT, compare
+// FP32-vs-INT8 localization on fresh bursts, and print the FPGA dataflow
+// model's Table III for both precisions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/adapt"
+	"repro/internal/expt"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	log.Println("training the layer-swapped background network (quick settings)...")
+	cfg := adapt.TrainingQuantizable(adapt.Training{Seed: 5, BurstsPerAngle: 2, Epochs: 15, WithPolar: true})
+	m := adapt.TrainModels(cfg)
+
+	log.Println("quantization-aware fine-tuning to INT8...")
+	int8net, err := adapt.QuantizeBackground(m, cfg)
+	if err != nil {
+		log.Fatalf("quantize: %v", err)
+	}
+
+	inst := adapt.DefaultInstrument()
+	var fp32Errs, int8Errs []float64
+	const trials = 12
+	for seed := uint64(0); seed < trials; seed++ {
+		burst := adapt.Burst{Fluence: 1.0, PolarDeg: float64(10 * (seed % 8)), AzimuthDeg: float64(37 * seed)}
+		obs := inst.Observe(burst, 300+seed)
+		if r := inst.Localize(obs, m); r.Loc.OK {
+			fp32Errs = append(fp32Errs, r.Loc.ErrorDeg(obs.TrueDirection))
+		}
+		if r := inst.LocalizeQuantized(obs, m, int8net); r.Loc.OK {
+			int8Errs = append(int8Errs, r.Loc.ErrorDeg(obs.TrueDirection))
+		}
+	}
+	f68, f95 := stats.Containment68And95(fp32Errs)
+	i68, i95 := stats.Containment68And95(int8Errs)
+	fmt.Printf("FP32 background net: 68%%=%.2f° 95%%=%.2f° over %d bursts\n", f68, f95, len(fp32Errs))
+	fmt.Printf("INT8 background net: 68%%=%.2f° 95%%=%.2f° over %d bursts\n", i68, i95, len(int8Errs))
+	fmt.Printf("INT8 weight storage: %d bytes\n\n", int8net.NumWeightBytes())
+
+	// The FPGA deployment cost model (paper Table III).
+	expt.Table3(os.Stdout)
+}

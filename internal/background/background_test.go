@@ -1,0 +1,83 @@
+package background
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/xrand"
+)
+
+func TestSampleDirectionMixture(t *testing.T) {
+	m := DefaultModel()
+	rng := xrand.New(1)
+	n := 50000
+	up := 0
+	for i := 0; i < n; i++ {
+		d := m.SampleDirection(rng)
+		if !d.IsUnit(1e-9) {
+			t.Fatal("direction not unit")
+		}
+		if d.Z > 0 {
+			up++
+		}
+	}
+	frac := float64(up) / float64(n)
+	if math.Abs(frac-m.AlbedoFraction) > 0.01 {
+		t.Errorf("upward fraction %v, want %v", frac, m.AlbedoFraction)
+	}
+}
+
+func TestSimulateLabelsAndWindow(t *testing.T) {
+	m := DefaultModel()
+	m.RatePerSecond = 3000 // keep the test fast
+	cfg := detector.DefaultConfig()
+	rng := xrand.New(2)
+	evs := m.Simulate(&cfg, 0.5, rng)
+	if len(evs) == 0 {
+		t.Fatal("no background events")
+	}
+	for _, ev := range evs {
+		if ev.Source != detector.SourceBackground {
+			t.Fatal("background event mislabeled")
+		}
+		if ev.ArrivalTime < 0 || ev.ArrivalTime >= 0.5 {
+			t.Fatalf("arrival %v outside window", ev.ArrivalTime)
+		}
+	}
+}
+
+func TestSimulateRateScaling(t *testing.T) {
+	m := DefaultModel()
+	m.RatePerSecond = 4000
+	cfg := detector.DefaultConfig()
+	n1 := len(m.Simulate(&cfg, 1, xrand.New(3)))
+	m.RatePerSecond = 16000
+	n4 := len(m.Simulate(&cfg, 1, xrand.New(3)))
+	if n4 < 3*n1 {
+		t.Errorf("4x rate gave %d vs %d events", n4, n1)
+	}
+}
+
+// TestCalibration documents the background:source ring budget the
+// experiments rely on (paper §II: localization typically receives 2–3× as
+// many background as GRB Compton rings in a short-burst window). The test
+// asserts the simulated event ratio stays in a regime that produces that
+// ring ratio downstream.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check is statistical")
+	}
+	m := DefaultModel()
+	cfg := detector.DefaultConfig()
+	rng := xrand.New(4)
+	bkg := len(m.Simulate(&cfg, 1, rng))
+	src := len(detector.SimulateBurst(&cfg, detector.Burst{Fluence: 1, PolarDeg: 0}, rng))
+	ratio := float64(bkg) / float64(src)
+	// Event-level ratio ~4-5 corresponds to ring-level 2–3x after the
+	// reconstruction filters (background events are softer and reconstruct
+	// less often).
+	if ratio < 3 || ratio > 7 {
+		t.Errorf("background/source event ratio %v outside calibrated band", ratio)
+	}
+}

@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/xrand"
+)
+
+func TestPopulationSample(t *testing.T) {
+	p := DefaultPopulation()
+	rng := xrand.New(1)
+	brighterThan1 := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		b := p.Sample(rng)
+		if b.Fluence < p.FluenceMin || b.Fluence > p.FluenceMax {
+			t.Fatalf("fluence %v out of range", b.Fluence)
+		}
+		if b.PolarDeg < 0 || b.PolarDeg > p.MaxPolarDeg+1e-9 {
+			t.Fatalf("polar %v out of range", b.PolarDeg)
+		}
+		if b.Fluence > 1 {
+			brighterThan1++
+		}
+	}
+	// Euclidean log N–log S: P(S > 1) = (1^-1.5 − max^-1.5)/(min^-1.5 − max^-1.5).
+	mn := math.Pow(p.FluenceMin, -p.Slope)
+	mx := math.Pow(p.FluenceMax, -p.Slope)
+	want := (1 - mx) / (mn - mx)
+	got := float64(brighterThan1) / float64(n)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("P(S>1) = %v, want %v", got, want)
+	}
+}
+
+func TestCampaignRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := DefaultConfig(3)
+	cfg.Bursts = 12
+	cfg.QuietSecondsPerBurst = 1
+	var buf bytes.Buffer
+	res := Run(cfg, &buf)
+
+	if len(res.Outcomes) != cfg.Bursts {
+		t.Fatalf("%d outcomes, want %d", len(res.Outcomes), cfg.Bursts)
+	}
+	// Bright bursts must be detected and localized.
+	for _, o := range res.Outcomes {
+		if o.Burst.Fluence >= 2 {
+			if !o.Detected {
+				t.Errorf("bright burst (%.2f MeV/cm²) missed", o.Burst.Fluence)
+			} else if o.Localized && o.ErrorDeg > 20 {
+				t.Errorf("bright burst localized to %v°", o.ErrorDeg)
+			}
+		}
+	}
+	// The trigger must not fire on quiet stretches.
+	if res.FalseAlerts > 1 {
+		t.Errorf("%d false alerts over %v quiet seconds", res.FalseAlerts, res.QuietSeconds)
+	}
+	if !strings.Contains(buf.String(), "fluence band") {
+		t.Error("report table missing")
+	}
+	if s := res.SensitivityFluence(); math.IsNaN(s) || s < cfg.Population.FluenceMin || s > cfg.Population.FluenceMax {
+		t.Errorf("sensitivity estimate %v out of range", s)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := &Result{Outcomes: []BurstOutcome{
+		{Burst: burst(0.3), Detected: false},
+		{Burst: burst(0.3), Detected: true, Localized: true, ErrorDeg: 5},
+		{Burst: burst(3.0), Detected: true, Localized: true, ErrorDeg: 1},
+	}}
+	eff, n := r.DetectionEfficiency(0.25, 0.5)
+	if n != 2 || eff != 0.5 {
+		t.Errorf("efficiency %v over %d", eff, n)
+	}
+	errs := r.LocalizationErrors(0.25, 0.5)
+	if len(errs) != 1 || errs[0] != 5 {
+		t.Errorf("errors %v", errs)
+	}
+	if _, n := r.DetectionEfficiency(10, 20); n != 0 {
+		t.Error("empty band not empty")
+	}
+}
+
+func TestSensitivityMonotone(t *testing.T) {
+	// All-detected population → sensitivity at the dimmest burst.
+	r := &Result{Outcomes: []BurstOutcome{
+		{Burst: burst(0.5), Detected: true},
+		{Burst: burst(1), Detected: true},
+		{Burst: burst(2), Detected: true},
+	}}
+	if got := r.SensitivityFluence(); got != 0.5 {
+		t.Errorf("all-detected sensitivity %v, want 0.5", got)
+	}
+	// Dim bursts missed → threshold above them.
+	r = &Result{Outcomes: []BurstOutcome{
+		{Burst: burst(0.5), Detected: false},
+		{Burst: burst(1), Detected: true},
+		{Burst: burst(2), Detected: true},
+	}}
+	if got := r.SensitivityFluence(); got != 1 {
+		t.Errorf("sensitivity %v, want 1", got)
+	}
+}
+
+func burst(f float64) detector.Burst { return detector.Burst{Fluence: f} }

@@ -1,0 +1,214 @@
+// Package core implements the on-board GRB analysis system that the rest of
+// the library plugs into: burst *detection* via a count-rate trigger over
+// the event stream, exposure windowing, and orchestration of the Fig. 6
+// localization pipeline on each triggered window.
+//
+// The paper's pipeline (internal/pipeline) answers "where is the burst,
+// given a 1-second window of events?"; this package answers the question
+// upstream of it — "is there a burst, and which events belong to it?" —
+// which APT/ADAPT must also decide autonomously in flight (§I: "promptly
+// detect energetic transient events ... and rapidly communicate these
+// events ... for follow-up observation").
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/detector"
+	"repro/internal/geom"
+	"repro/internal/localize"
+	"repro/internal/models"
+	"repro/internal/pipeline"
+	"repro/internal/recon"
+	"repro/internal/sky"
+	"repro/internal/xrand"
+)
+
+// Trigger is a sliding-window count-rate burst trigger: it fires when the
+// event count in a WindowSec-wide window exceeds the background expectation
+// by SigmaThreshold Poisson standard deviations.
+type Trigger struct {
+	// WindowSec is the sliding-window width in seconds.
+	WindowSec float64
+	// SigmaThreshold is the significance required to fire.
+	SigmaThreshold float64
+	// MeanRate is the expected background event rate in events/second
+	// (calibrated in flight from quiet periods; here supplied directly).
+	MeanRate float64
+}
+
+// DefaultTrigger returns a trigger tuned for the default background model:
+// 100 ms window, 8σ. At 8σ on a Poisson window of O(1000) counts the
+// false-alarm probability per window is negligible over a balloon flight.
+func DefaultTrigger(meanRate float64) Trigger {
+	return Trigger{WindowSec: 0.1, SigmaThreshold: 8, MeanRate: meanRate}
+}
+
+// Scan slides the window over the sorted arrival times and returns the
+// start time of the first window whose count exceeds the threshold, after
+// skip (seconds). ok is false if nothing fires.
+func (tr Trigger) Scan(times []float64, skip float64) (trigTime float64, ok bool) {
+	if tr.WindowSec <= 0 {
+		return 0, false
+	}
+	expect := tr.MeanRate * tr.WindowSec
+	threshold := expect + tr.SigmaThreshold*math.Sqrt(math.Max(expect, 1))
+	lo := sort.SearchFloat64s(times, skip)
+	hi := lo
+	for ; lo < len(times); lo++ {
+		t0 := times[lo]
+		if hi < lo {
+			hi = lo
+		}
+		for hi < len(times) && times[hi] < t0+tr.WindowSec {
+			hi++
+		}
+		if float64(hi-lo) > threshold {
+			return t0, true
+		}
+	}
+	return 0, false
+}
+
+// Significance returns the Poisson significance of count events in one
+// window: (count − expectation)/√expectation.
+func (tr Trigger) Significance(count int) float64 {
+	expect := tr.MeanRate * tr.WindowSec
+	return (float64(count) - expect) / math.Sqrt(math.Max(expect, 1))
+}
+
+// Config assembles the full on-board system.
+type Config struct {
+	Recon recon.Config
+	Loc   localize.Config
+	// Bundle supplies the networks; nil runs the no-ML pipeline.
+	Bundle *models.Bundle
+	// MaxNNIters bounds the ML loop (paper: 5).
+	MaxNNIters int
+	// Trigger detects bursts in the event stream.
+	Trigger Trigger
+	// BurstWindowSec is how much data after the trigger is handed to
+	// localization (the paper evaluates 1-second exposures).
+	BurstWindowSec float64
+	// PreTriggerSec includes data just before the trigger time (the rising
+	// edge of the light curve).
+	PreTriggerSec float64
+	// SkyMapBands, when positive, attaches a posterior sky map of that
+	// resolution to each alert (credible areas for the downlink notice).
+	// Zero disables map generation.
+	SkyMapBands int
+	// SkyMapTemperature is the empirical systematic inflation applied to
+	// alert maps (see expt.CoverageStudy for how it is fitted); ≤1 means
+	// the statistical-only map.
+	SkyMapTemperature float64
+}
+
+// DefaultConfig returns the flight configuration for a given background
+// event rate.
+func DefaultConfig(meanBackgroundRate float64) Config {
+	return Config{
+		Recon:          recon.DefaultConfig(),
+		Loc:            localize.DefaultConfig(),
+		MaxNNIters:     5,
+		Trigger:        DefaultTrigger(meanBackgroundRate),
+		BurstWindowSec: 1.0,
+		PreTriggerSec:  0.05,
+	}
+}
+
+// Alert is one detected-and-localized burst.
+type Alert struct {
+	// TriggerTime is when the rate trigger fired (seconds into the
+	// exposure).
+	TriggerTime float64
+	// Significance of the triggering window.
+	Significance float64
+	// NEvents is the number of events handed to localization.
+	NEvents int
+	// Result is the pipeline outcome for the burst window.
+	Result pipeline.Result
+	// SkyMap is the posterior map for the downlink notice (nil unless
+	// Config.SkyMapBands > 0 and localization succeeded).
+	SkyMap *sky.Map
+	// Area90Deg2 is the 90% credible area in square degrees (0 when no
+	// map was built) — the headline number of a localization notice.
+	Area90Deg2 float64
+}
+
+// System runs burst detection and localization over event streams.
+type System struct {
+	cfg Config
+}
+
+// NewSystem validates and builds a System.
+func NewSystem(cfg Config) *System {
+	if cfg.BurstWindowSec <= 0 {
+		cfg.BurstWindowSec = 1.0
+	}
+	if cfg.MaxNNIters <= 0 {
+		cfg.MaxNNIters = 5
+	}
+	return &System{cfg: cfg}
+}
+
+// ProcessExposure scans a full exposure's events (any order; they are
+// sorted by arrival time internally), triggers on rate excesses, and
+// localizes each triggered burst window. Scanning resumes after each burst
+// window, so well-separated bursts in one exposure produce separate alerts.
+func (s *System) ProcessExposure(events []*detector.Event, rng *xrand.RNG) []Alert {
+	sorted := append([]*detector.Event(nil), events...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ArrivalTime < sorted[j].ArrivalTime })
+	times := make([]float64, len(sorted))
+	for i, ev := range sorted {
+		times[i] = ev.ArrivalTime
+	}
+
+	var alerts []Alert
+	skip := 0.0
+	for {
+		trig, ok := s.cfg.Trigger.Scan(times, skip)
+		if !ok {
+			return alerts
+		}
+		lo := sort.SearchFloat64s(times, trig-s.cfg.PreTriggerSec)
+		hi := sort.SearchFloat64s(times, trig+s.cfg.BurstWindowSec)
+		window := sorted[lo:hi]
+
+		opts := pipeline.DefaultOptions()
+		opts.Recon = s.cfg.Recon
+		opts.Loc = s.cfg.Loc
+		opts.Bundle = s.cfg.Bundle
+		opts.MaxNNIters = s.cfg.MaxNNIters
+		res := pipeline.Run(opts, window, rng.Split(uint64(lo)+1))
+
+		// Significance of the triggering window for the alert record.
+		winHi := sort.SearchFloat64s(times, trig+s.cfg.Trigger.WindowSec)
+		winLo := sort.SearchFloat64s(times, trig)
+		alert := Alert{
+			TriggerTime:  trig,
+			Significance: s.cfg.Trigger.Significance(winHi - winLo),
+			NEvents:      len(window),
+			Result:       res,
+		}
+		if s.cfg.SkyMapBands > 0 && res.Loc.OK {
+			rings := res.ActiveRings
+			var m *sky.Map
+			if s.cfg.Bundle != nil {
+				polar := geom.Deg(geom.Polar(res.Loc.Dir))
+				pipeline.ApplyDEtaCalibrated(s.cfg.Bundle, rings, polar)
+				probs := pipeline.BackgroundProbs(s.cfg.Bundle, rings, polar)
+				m = sky.MixtureLikelihood(&s.cfg.Loc, rings, probs, sky.NewGrid(s.cfg.SkyMapBands))
+			} else {
+				m = sky.Likelihood(&s.cfg.Loc, rings, sky.NewGrid(s.cfg.SkyMapBands))
+			}
+			if s.cfg.SkyMapTemperature > 1 {
+				m = m.Tempered(s.cfg.SkyMapTemperature)
+			}
+			alert.SkyMap = m
+			alert.Area90Deg2 = m.CredibleAreaDeg2(0.9)
+		}
+		alerts = append(alerts, alert)
+		skip = trig + s.cfg.BurstWindowSec
+	}
+}

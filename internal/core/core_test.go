@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/background"
+	"repro/internal/detector"
+	"repro/internal/xrand"
+)
+
+// buildExposure simulates duration seconds of background with optional
+// bursts injected at the given start times.
+func buildExposure(duration float64, burstStarts []float64, fluence float64, rng *xrand.RNG) ([]*detector.Event, float64, detector.Burst) {
+	det := detector.DefaultConfig()
+	bg := background.DefaultModel()
+	events := bg.Simulate(&det, duration, rng)
+	meanRate := float64(len(events)) / duration
+
+	burst := detector.Burst{Fluence: fluence, PolarDeg: 20, AzimuthDeg: 130}
+	for _, t0 := range burstStarts {
+		for _, ev := range detector.SimulateBurst(&det, burst, rng) {
+			ev.ArrivalTime += t0
+			events = append(events, ev)
+		}
+	}
+	return events, meanRate, burst
+}
+
+func TestTriggerScan(t *testing.T) {
+	tr := Trigger{WindowSec: 0.1, SigmaThreshold: 5, MeanRate: 100}
+	// A quiet stream: uniform times at the mean rate.
+	var times []float64
+	for i := 0; i < 1000; i++ {
+		times = append(times, float64(i)*0.01) // exactly 100/s
+	}
+	if _, ok := tr.Scan(times, 0); ok {
+		t.Error("trigger fired on a quiet stream")
+	}
+	// Inject a spike: 60 extra events within 50 ms at t=5 (expect 10/window,
+	// 5σ threshold ≈ 26).
+	for i := 0; i < 60; i++ {
+		times = append(times, 5+0.05*float64(i)/60)
+	}
+	sortFloats(times)
+	trig, ok := tr.Scan(times, 0)
+	if !ok {
+		t.Fatal("trigger missed a 60-count spike")
+	}
+	if trig < 4.8 || trig > 5.1 {
+		t.Errorf("trigger time %v, want ~5", trig)
+	}
+	// skip past the spike: quiet again.
+	if _, ok := tr.Scan(times, 5.2); ok {
+		t.Error("trigger re-fired after the spike")
+	}
+}
+
+func TestSignificance(t *testing.T) {
+	tr := Trigger{WindowSec: 1, SigmaThreshold: 5, MeanRate: 100}
+	if got := tr.Significance(100); math.Abs(got) > 1e-12 {
+		t.Errorf("significance at expectation = %v", got)
+	}
+	if got := tr.Significance(150); math.Abs(got-5) > 1e-12 {
+		t.Errorf("significance of +5σ excess = %v", got)
+	}
+}
+
+func TestProcessExposureDetectsAndLocalizes(t *testing.T) {
+	rng := xrand.New(1)
+	events, meanRate, burst := buildExposure(4.0, []float64{2.0}, 2.0, rng)
+	sys := NewSystem(DefaultConfig(meanRate))
+	alerts := sys.ProcessExposure(events, rng)
+	if len(alerts) != 1 {
+		t.Fatalf("%d alerts, want 1", len(alerts))
+	}
+	a := alerts[0]
+	if a.TriggerTime < 1.9 || a.TriggerTime > 2.4 {
+		t.Errorf("trigger time %v, want ~2.0", a.TriggerTime)
+	}
+	if a.Significance < 8 {
+		t.Errorf("significance %v below threshold", a.Significance)
+	}
+	if !a.Result.Loc.OK {
+		t.Fatal("alert without localization")
+	}
+	if err := a.Result.Loc.ErrorDeg(burst.SourceDirection()); err > 10 {
+		t.Errorf("alert localization error %v°", err)
+	}
+}
+
+func TestProcessExposureQuiet(t *testing.T) {
+	rng := xrand.New(2)
+	events, meanRate, _ := buildExposure(3.0, nil, 0, rng)
+	sys := NewSystem(DefaultConfig(meanRate))
+	if alerts := sys.ProcessExposure(events, rng); len(alerts) != 0 {
+		t.Errorf("%d false alerts on background-only exposure", len(alerts))
+	}
+}
+
+func TestProcessExposureTwoBursts(t *testing.T) {
+	rng := xrand.New(3)
+	events, meanRate, _ := buildExposure(8.0, []float64{1.5, 5.5}, 2.0, rng)
+	sys := NewSystem(DefaultConfig(meanRate))
+	alerts := sys.ProcessExposure(events, rng)
+	if len(alerts) != 2 {
+		t.Fatalf("%d alerts, want 2", len(alerts))
+	}
+	if alerts[1].TriggerTime < alerts[0].TriggerTime+1 {
+		t.Error("second alert inside the first burst window")
+	}
+}
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys := NewSystem(Config{Trigger: DefaultTrigger(100)})
+	if sys.cfg.BurstWindowSec != 1.0 || sys.cfg.MaxNNIters != 5 {
+		t.Error("zero-value config not defaulted")
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestAlertSkyMap(t *testing.T) {
+	rng := xrand.New(5)
+	events, meanRate, burst := buildExposure(3.0, []float64{1.5}, 2.0, rng)
+	cfg := DefaultConfig(meanRate)
+	cfg.SkyMapBands = 16
+	cfg.SkyMapTemperature = 8
+	sys := NewSystem(cfg)
+	alerts := sys.ProcessExposure(events, rng)
+	if len(alerts) != 1 {
+		t.Fatalf("%d alerts", len(alerts))
+	}
+	a := alerts[0]
+	if a.SkyMap == nil {
+		t.Fatal("no sky map attached")
+	}
+	if a.Area90Deg2 <= 0 {
+		t.Error("non-positive credible area")
+	}
+	if !a.SkyMap.Contains(burst.SourceDirection(), 0.99) {
+		t.Error("99% credible region misses the truth on a bright burst")
+	}
+	// Without the option, no map.
+	cfg.SkyMapBands = 0
+	events2, _, _ := buildExposure(3.0, []float64{1.5}, 2.0, xrand.New(5))
+	alerts2 := NewSystem(cfg).ProcessExposure(events2, xrand.New(5))
+	if len(alerts2) == 1 && alerts2[0].SkyMap != nil {
+		t.Error("map built despite SkyMapBands=0")
+	}
+}

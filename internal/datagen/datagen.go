@@ -1,0 +1,225 @@
+// Package datagen produces labeled training data for the two networks by
+// running the full simulation → reconstruction chain, mirroring the paper's
+// §III "Model Training": GRB photons evenly divided across nine source polar
+// angles from 0° to 80° in ten-degree increments, background particles from
+// the atmospheric model, and only rings that pass the pre-localization
+// quality filters retained. Labels come from simulation ground truth.
+package datagen
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/background"
+	"repro/internal/detector"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/recon"
+	"repro/internal/xrand"
+)
+
+// Config controls dataset generation.
+type Config struct {
+	// Seed makes generation reproducible.
+	Seed uint64
+	// PolarAnglesDeg lists the source polar angles; nil means the paper's
+	// 0°–80° in 10° steps.
+	PolarAnglesDeg []float64
+	// BurstsPerAngle is how many 1-second bursts to simulate at each angle.
+	BurstsPerAngle int
+	// Fluence of each training burst in MeV/cm².
+	Fluence float64
+	// PolarGuessNoiseDeg is the σ of Gaussian noise added to the true polar
+	// angle to form the polar-guess feature; the paper found the guess
+	// useful when "roughly correct (to within about 10°)".
+	PolarGuessNoiseDeg float64
+	// Detector, Recon, Background: nil/zero values mean package defaults.
+	Detector   *detector.Config
+	Recon      *recon.Config
+	Background *background.Model
+	// Workers caps parallel simulation goroutines; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns a generation setup sized for this reproduction
+// (scaled down from the paper's 270M photons; see DESIGN.md §2).
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:               seed,
+		BurstsPerAngle:     3,
+		Fluence:            3.3,
+		PolarGuessNoiseDeg: 5,
+	}
+}
+
+// Sample is one labeled ring.
+type Sample struct {
+	Ring *recon.Ring
+	// PolarGuessDeg is the noisy polar-angle feature assigned at generation.
+	PolarGuessDeg float64
+	// TruePolarDeg is the burst's actual polar angle.
+	TruePolarDeg float64
+}
+
+// Set is a generated collection of labeled rings.
+type Set struct {
+	Samples []Sample
+}
+
+// CountBackground returns how many samples are background rings.
+func (s *Set) CountBackground() int {
+	n := 0
+	for _, smp := range s.Samples {
+		if smp.Ring.Background {
+			n++
+		}
+	}
+	return n
+}
+
+// Generate runs the simulation chain and returns the labeled ring set.
+// Work is distributed over (angle, burst) jobs; results are deterministic
+// for a given Config regardless of scheduling.
+func Generate(cfg Config) *Set {
+	angles := cfg.PolarAnglesDeg
+	if angles == nil {
+		angles = []float64{0, 10, 20, 30, 40, 50, 60, 70, 80}
+	}
+	det := cfg.Detector
+	if det == nil {
+		d := detector.DefaultConfig()
+		det = &d
+	}
+	rc := cfg.Recon
+	if rc == nil {
+		r := recon.DefaultConfig()
+		rc = &r
+	}
+	bg := cfg.Background
+	if bg == nil {
+		b := background.DefaultModel()
+		bg = &b
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		angleIdx, burst int
+	}
+	jobs := make(chan job)
+	results := make([][]Sample, len(angles)*cfg.BurstsPerAngle)
+	root := xrand.New(cfg.Seed)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				slot := j.angleIdx*cfg.BurstsPerAngle + j.burst
+				rng := root.Split(uint64(slot) + 1)
+				results[slot] = simulateOne(det, rc, bg, cfg, angles[j.angleIdx], rng)
+			}
+		}()
+	}
+	for ai := range angles {
+		for b := 0; b < cfg.BurstsPerAngle; b++ {
+			jobs <- job{ai, b}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	set := &Set{}
+	for _, rs := range results {
+		set.Samples = append(set.Samples, rs...)
+	}
+	return set
+}
+
+// simulateOne produces the labeled rings of one burst + its background
+// window.
+func simulateOne(det *detector.Config, rc *recon.Config, bg *background.Model, cfg Config, angleDeg float64, rng *xrand.RNG) []Sample {
+	burst := detector.Burst{Fluence: cfg.Fluence, PolarDeg: angleDeg, AzimuthDeg: rng.Uniform(0, 360)}
+	events := detector.SimulateBurst(det, burst, rng)
+	events = append(events, bg.Simulate(det, 1.0, rng)...)
+	var out []Sample
+	for _, ev := range events {
+		r, ok := recon.Reconstruct(rc, ev)
+		if !ok {
+			continue
+		}
+		guess := angleDeg + rng.Gaussian(0, cfg.PolarGuessNoiseDeg)
+		if guess < 0 {
+			guess = -guess
+		}
+		if guess > 90 {
+			guess = 90
+		}
+		out = append(out, Sample{Ring: r, PolarGuessDeg: guess, TruePolarDeg: angleDeg})
+	}
+	return out
+}
+
+// DEtaTargetFloor is the minimum |η error| used when forming the regression
+// target; it keeps ln(dη) finite for the occasional near-perfect ring.
+const DEtaTargetFloor = 1e-4
+
+// BackgroundDataset builds the classifier dataset: features (with or
+// without the polar-angle input) and labels 1 = background, 0 = GRB.
+func BackgroundDataset(set *Set, withPolar bool) *nn.Dataset {
+	cols := features.NumFeaturesNoPolar
+	if withPolar {
+		cols = features.NumFeatures
+	}
+	x := nn.NewTensor(len(set.Samples), cols)
+	y := make([]float32, len(set.Samples))
+	for i, s := range set.Samples {
+		features.Extract(s.Ring, s.PolarGuessDeg, withPolar, x.Row(i))
+		if s.Ring.Background {
+			y[i] = 1
+		}
+	}
+	return &nn.Dataset{X: x, Y: y}
+}
+
+// DEtaDataset builds the regression dataset: GRB rings only (the paper
+// removes background rings from the dEta training set), target ln of the
+// realized η error.
+func DEtaDataset(set *Set, withPolar bool) *nn.Dataset {
+	cols := features.NumFeaturesNoPolar
+	if withPolar {
+		cols = features.NumFeatures
+	}
+	var rows int
+	for _, s := range set.Samples {
+		if !s.Ring.Background {
+			rows++
+		}
+	}
+	x := nn.NewTensor(rows, cols)
+	y := make([]float32, rows)
+	i := 0
+	for _, s := range set.Samples {
+		if s.Ring.Background {
+			continue
+		}
+		features.Extract(s.Ring, s.PolarGuessDeg, withPolar, x.Row(i))
+		y[i] = float32(math.Log(math.Max(s.Ring.EtaError(), DEtaTargetFloor)))
+		i++
+	}
+	return &nn.Dataset{X: x, Y: y}
+}
+
+// PolarBins returns the per-sample polar-guess values, used for per-bin
+// threshold selection.
+func PolarBins(set *Set) []float64 {
+	out := make([]float64, len(set.Samples))
+	for i, s := range set.Samples {
+		out[i] = s.PolarGuessDeg
+	}
+	return out
+}

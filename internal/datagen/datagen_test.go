@@ -1,0 +1,136 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/features"
+)
+
+// tinyConfig keeps generation fast for unit tests.
+func tinyConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.BurstsPerAngle = 1
+	cfg.PolarAnglesDeg = []float64{0, 40, 80}
+	cfg.Fluence = 1.0
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(tinyConfig(5))
+	b := Generate(tinyConfig(5))
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Ring.Eta != b.Samples[i].Ring.Eta ||
+			a.Samples[i].PolarGuessDeg != b.Samples[i].PolarGuessDeg {
+			t.Fatalf("sample %d differs between identical runs", i)
+		}
+	}
+	c := Generate(tinyConfig(6))
+	if len(c.Samples) == len(a.Samples) && len(a.Samples) > 0 && c.Samples[0].Ring.Eta == a.Samples[0].Ring.Eta {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenerateLabelsAndGuesses(t *testing.T) {
+	set := Generate(tinyConfig(7))
+	if len(set.Samples) < 100 {
+		t.Fatalf("only %d samples", len(set.Samples))
+	}
+	nBkg := set.CountBackground()
+	if nBkg == 0 || nBkg == len(set.Samples) {
+		t.Error("background labels degenerate")
+	}
+	angles := map[float64]bool{0: false, 40: false, 80: false}
+	for _, s := range set.Samples {
+		if s.PolarGuessDeg < 0 || s.PolarGuessDeg > 90 {
+			t.Fatalf("polar guess %v out of range", s.PolarGuessDeg)
+		}
+		if _, ok := angles[s.TruePolarDeg]; !ok {
+			t.Fatalf("unexpected true polar %v", s.TruePolarDeg)
+		}
+		angles[s.TruePolarDeg] = true
+		// Guess is near truth (5° noise).
+		if math.Abs(s.PolarGuessDeg-s.TruePolarDeg) > 30 {
+			t.Errorf("polar guess %v far from truth %v", s.PolarGuessDeg, s.TruePolarDeg)
+		}
+	}
+	for a, seen := range angles {
+		if !seen {
+			t.Errorf("no samples from angle %v", a)
+		}
+	}
+}
+
+func TestBackgroundDataset(t *testing.T) {
+	set := Generate(tinyConfig(8))
+	ds := BackgroundDataset(set, true)
+	if ds.X.Rows != len(set.Samples) || ds.X.Cols != features.NumFeatures {
+		t.Fatalf("dataset shape %dx%d", ds.X.Rows, ds.X.Cols)
+	}
+	var ones int
+	for i, y := range ds.Y {
+		if y != 0 && y != 1 {
+			t.Fatalf("label %v not binary", y)
+		}
+		if (y == 1) != set.Samples[i].Ring.Background {
+			t.Fatalf("label %d disagrees with ground truth", i)
+		}
+		if y == 1 {
+			ones++
+		}
+	}
+	if ones != set.CountBackground() {
+		t.Error("positive count mismatch")
+	}
+	// The no-polar variant is one column narrower.
+	if BackgroundDataset(set, false).X.Cols != features.NumFeaturesNoPolar {
+		t.Error("no-polar dataset width wrong")
+	}
+}
+
+func TestDEtaDataset(t *testing.T) {
+	set := Generate(tinyConfig(9))
+	ds := DEtaDataset(set, true)
+	wantRows := len(set.Samples) - set.CountBackground()
+	if ds.X.Rows != wantRows {
+		t.Fatalf("dEta dataset has %d rows, want %d (GRB only)", ds.X.Rows, wantRows)
+	}
+	for _, y := range ds.Y {
+		if math.IsNaN(float64(y)) || math.IsInf(float64(y), 0) {
+			t.Fatal("non-finite dEta target")
+		}
+		// ln of a floored error: bounded below by ln(floor).
+		if float64(y) < math.Log(DEtaTargetFloor)-1e-5 {
+			t.Fatalf("target %v below ln(floor)", y)
+		}
+	}
+}
+
+func TestPolarBins(t *testing.T) {
+	set := Generate(tinyConfig(10))
+	bins := PolarBins(set)
+	if len(bins) != len(set.Samples) {
+		t.Fatal("PolarBins length mismatch")
+	}
+	for i := range bins {
+		if bins[i] != set.Samples[i].PolarGuessDeg {
+			t.Fatal("PolarBins values mismatch")
+		}
+	}
+}
+
+func TestTrainingMixMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical check")
+	}
+	// At the default generation settings the GRB/background split should
+	// sit near the paper's 60/40.
+	set := Generate(DefaultConfig(11))
+	frac := 1 - float64(set.CountBackground())/float64(len(set.Samples))
+	if frac < 0.5 || frac > 0.72 {
+		t.Errorf("GRB fraction %v outside the calibrated 60/40 band", frac)
+	}
+}

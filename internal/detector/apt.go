@@ -1,0 +1,18 @@
+package detector
+
+// APTConfig returns an instrument model for the full Advanced
+// Particle-astrophysics Telescope, the orbital mission ADAPT prototypes
+// (paper §I, §VI). Relative to ADAPT it has a much larger active area and
+// more tracking layers, which is what lets it localize even dim
+// (< 0.1 MeV/cm²) bursts — the paper's future-work target of "a degree or
+// less". Dimensions are representative of the APT concept papers (a ~3 m²
+// class instrument with ~20 scintillator layers); the measurement model is
+// inherited from the ADAPT design.
+func APTConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Layers = 20
+	cfg.TileHalfX = 90
+	cfg.TileHalfY = 90
+	cfg.LayerPitch = 8
+	return cfg
+}

@@ -1,0 +1,51 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func BenchmarkTransport(b *testing.B) {
+	cfg := DefaultConfig()
+	rng := xrand.New(1)
+	var hits []TrueHit
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hits, _ = Transport(&cfg, geom.Vec{X: 1, Y: -2, Z: 5}, geom.Vec{Z: -1}, 1.0, rng, hits[:0])
+	}
+}
+
+func BenchmarkThrowPhoton(b *testing.B) {
+	cfg := DefaultConfig()
+	rng := xrand.New(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ThrowPhoton(&cfg, geom.Vec{Z: -1}, 0.8, rng)
+	}
+}
+
+func BenchmarkSimulateBurst(b *testing.B) {
+	cfg := DefaultConfig()
+	rng := xrand.New(3)
+	burst := Burst{Fluence: 1.0, PolarDeg: 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SimulateBurst(&cfg, burst, rng)
+	}
+}
+
+func BenchmarkMeasure(b *testing.B) {
+	cfg := DefaultConfig()
+	rng := xrand.New(4)
+	truth, _ := Transport(&cfg, geom.Vec{Z: 5}, geom.Vec{Z: -1}, 2.0, rng, nil)
+	for len(truth) < 3 {
+		truth, _ = Transport(&cfg, geom.Vec{Z: 5}, geom.Vec{Z: -1}, 2.0, rng, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Measure(&cfg, truth, rng)
+	}
+}

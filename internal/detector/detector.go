@@ -1,0 +1,261 @@
+// Package detector simulates the ADAPT gamma-ray detector: four layers of
+// CsI(Na) scintillating tiles read out by crossed wavelength-shifting fiber
+// arrays (paper §II-B, Fig. 1).
+//
+// The package replaces the paper's Geant4 + electronics-model substrate. It
+// has two halves:
+//
+//   - transport.go: a Monte-Carlo photon transport through the tile stack
+//     (Compton scattering with Klein–Nishina angles, photoelectric
+//     absorption, simplified pair production with annihilation-photon
+//     follow-up), producing ground-truth interaction hits; and
+//   - response.go: the measurement model (unresolvable-hit merging,
+//     fiber-pitch position quantization, energy smearing and thresholds,
+//     per-hit reported uncertainties), producing the measured Event the
+//     reconstruction sees.
+//
+// Coordinates: x and y span the tile plane, +z points at the sky. The top
+// surface of the top tile is at z = 0; layers stack downward.
+package detector
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/physics"
+)
+
+// SourceKind labels where a simulated photon came from.
+type SourceKind int
+
+const (
+	// SourceGRB marks photons from the simulated burst.
+	SourceGRB SourceKind = iota
+	// SourceBackground marks atmospheric background particles.
+	SourceBackground
+)
+
+// String implements fmt.Stringer.
+func (k SourceKind) String() string {
+	if k == SourceBackground {
+		return "background"
+	}
+	return "grb"
+}
+
+// TrueHit is a ground-truth energy deposit from the transport Monte Carlo.
+type TrueHit struct {
+	Pos   geom.Vec // interaction point, cm
+	E     float64  // deposited energy, MeV
+	Layer int      // layer index, 0 = top
+	Kind  physics.InteractionKind
+	// Order is the time order of the deposit within its event (0 = first).
+	Order int
+}
+
+// Hit is a measured energy deposit after the detector response model.
+type Hit struct {
+	Pos    geom.Vec // reported position, cm
+	E      float64  // reported energy, MeV
+	SigmaX float64  // reported 1σ position uncertainty per axis, cm
+	SigmaY float64
+	SigmaZ float64
+	SigmaE float64 // reported 1σ energy uncertainty, MeV
+	Layer  int
+}
+
+// Event is one detected gamma-ray photon: the measured hits plus the
+// simulation ground truth needed for training labels and evaluation.
+// Measured hits carry no time order — ordering them is the reconstruction's
+// job (and a key source of the dη errors the paper's networks learn).
+type Event struct {
+	Hits []Hit
+
+	// Ground truth (never visible to the flight pipeline):
+
+	TrueSource    geom.Vec   // unit vector from detector toward the source
+	TrueEnergy    float64    // incident photon energy, MeV
+	Source        SourceKind // GRB or background
+	FullyAbsorbed bool       // all incident energy deposited in the detector
+	TrueHits      []TrueHit  // time-ordered ground-truth deposits
+	ArrivalTime   float64    // seconds within the exposure window
+}
+
+// TotalE returns the summed measured energy of the event's hits.
+func (ev *Event) TotalE() float64 {
+	var t float64
+	for i := range ev.Hits {
+		t += ev.Hits[i].E
+	}
+	return t
+}
+
+// TotalSigmaE returns the 1σ uncertainty of TotalE (hits independent).
+func (ev *Event) TotalSigmaE() float64 {
+	var v float64
+	for i := range ev.Hits {
+		v += ev.Hits[i].SigmaE * ev.Hits[i].SigmaE
+	}
+	return math.Sqrt(v)
+}
+
+// Config describes the instrument geometry and measurement model. Use
+// DefaultConfig and modify fields as needed; the zero value is not valid.
+type Config struct {
+	// Geometry.
+	Layers        int     // number of tile layers
+	TileHalfX     float64 // half-extent of each tile in x, cm
+	TileHalfY     float64 // half-extent in y, cm
+	TileThickness float64 // tile thickness in z, cm
+	LayerPitch    float64 // vertical distance between tile top surfaces, cm
+
+	// Readout.
+	FiberPitch float64 // WLS fiber spacing; x/y positions quantize to it, cm
+
+	// Tile segmentation. Each layer may be a grid of TileGridX×TileGridY
+	// separate tiles with TileGap (cm) of dead space between adjacent
+	// tiles. The defaults (grid 1, gap 0) model each layer as one
+	// monolithic tile; the segmented geometry adds the dead-area and
+	// edge-effect realism of a real multi-tile tray. Transport handles
+	// gaps with Woodcock (delta) tracking, which is exact.
+	TileGridX, TileGridY int
+	TileGap              float64
+
+	// Measurement model.
+	EnergyResCoeff float64 // σ_E = coeff·√E ⊕ floor (MeV units)
+	EnergyResFloor float64 // MeV
+	HitThreshold   float64 // hits below this measured energy are lost, MeV
+	MergeRadius    float64 // same-layer deposits closer than this merge, cm
+
+	// Medium.
+	Material physics.Material
+
+	// MaxTrackedPhotons bounds secondary (annihilation) photon follow-up.
+	MaxTrackedPhotons int
+
+	// Unmodeled measurement effects. These perturb the *realized*
+	// measurements but are NOT reflected in the reported per-hit
+	// uncertainties — they reproduce the paper's premise that the analytic
+	// propagation-of-error dη is frequently an underestimate "because our
+	// detector error model is incomplete" (§II-B). Setting them to zero
+	// gives an idealized detector whose reported σ are exact.
+
+	// QuenchScaleMeV controls extra low-energy smearing from scintillator
+	// quenching/nonlinearity: the realized energy σ is multiplied by
+	// (1 + QuenchScaleMeV/E).
+	QuenchScaleMeV float64
+	// LightLossProb is the probability that a hit suffers partial light
+	// collection (shadowed fiber, coupling loss), scaling its measured
+	// energy by a uniform factor in [LightLossMin, LightLossMax].
+	LightLossProb              float64
+	LightLossMin, LightLossMax float64
+	// FiberOutlierProb is the per-axis probability that a hit's x or y is
+	// reported one or two fiber pitches away (optical crosstalk / missed
+	// fiber).
+	FiberOutlierProb float64
+}
+
+// DefaultConfig returns the ADAPT instrument model used throughout this
+// reproduction: 4 layers of 40×40 cm CsI(Na) tiles, 1.5 cm thick, on a
+// 10 cm vertical pitch, with ~6 mm effective fiber pitch and a 7%/√E energy
+// resolution. Values are representative of the ADAPT design papers; see
+// DESIGN.md §2.
+func DefaultConfig() Config {
+	return Config{
+		Layers:            4,
+		TileHalfX:         20,
+		TileHalfY:         20,
+		TileThickness:     1.5,
+		LayerPitch:        10,
+		FiberPitch:        0.6,
+		EnergyResCoeff:    0.035,
+		EnergyResFloor:    0.004,
+		HitThreshold:      0.020,
+		MergeRadius:       1.2,
+		Material:          physics.CsI(),
+		MaxTrackedPhotons: 8,
+		QuenchScaleMeV:    0.02,
+		LightLossProb:     0.08,
+		LightLossMin:      0.70,
+		LightLossMax:      0.95,
+		FiberOutlierProb:  0.03,
+	}
+}
+
+// Validate reports whether the configuration is physically meaningful.
+func (c Config) Validate() error {
+	switch {
+	case c.Layers < 2:
+		return errf("Layers must be >= 2, got %d", c.Layers)
+	case c.TileHalfX <= 0 || c.TileHalfY <= 0:
+		return errf("tile half-extents must be positive")
+	case c.TileThickness <= 0:
+		return errf("TileThickness must be positive")
+	case c.LayerPitch < c.TileThickness:
+		return errf("LayerPitch %g smaller than TileThickness %g", c.LayerPitch, c.TileThickness)
+	case c.FiberPitch <= 0:
+		return errf("FiberPitch must be positive")
+	case c.Material.ElectronDensity <= 0:
+		return errf("material electron density must be positive")
+	}
+	return nil
+}
+
+// InTileGap reports whether the x/y position falls in the dead space
+// between tiles of a segmented layer. Always false for the monolithic
+// default geometry.
+func (c *Config) InTileGap(x, y float64) bool {
+	return inGapAxis(x, c.TileHalfX, c.TileGridX, c.TileGap) ||
+		inGapAxis(y, c.TileHalfY, c.TileGridY, c.TileGap)
+}
+
+// inGapAxis checks one axis: the span [-half, half] divides into n cells;
+// each cell's central (width − gap) band is tile, the rest gap. The outer
+// edges of the outer tiles stay live so the total footprint is unchanged.
+func inGapAxis(v, half float64, n int, gap float64) bool {
+	if n <= 1 || gap <= 0 {
+		return false
+	}
+	w := 2 * half / float64(n)
+	u := v + half
+	cell := int(u / w)
+	if cell < 0 {
+		cell = 0
+	}
+	if cell >= n {
+		cell = n - 1
+	}
+	frac := u - float64(cell)*w
+	// Interior boundaries only: half a gap on each side of each internal
+	// edge.
+	if cell > 0 && frac < gap/2 {
+		return true
+	}
+	if cell < n-1 && frac > w-gap/2 {
+		return true
+	}
+	return false
+}
+
+// LayerTopZ returns the z coordinate of the top surface of layer i.
+func (c Config) LayerTopZ(i int) float64 { return -float64(i) * c.LayerPitch }
+
+// LayerBottomZ returns the z coordinate of the bottom surface of layer i.
+func (c Config) LayerBottomZ(i int) float64 { return c.LayerTopZ(i) - c.TileThickness }
+
+// Height returns the full vertical extent of the stack in cm.
+func (c Config) Height() float64 { return float64(c.Layers-1)*c.LayerPitch + c.TileThickness }
+
+// BoundingRadius returns the radius of a sphere centered at the stack's
+// geometric center that contains the whole detector. The photon generators
+// aim at this sphere.
+func (c Config) BoundingRadius() float64 {
+	h := c.Height() / 2
+	return math.Sqrt(c.TileHalfX*c.TileHalfX + c.TileHalfY*c.TileHalfY + h*h)
+}
+
+// Center returns the geometric center of the stack.
+func (c Config) Center() geom.Vec { return geom.Vec{X: 0, Y: 0, Z: -c.Height() / 2} }
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -1,0 +1,301 @@
+package detector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/spectrum"
+	"repro/internal/xrand"
+)
+
+func idealConfig() Config {
+	cfg := DefaultConfig()
+	// Disable the unmodeled effects so reported σ are exact for the tests
+	// that check the clean measurement model.
+	cfg.QuenchScaleMeV = 0
+	cfg.LightLossProb = 0
+	cfg.FiberOutlierProb = 0
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Layers = 1
+	if bad.Validate() == nil {
+		t.Error("1-layer config accepted")
+	}
+	bad = DefaultConfig()
+	bad.LayerPitch = 0.1
+	if bad.Validate() == nil {
+		t.Error("overlapping layers accepted")
+	}
+	bad = DefaultConfig()
+	bad.FiberPitch = 0
+	if bad.Validate() == nil {
+		t.Error("zero fiber pitch accepted")
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.LayerTopZ(0) != 0 {
+		t.Error("layer 0 top not at z=0")
+	}
+	if got := cfg.LayerTopZ(2); got != -2*cfg.LayerPitch {
+		t.Errorf("layer 2 top = %v", got)
+	}
+	if got := cfg.LayerBottomZ(0); got != -cfg.TileThickness {
+		t.Errorf("layer 0 bottom = %v", got)
+	}
+	wantH := 3*cfg.LayerPitch + cfg.TileThickness
+	if cfg.Height() != wantH {
+		t.Errorf("Height = %v, want %v", cfg.Height(), wantH)
+	}
+	r := cfg.BoundingRadius()
+	want := math.Sqrt(cfg.TileHalfX*cfg.TileHalfX + cfg.TileHalfY*cfg.TileHalfY + wantH*wantH/4)
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("BoundingRadius = %v, want %v", r, want)
+	}
+}
+
+func TestTransportStraightDown(t *testing.T) {
+	cfg := idealConfig()
+	rng := xrand.New(1)
+	n := 20000
+	interacted := 0
+	var deposited float64
+	for i := 0; i < n; i++ {
+		hits, dep := Transport(&cfg, geom.Vec{X: 1, Y: 2, Z: 5}, geom.Vec{Z: -1}, 1.0, rng, nil)
+		if dep < -1e-12 || dep > 1.0+1e-9 {
+			t.Fatalf("deposited energy out of range: %v", dep)
+		}
+		for _, h := range hits {
+			if h.Layer < 0 || h.Layer >= cfg.Layers {
+				t.Fatalf("hit in nonexistent layer %d", h.Layer)
+			}
+			// Hits must be inside the tile volume of their layer.
+			if h.Pos.Z > cfg.LayerTopZ(h.Layer)+1e-9 || h.Pos.Z < cfg.LayerBottomZ(h.Layer)-1e-9 {
+				t.Fatalf("hit z=%v outside layer %d", h.Pos.Z, h.Layer)
+			}
+			if math.Abs(h.Pos.X) > cfg.TileHalfX || math.Abs(h.Pos.Y) > cfg.TileHalfY {
+				t.Fatalf("hit outside tile: %v", h.Pos)
+			}
+			if h.E < 0 {
+				t.Fatalf("negative deposit")
+			}
+		}
+		if len(hits) > 0 {
+			interacted++
+			deposited += dep
+		}
+	}
+	// Beer–Lambert through 4 tiles of CsI at 1 MeV: interaction probability
+	// 1 − exp(−μ·6cm); μ_total(1 MeV) ≈ 0.27/cm → ~0.80. Tolerate the
+	// approximate cross-sections.
+	frac := float64(interacted) / float64(n)
+	mu := cfg.Material.MuTotal(1.0)
+	want := 1 - math.Exp(-mu*float64(cfg.Layers)*cfg.TileThickness)
+	if math.Abs(frac-want) > 0.03 {
+		t.Errorf("interaction fraction %v, Beer–Lambert predicts %v", frac, want)
+	}
+}
+
+func TestTransportMissesDetector(t *testing.T) {
+	cfg := idealConfig()
+	rng := xrand.New(2)
+	// A photon aimed sideways far above the stack never hits a tile.
+	hits, dep := Transport(&cfg, geom.Vec{X: 0, Y: 0, Z: 50}, geom.Vec{X: 1}, 1.0, rng, nil)
+	if len(hits) != 0 || dep != 0 {
+		t.Errorf("photon missing the stack produced %d hits, %v MeV", len(hits), dep)
+	}
+}
+
+func TestTransportOrderIsSequential(t *testing.T) {
+	cfg := idealConfig()
+	rng := xrand.New(3)
+	for i := 0; i < 2000; i++ {
+		hits, _ := Transport(&cfg, geom.Vec{Z: 5}, geom.Vec{Z: -1}, 2.0, rng, nil)
+		for j, h := range hits {
+			if h.Order != j {
+				t.Fatalf("hit orders not sequential: %v", hits)
+			}
+		}
+	}
+}
+
+func TestMeasureThresholdAndQuantization(t *testing.T) {
+	cfg := idealConfig()
+	rng := xrand.New(4)
+	truth := []TrueHit{
+		{Pos: geom.Vec{X: 3.14, Y: -2.7, Z: -0.7}, E: 0.5, Layer: 0},
+		{Pos: geom.Vec{X: -8.0, Y: 4.0, Z: -10.9}, E: 0.001, Layer: 1}, // below threshold
+	}
+	sawBig, sawSmall := 0, 0
+	for i := 0; i < 500; i++ {
+		hits := Measure(&cfg, truth, rng)
+		for _, h := range hits {
+			// Positions snap to fiber-pitch bin centers.
+			fx := h.Pos.X/cfg.FiberPitch - math.Floor(h.Pos.X/cfg.FiberPitch)
+			if math.Abs(fx-0.5) > 1e-9 {
+				t.Fatalf("x=%v not at a fiber bin center", h.Pos.X)
+			}
+			if h.SigmaE <= 0 || h.SigmaX <= 0 {
+				t.Fatal("non-positive reported uncertainty")
+			}
+			if h.E >= cfg.HitThreshold && h.Layer == 0 {
+				sawBig++
+			}
+			if h.Layer == 1 {
+				sawSmall++
+			}
+		}
+	}
+	if sawBig < 450 {
+		t.Errorf("0.5 MeV hit survived only %d/500 times", sawBig)
+	}
+	if sawSmall > 5 {
+		t.Errorf("1 keV hit survived %d times; threshold not applied", sawSmall)
+	}
+}
+
+func TestMeasureMergesCloseDeposits(t *testing.T) {
+	cfg := idealConfig()
+	rng := xrand.New(5)
+	truth := []TrueHit{
+		{Pos: geom.Vec{X: 0, Y: 0, Z: -0.5}, E: 0.3, Layer: 0, Order: 0},
+		{Pos: geom.Vec{X: 0.3, Y: 0.2, Z: -0.9}, E: 0.2, Layer: 0, Order: 1}, // within MergeRadius
+		{Pos: geom.Vec{X: 10, Y: 10, Z: -10.5}, E: 0.4, Layer: 1, Order: 2},
+	}
+	hits := Measure(&cfg, truth, rng)
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2 (merge of same-layer close pair)", len(hits))
+	}
+	// Merged energy near 0.5 (up to smearing).
+	var layer0E float64
+	for _, h := range hits {
+		if h.Layer == 0 {
+			layer0E = h.E
+		}
+	}
+	if math.Abs(layer0E-0.5) > 0.15 {
+		t.Errorf("merged energy %v, want ~0.5", layer0E)
+	}
+}
+
+func TestSigmaEModel(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SigmaE(0) < cfg.EnergyResFloor {
+		t.Error("sigma below floor at zero energy")
+	}
+	if cfg.SigmaE(4) <= cfg.SigmaE(1) {
+		t.Error("sigma not increasing with energy")
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	rng := xrand.New(6)
+	ev := &Event{Hits: []Hit{{Pos: geom.Vec{X: 5, Y: -3, Z: -11}, E: 1.2}}}
+	orig := ev.Hits[0]
+	Perturb(ev, 0, rng)
+	if ev.Hits[0] != orig {
+		t.Error("epsilon=0 modified the event")
+	}
+	// ε=10%: values move, typically by ~10% of magnitude.
+	var moved int
+	for i := 0; i < 200; i++ {
+		ev.Hits[0] = orig
+		Perturb(ev, 10, rng)
+		if ev.Hits[0].E != orig.E {
+			moved++
+		}
+		if math.Abs(ev.Hits[0].E-orig.E) > 0.12*6*orig.E {
+			t.Fatalf("perturbation too large: %v -> %v", orig.E, ev.Hits[0].E)
+		}
+	}
+	if moved < 190 {
+		t.Error("perturbation rarely changed values")
+	}
+}
+
+func TestSimulateBurstScalesWithFluence(t *testing.T) {
+	cfg := idealConfig()
+	rng := xrand.New(7)
+	n1 := len(SimulateBurst(&cfg, Burst{Fluence: 0.5, PolarDeg: 0}, rng))
+	n2 := len(SimulateBurst(&cfg, Burst{Fluence: 2.0, PolarDeg: 0}, rng))
+	if n2 < 3*n1 {
+		t.Errorf("4x fluence gave %d vs %d events; expected ~4x", n2, n1)
+	}
+	for _, ev := range SimulateBurst(&cfg, Burst{Fluence: 1, PolarDeg: 30, AzimuthDeg: 45}, rng) {
+		if ev.Source != SourceGRB {
+			t.Fatal("burst event not labeled GRB")
+		}
+		if ev.ArrivalTime < 0 || ev.ArrivalTime >= 1 {
+			t.Fatalf("arrival time %v outside the 1s window", ev.ArrivalTime)
+		}
+		if len(ev.Hits) == 0 {
+			t.Fatal("event with no hits returned")
+		}
+		want := geom.FromSpherical(geom.Rad(30), geom.Rad(45))
+		if ev.TrueSource.Sub(want).Norm() > 1e-12 {
+			t.Fatal("TrueSource mismatch")
+		}
+	}
+}
+
+func TestThrowPhotonDeterminism(t *testing.T) {
+	cfg := idealConfig()
+	ev1 := ThrowPhoton(&cfg, geom.Vec{Z: -1}, 1.0, xrand.New(42))
+	ev2 := ThrowPhoton(&cfg, geom.Vec{Z: -1}, 1.0, xrand.New(42))
+	if (ev1 == nil) != (ev2 == nil) {
+		t.Fatal("determinism broken")
+	}
+	if ev1 != nil {
+		if len(ev1.Hits) != len(ev2.Hits) || ev1.TotalE() != ev2.TotalE() {
+			t.Error("same seed produced different events")
+		}
+	}
+}
+
+func TestEventTotals(t *testing.T) {
+	ev := &Event{Hits: []Hit{{E: 0.5, SigmaE: 0.03}, {E: 0.25, SigmaE: 0.04}}}
+	if math.Abs(ev.TotalE()-0.75) > 1e-12 {
+		t.Errorf("TotalE = %v", ev.TotalE())
+	}
+	if math.Abs(ev.TotalSigmaE()-0.05) > 1e-12 {
+		t.Errorf("TotalSigmaE = %v, want 0.05", ev.TotalSigmaE())
+	}
+}
+
+func TestSourceKindString(t *testing.T) {
+	if SourceGRB.String() != "grb" || SourceBackground.String() != "background" {
+		t.Error("SourceKind.String wrong")
+	}
+}
+
+func TestEffectiveAreaMatchesBoundingRadius(t *testing.T) {
+	cfg := DefaultConfig()
+	r := cfg.BoundingRadius()
+	if math.Abs(EffectiveAreaCm2(&cfg)-math.Pi*r*r) > 1e-9 {
+		t.Error("EffectiveAreaCm2 inconsistent with BoundingRadius")
+	}
+}
+
+func TestBurstUsesCustomSpectrum(t *testing.T) {
+	cfg := idealConfig()
+	rng := xrand.New(8)
+	// A mono-energetic-ish narrow power law: all true energies in band.
+	spec := spectrum.NewPowerLaw(0, 0.9, 1.1)
+	evs := SimulateBurst(&cfg, Burst{Fluence: 0.5, Spec: spec}, rng)
+	for _, ev := range evs {
+		if ev.TrueEnergy < 0.9 || ev.TrueEnergy > 1.1 {
+			t.Fatalf("event energy %v outside custom spectrum band", ev.TrueEnergy)
+		}
+	}
+	if len(evs) == 0 {
+		t.Fatal("no events from custom-spectrum burst")
+	}
+}

@@ -1,0 +1,68 @@
+package detector
+
+import "sort"
+
+// MergePileUp models the detector's finite event-building latency: photons
+// arriving within windowSec of each other cannot be separated and are read
+// out as a single combined event (paper §VI lists "multiple events that
+// arrive simultaneously to within the detection latency of the instrument"
+// as a future error source).
+//
+// Events are grouped by a chain rule on arrival time — each event joins the
+// current group if it arrives within windowSec of the group's *latest*
+// member — and each group merges into one event carrying all hits. The
+// merged event's ground truth is taken from the group's earliest member
+// (the photon that opened the readout window); a merged event is therefore
+// usually mis-labeled for every other photon in it, which is exactly the
+// confusion pile-up causes. windowSec <= 0 returns the input unchanged
+// (sorted by arrival).
+func MergePileUp(events []*Event, windowSec float64) []*Event {
+	sorted := append([]*Event(nil), events...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ArrivalTime < sorted[j].ArrivalTime })
+	if windowSec <= 0 || len(sorted) < 2 {
+		return sorted
+	}
+	out := make([]*Event, 0, len(sorted))
+	i := 0
+	for i < len(sorted) {
+		group := sorted[i]
+		latest := group.ArrivalTime
+		j := i + 1
+		for j < len(sorted) && sorted[j].ArrivalTime-latest <= windowSec {
+			latest = sorted[j].ArrivalTime
+			j++
+		}
+		if j == i+1 {
+			out = append(out, group)
+			i = j
+			continue
+		}
+		merged := &Event{
+			Hits:          append([]Hit(nil), group.Hits...),
+			TrueSource:    group.TrueSource,
+			TrueEnergy:    group.TrueEnergy,
+			Source:        group.Source,
+			FullyAbsorbed: false, // combined deposits never represent one photon
+			TrueHits:      append([]TrueHit(nil), group.TrueHits...),
+			ArrivalTime:   group.ArrivalTime,
+		}
+		for _, ev := range sorted[i+1 : j] {
+			merged.Hits = append(merged.Hits, ev.Hits...)
+			merged.TrueHits = append(merged.TrueHits, ev.TrueHits...)
+			merged.TrueEnergy += ev.TrueEnergy
+		}
+		out = append(out, merged)
+		i = j
+	}
+	return out
+}
+
+// PileUpFraction reports the fraction of input events that were absorbed
+// into a merged event for the given window, a diagnostic for choosing
+// readout parameters.
+func PileUpFraction(nIn, nOut int) float64 {
+	if nIn == 0 {
+		return 0
+	}
+	return float64(nIn-nOut) / float64(nIn)
+}

@@ -1,0 +1,144 @@
+package detector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func mkTimedEvent(t float64, nHits int) *Event {
+	ev := &Event{ArrivalTime: t, TrueEnergy: 1}
+	for i := 0; i < nHits; i++ {
+		ev.Hits = append(ev.Hits, Hit{E: 0.1, Layer: i % 4})
+	}
+	return ev
+}
+
+func TestMergePileUpDisabled(t *testing.T) {
+	evs := []*Event{mkTimedEvent(0.5, 2), mkTimedEvent(0.1, 1)}
+	out := MergePileUp(evs, 0)
+	if len(out) != 2 {
+		t.Fatalf("window 0 merged events")
+	}
+	if out[0].ArrivalTime != 0.1 {
+		t.Error("output not sorted by arrival")
+	}
+}
+
+func TestMergePileUpGroups(t *testing.T) {
+	evs := []*Event{
+		mkTimedEvent(0.100000, 2),
+		mkTimedEvent(0.100001, 3), // within 2 µs of the first
+		mkTimedEvent(0.100002, 1), // chains onto the second
+		mkTimedEvent(0.200000, 2), // isolated
+	}
+	out := MergePileUp(evs, 2e-6)
+	if len(out) != 2 {
+		t.Fatalf("got %d events, want 2", len(out))
+	}
+	merged := out[0]
+	if len(merged.Hits) != 6 {
+		t.Errorf("merged event has %d hits, want 6", len(merged.Hits))
+	}
+	if math.Abs(merged.TrueEnergy-3) > 1e-12 {
+		t.Errorf("merged energy %v, want 3", merged.TrueEnergy)
+	}
+	if merged.FullyAbsorbed {
+		t.Error("merged event claims full absorption")
+	}
+	if out[1].ArrivalTime != 0.2 {
+		t.Error("isolated event lost")
+	}
+	if got := PileUpFraction(4, len(out)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("PileUpFraction = %v", got)
+	}
+}
+
+func TestMergePileUpRealisticRate(t *testing.T) {
+	// At 20k events/s and a 1 µs window, the collision probability per
+	// event is ~2%; check the merged fraction lands in that regime.
+	rng := xrand.New(1)
+	var evs []*Event
+	n := 20000
+	for i := 0; i < n; i++ {
+		evs = append(evs, mkTimedEvent(rng.Float64(), 1))
+	}
+	out := MergePileUp(evs, 1e-6)
+	frac := PileUpFraction(n, len(out))
+	if frac < 0.005 || frac > 0.06 {
+		t.Errorf("pile-up fraction %v outside the Poisson expectation band (~2%%)", frac)
+	}
+}
+
+func TestAPTConfig(t *testing.T) {
+	apt := APTConfig()
+	if err := apt.Validate(); err != nil {
+		t.Fatalf("APT config invalid: %v", err)
+	}
+	adapt := DefaultConfig()
+	if apt.TileHalfX <= adapt.TileHalfX || apt.Layers <= adapt.Layers {
+		t.Error("APT not larger than ADAPT")
+	}
+	// The aperture drives dim-burst sensitivity: APT's must be an order of
+	// magnitude larger.
+	if EffectiveAreaCm2(&apt) < 8*EffectiveAreaCm2(&adapt) {
+		t.Errorf("APT aperture %v cm² not ≫ ADAPT's %v cm²", EffectiveAreaCm2(&apt), EffectiveAreaCm2(&adapt))
+	}
+}
+
+func TestTileGapGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.InTileGap(0, 0) || cfg.InTileGap(19, -19) {
+		t.Error("monolithic geometry has gaps")
+	}
+	cfg.TileGridX, cfg.TileGridY = 2, 2
+	cfg.TileGap = 1.0
+	// The internal boundary sits at x=0: ±0.5 cm around it is dead.
+	if !cfg.InTileGap(0.2, 5) || !cfg.InTileGap(-0.4, 5) {
+		t.Error("internal boundary not dead")
+	}
+	if cfg.InTileGap(0.6, 5) || cfg.InTileGap(5, 5) {
+		t.Error("live area marked dead")
+	}
+	// Outer edges stay live.
+	if cfg.InTileGap(19.9, 0.8) {
+		t.Error("outer edge marked dead")
+	}
+}
+
+func TestTileGapsReduceDetection(t *testing.T) {
+	mono := DefaultConfig()
+	mono.QuenchScaleMeV, mono.LightLossProb, mono.FiberOutlierProb = 0, 0, 0
+	seg := mono
+	seg.TileGridX, seg.TileGridY = 4, 4
+	seg.TileGap = 2.0 // 15% dead area per axis pair: a big, visible effect
+
+	rng1 := xrand.New(9)
+	rng2 := xrand.New(9)
+	n := 4000
+	hitsMono, hitsSeg := 0, 0
+	for i := 0; i < n; i++ {
+		if ev := ThrowPhoton(&mono, geom.Vec{Z: -1}, 0.5, rng1); ev != nil {
+			hitsMono++
+		}
+		if ev := ThrowPhoton(&seg, geom.Vec{Z: -1}, 0.5, rng2); ev != nil {
+			hitsSeg++
+			for _, h := range ev.TrueHits {
+				if seg.InTileGap(h.Pos.X, h.Pos.Y) {
+					t.Fatal("interaction recorded inside a tile gap")
+				}
+			}
+		}
+	}
+	if hitsSeg >= hitsMono {
+		t.Errorf("segmented tray detected %d vs monolithic %d; gaps had no effect", hitsSeg, hitsMono)
+	}
+	// The reduction should be comparable to the dead-area fraction, not
+	// wildly larger (Woodcock tracking must not bias attenuation).
+	ratio := float64(hitsSeg) / float64(hitsMono)
+	if ratio < 0.6 {
+		t.Errorf("detection ratio %v; gaps removing too much", ratio)
+	}
+}

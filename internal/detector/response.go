@@ -1,0 +1,184 @@
+package detector
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// invSqrt12 is the standard deviation of a unit-width uniform distribution,
+// used for quantization uncertainties.
+const invSqrt12 = 0.2886751345948129
+
+// Measure applies the detector response model to ground-truth hits,
+// returning the measured hits the reconstruction sees:
+//
+//  1. deposits in the same layer closer than MergeRadius merge into one
+//     (energy-weighted centroid) — the fibers cannot resolve them;
+//  2. x/y positions quantize to the fiber pitch; z is reported at the
+//     energy-weighted depth with thickness-scale uncertainty;
+//  3. energies are smeared with σ_E = coeff·√E ⊕ floor;
+//  4. merged hits whose measured energy falls below HitThreshold are lost.
+//
+// The reported uncertainties (SigmaX/Y/Z/SigmaE) are what the flight
+// software would know: quantization plus the resolution model — NOT the
+// realized errors.
+func Measure(cfg *Config, truth []TrueHit, rng *xrand.RNG) []Hit {
+	if len(truth) == 0 {
+		return nil
+	}
+	merged := mergeDeposits(cfg, truth)
+	hits := make([]Hit, 0, len(merged))
+	for _, m := range merged {
+		// Realized energy: the reported resolution model, degraded by the
+		// unmodeled effects (quenching at low deposit, occasional partial
+		// light collection). The reported SigmaE below deliberately uses
+		// only the simple model — the flight software doesn't know better.
+		mean := m.E
+		if cfg.LightLossProb > 0 && rng.Bool(cfg.LightLossProb) {
+			mean *= rng.Uniform(cfg.LightLossMin, cfg.LightLossMax)
+		}
+		sigma := cfg.SigmaE(m.E)
+		if cfg.QuenchScaleMeV > 0 {
+			sigma *= 1 + cfg.QuenchScaleMeV/math.Max(m.E, 1e-3)
+		}
+		e := rng.Gaussian(mean, sigma)
+		if e < cfg.HitThreshold {
+			continue
+		}
+		x := quantize(m.Pos.X, cfg.FiberPitch)
+		y := quantize(m.Pos.Y, cfg.FiberPitch)
+		if cfg.FiberOutlierProb > 0 {
+			if rng.Bool(cfg.FiberOutlierProb) {
+				x += fiberJump(cfg.FiberPitch, rng)
+			}
+			if rng.Bool(cfg.FiberOutlierProb) {
+				y += fiberJump(cfg.FiberPitch, rng)
+			}
+		}
+		h := Hit{
+			Pos: geom.Vec{
+				X: x,
+				Y: y,
+				Z: rng.Gaussian(m.Pos.Z, cfg.TileThickness*invSqrt12/2),
+			},
+			E:      e,
+			SigmaX: cfg.FiberPitch * invSqrt12,
+			SigmaY: cfg.FiberPitch * invSqrt12,
+			SigmaZ: cfg.TileThickness * invSqrt12,
+			SigmaE: cfg.SigmaE(e),
+			Layer:  m.Layer,
+		}
+		hits = append(hits, h)
+	}
+	return hits
+}
+
+// SigmaE returns the modeled 1σ energy resolution at energy e (MeV).
+func (c *Config) SigmaE(e float64) float64 {
+	if e < 0 {
+		e = 0
+	}
+	s := c.EnergyResCoeff * math.Sqrt(e)
+	return math.Sqrt(s*s + c.EnergyResFloor*c.EnergyResFloor)
+}
+
+// quantize snaps v to the center of its pitch-wide bin.
+func quantize(v, pitch float64) float64 {
+	return (math.Floor(v/pitch) + 0.5) * pitch
+}
+
+// fiberJump returns an unmodeled readout displacement of ±1 or ±2 fiber
+// pitches (crosstalk to a neighbouring fiber, or a dead fiber resolved to
+// the next one over).
+func fiberJump(pitch float64, rng *xrand.RNG) float64 {
+	mag := pitch
+	if rng.Bool(0.25) {
+		mag = 2 * pitch
+	}
+	if rng.Bool(0.5) {
+		return -mag
+	}
+	return mag
+}
+
+// mergedDeposit is an intermediate cluster of unresolvable deposits.
+type mergedDeposit struct {
+	Pos   geom.Vec
+	E     float64
+	Layer int
+	// FirstOrder is the earliest time order among the merged deposits; used
+	// only for diagnostics/tests, never by the flight path.
+	FirstOrder int
+}
+
+// mergeDeposits greedily clusters same-layer deposits within MergeRadius in
+// the x/y plane, weighting positions by energy.
+func mergeDeposits(cfg *Config, truth []TrueHit) []mergedDeposit {
+	// Work on an index slice sorted by layer then energy (descending) so the
+	// largest deposit in each cluster anchors it deterministically.
+	idx := make([]int, len(truth))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ta, tb := truth[idx[a]], truth[idx[b]]
+		if ta.Layer != tb.Layer {
+			return ta.Layer < tb.Layer
+		}
+		return ta.E > tb.E
+	})
+	var out []mergedDeposit
+	used := make([]bool, len(truth))
+	r2 := cfg.MergeRadius * cfg.MergeRadius
+	for _, i := range idx {
+		if used[i] {
+			continue
+		}
+		anchor := truth[i]
+		used[i] = true
+		cluster := mergedDeposit{Pos: anchor.Pos.Scale(anchor.E), E: anchor.E, Layer: anchor.Layer, FirstOrder: anchor.Order}
+		for _, j := range idx {
+			if used[j] || truth[j].Layer != anchor.Layer {
+				continue
+			}
+			dx := truth[j].Pos.X - anchor.Pos.X
+			dy := truth[j].Pos.Y - anchor.Pos.Y
+			if dx*dx+dy*dy > r2 {
+				continue
+			}
+			used[j] = true
+			cluster.Pos = cluster.Pos.Add(truth[j].Pos.Scale(truth[j].E))
+			cluster.E += truth[j].E
+			if truth[j].Order < cluster.FirstOrder {
+				cluster.FirstOrder = truth[j].Order
+			}
+		}
+		if cluster.E > 0 {
+			cluster.Pos = cluster.Pos.Scale(1 / cluster.E)
+		}
+		out = append(out, cluster)
+	}
+	return out
+}
+
+// Perturb adds Gaussian noise with standard deviation epsilonPct percent of
+// each value to the spatial and energy measurements of every hit, as in the
+// paper's robustness experiment (§IV): x' ~ N(x, (x·ε/100)²). The event is
+// modified in place. Reported uncertainties are left unchanged — the point
+// of the experiment is noise the flight software does not know about.
+func Perturb(ev *Event, epsilonPct float64, rng *xrand.RNG) {
+	if epsilonPct == 0 {
+		return
+	}
+	f := epsilonPct / 100
+	for i := range ev.Hits {
+		h := &ev.Hits[i]
+		h.Pos.X = rng.Gaussian(h.Pos.X, math.Abs(h.Pos.X)*f)
+		h.Pos.Y = rng.Gaussian(h.Pos.Y, math.Abs(h.Pos.Y)*f)
+		h.Pos.Z = rng.Gaussian(h.Pos.Z, math.Abs(h.Pos.Z)*f)
+		h.E = rng.Gaussian(h.E, math.Abs(h.E)*f)
+	}
+}

@@ -1,0 +1,103 @@
+package detector
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/spectrum"
+	"repro/internal/xrand"
+)
+
+// ThrowPhoton launches one photon with unit travel direction dir and energy
+// e (MeV) at the detector. The entry point is sampled uniformly on the disk
+// of radius cfg.BoundingRadius() perpendicular to dir through the detector
+// center, so the effective aperture per throw is π·R² for every direction;
+// fluence-to-count conversions must use the same area (see EffectiveAreaCm2).
+//
+// It returns the measured event, or nil if the photon left no measured hits.
+func ThrowPhoton(cfg *Config, dir geom.Vec, e float64, rng *xrand.RNG) *Event {
+	r := cfg.BoundingRadius()
+	u, w := geom.OrthoBasis(dir)
+	// Uniform point on the disk.
+	rad := r * math.Sqrt(rng.Float64())
+	phi := rng.Uniform(0, 2*math.Pi)
+	sp, cp := math.Sincos(phi)
+	p := cfg.Center().
+		Add(u.Scale(rad * cp)).
+		Add(w.Scale(rad * sp)).
+		Sub(dir.Scale(2 * r)) // start upstream, outside the stack
+
+	truth, deposited := Transport(cfg, p, dir, e, rng, nil)
+	if len(truth) == 0 {
+		return nil
+	}
+	hits := Measure(cfg, truth, rng)
+	if len(hits) == 0 {
+		return nil
+	}
+	return &Event{
+		Hits:          hits,
+		TrueSource:    dir.Neg(),
+		TrueEnergy:    e,
+		FullyAbsorbed: deposited > 0.97*e,
+		TrueHits:      truth,
+	}
+}
+
+// EffectiveAreaCm2 returns the aperture area used by ThrowPhoton, needed to
+// convert photons/cm² into an expected throw count.
+func EffectiveAreaCm2(cfg *Config) float64 {
+	r := cfg.BoundingRadius()
+	return math.Pi * r * r
+}
+
+// Burst describes a simulated GRB exposure.
+type Burst struct {
+	// Fluence is the time-integrated brightness in MeV/cm².
+	Fluence float64
+	// PolarDeg is the source polar angle in degrees: 0 = normally incident
+	// from above, 90 = from the side.
+	PolarDeg float64
+	// AzimuthDeg is the source azimuth in degrees.
+	AzimuthDeg float64
+	// Spec is the photon spectrum; nil means spectrum.DefaultBand().
+	Spec spectrum.Spectrum
+	// Curve is the light curve; zero value means spectrum.DefaultLightCurve().
+	Curve spectrum.LightCurve
+}
+
+// SourceDirection returns the unit vector pointing from the detector toward
+// the burst.
+func (b Burst) SourceDirection() geom.Vec {
+	return geom.FromSpherical(geom.Rad(b.PolarDeg), geom.Rad(b.AzimuthDeg))
+}
+
+// SimulateBurst simulates all photons of a burst and returns the measured
+// events (photons that left at least one measured hit). Event arrival times
+// are drawn from the light curve.
+func SimulateBurst(cfg *Config, b Burst, rng *xrand.RNG) []*Event {
+	spec := b.Spec
+	if spec == nil {
+		spec = spectrum.DefaultBand()
+	}
+	curve := b.Curve
+	if curve.Duration == 0 {
+		curve = spectrum.DefaultLightCurve()
+	}
+	src := b.SourceDirection()
+	dir := src.Neg() // photon travel direction
+
+	mean := spectrum.PhotonsPerCm2(b.Fluence, spec) * EffectiveAreaCm2(cfg)
+	n := rng.Poisson(mean)
+	events := make([]*Event, 0, n/4)
+	for i := 0; i < n; i++ {
+		ev := ThrowPhoton(cfg, dir, spec.Sample(rng), rng)
+		if ev == nil {
+			continue
+		}
+		ev.Source = SourceGRB
+		ev.ArrivalTime = curve.SampleTime(rng)
+		events = append(events, ev)
+	}
+	return events
+}

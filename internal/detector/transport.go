@@ -1,0 +1,217 @@
+package detector
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/physics"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// lowEnergyCutoff: photons below this energy are deposited locally rather
+// than tracked further; their range in CsI is well under a millimeter.
+const lowEnergyCutoff = 0.015 // MeV
+
+// photonState is one photon being tracked through the stack.
+type photonState struct {
+	pos geom.Vec
+	dir geom.Vec // unit travel direction
+	e   float64  // MeV
+}
+
+// Transport propagates a photon with initial position pos (must be outside
+// the tiles or on their boundary), unit travel direction dir, and energy e
+// (MeV) through the tile stack, appending ground-truth hits to dst and
+// returning the extended slice together with the total deposited energy.
+//
+// Pair production deposits e − 2·mec² locally and launches two back-to-back
+// 511 keV annihilation photons, which are tracked like primaries (bounded by
+// cfg.MaxTrackedPhotons to keep the worst case finite).
+func Transport(cfg *Config, pos, dir geom.Vec, e float64, rng *xrand.RNG, dst []TrueHit) ([]TrueHit, float64) {
+	var deposited float64
+	queue := make([]photonState, 0, 4)
+	queue = append(queue, photonState{pos: pos, dir: dir, e: e})
+	tracked := 1
+	order := 0
+
+	for len(queue) > 0 {
+		ph := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		for ph.e > lowEnergyCutoff {
+			tEnter, tExit, layer, ok := nextSlabSegment(cfg, ph.pos, ph.dir)
+			if !ok {
+				break // escapes the stack
+			}
+			mu := cfg.Material.MuTotal(ph.e)
+			free := rng.Exp(mu)
+			if free > tExit-tEnter {
+				// No interaction in this slab; jump just past its far face.
+				ph.pos = ph.pos.Add(ph.dir.Scale(tExit + 1e-9))
+				continue
+			}
+			ph.pos = ph.pos.Add(ph.dir.Scale(tEnter + free))
+
+			// Woodcock tracking through segmented trays: a sampled
+			// interaction point that lands in a tile gap is a virtual
+			// collision — the photon continues unchanged. This is exact for
+			// piecewise-constant attenuation with the tile material as the
+			// majorant.
+			if cfg.InTileGap(ph.pos.X, ph.pos.Y) {
+				ph.pos = ph.pos.Add(ph.dir.Scale(1e-9))
+				continue
+			}
+
+			kind := chooseInteraction(cfg.Material, ph.e, rng)
+			switch kind {
+			case physics.KindCompton:
+				cosTheta, eOut := physics.SampleKleinNishina(ph.e, rng)
+				dep := ph.e - eOut
+				deposited += dep
+				dst = append(dst, TrueHit{Pos: ph.pos, E: dep, Layer: layer, Kind: kind, Order: order})
+				order++
+				ph.dir = scatterDirection(ph.dir, cosTheta, rng)
+				ph.e = eOut
+
+			case physics.KindPhoto:
+				deposited += ph.e
+				dst = append(dst, TrueHit{Pos: ph.pos, E: ph.e, Layer: layer, Kind: kind, Order: order})
+				order++
+				ph.e = 0
+
+			case physics.KindPair:
+				dep := ph.e - 2*units.ElectronMassMeV
+				if dep < 0 {
+					dep = 0
+				}
+				deposited += dep
+				dst = append(dst, TrueHit{Pos: ph.pos, E: dep, Layer: layer, Kind: kind, Order: order})
+				order++
+				// Positron annihilates ~in place: two back-to-back 511 keV
+				// photons in a random direction.
+				if tracked+2 <= cfg.MaxTrackedPhotons {
+					x, y, z := rng.UnitVectorPolarRange(0, math.Pi)
+					d := geom.Vec{X: x, Y: y, Z: z}
+					queue = append(queue,
+						photonState{pos: ph.pos, dir: d, e: units.ElectronMassMeV},
+						photonState{pos: ph.pos, dir: d.Neg(), e: units.ElectronMassMeV},
+					)
+					tracked += 2
+				}
+				ph.e = 0
+			}
+		}
+		if ph.e > 0 && ph.e <= lowEnergyCutoff {
+			// Deposit the residual locally if we are inside a tile;
+			// otherwise it escapes. Locality check: the photon stopped at
+			// its last interaction point, which is inside a tile whenever we
+			// got here via scattering, so find the containing layer.
+			if layer, inside := containingLayer(cfg, ph.pos); inside {
+				deposited += ph.e
+				dst = append(dst, TrueHit{Pos: ph.pos, E: ph.e, Layer: layer, Kind: physics.KindPhoto, Order: order})
+				order++
+			}
+		}
+	}
+	return dst, deposited
+}
+
+// chooseInteraction picks the process at an interaction vertex in proportion
+// to the linear attenuation coefficients.
+func chooseInteraction(m physics.Material, e float64, rng *xrand.RNG) physics.InteractionKind {
+	muC := m.MuCompton(e)
+	muP := m.MuPhoto(e)
+	muPair := m.MuPair(e)
+	u := rng.Float64() * (muC + muP + muPair)
+	switch {
+	case u < muC:
+		return physics.KindCompton
+	case u < muC+muP:
+		return physics.KindPhoto
+	default:
+		return physics.KindPair
+	}
+}
+
+// scatterDirection rotates dir by the scattering angle with uniform azimuth.
+func scatterDirection(dir geom.Vec, cosTheta float64, rng *xrand.RNG) geom.Vec {
+	theta := math.Acos(geom.Clamp(cosTheta, -1, 1))
+	phi := rng.Uniform(0, 2*math.Pi)
+	return geom.ConeDirection(dir, theta, phi)
+}
+
+// nextSlabSegment finds the closest forward segment [tEnter, tExit] of the
+// ray pos + t·dir that lies inside a tile, together with that tile's layer.
+// Distances are relative to pos. ok is false when the ray misses all
+// remaining tiles.
+func nextSlabSegment(cfg *Config, pos, dir geom.Vec) (tEnter, tExit float64, layer int, ok bool) {
+	const eps = 1e-12
+	bestEnter := math.Inf(1)
+	for i := 0; i < cfg.Layers; i++ {
+		top, bottom := cfg.LayerTopZ(i), cfg.LayerBottomZ(i)
+		var t0, t1 float64
+		if math.Abs(dir.Z) < eps {
+			// Ray parallel to the slab faces: inside the layer's z-range or
+			// not at all.
+			if pos.Z > top || pos.Z < bottom {
+				continue
+			}
+			t0, t1 = 0, math.Inf(1)
+		} else {
+			ta := (top - pos.Z) / dir.Z
+			tb := (bottom - pos.Z) / dir.Z
+			t0, t1 = math.Min(ta, tb), math.Max(ta, tb)
+		}
+		// Clip to the tile's x/y extent.
+		tx0, tx1, okx := clipAxis(pos.X, dir.X, -cfg.TileHalfX, cfg.TileHalfX)
+		if !okx {
+			continue
+		}
+		ty0, ty1, oky := clipAxis(pos.Y, dir.Y, -cfg.TileHalfY, cfg.TileHalfY)
+		if !oky {
+			continue
+		}
+		t0 = math.Max(t0, math.Max(tx0, ty0))
+		t1 = math.Min(t1, math.Min(tx1, ty1))
+		if t1 <= math.Max(t0, 0) {
+			continue
+		}
+		t0 = math.Max(t0, 0)
+		if t0 < bestEnter {
+			bestEnter, tEnter, tExit, layer, ok = t0, t0, t1, i, true
+		}
+	}
+	return tEnter, tExit, layer, ok
+}
+
+// clipAxis returns the t-interval where pos+t·dir stays within [lo, hi] on
+// one axis; ok is false if the interval is empty.
+func clipAxis(pos, dir, lo, hi float64) (t0, t1 float64, ok bool) {
+	const eps = 1e-12
+	if math.Abs(dir) < eps {
+		if pos < lo || pos > hi {
+			return 0, 0, false
+		}
+		return math.Inf(-1), math.Inf(1), true
+	}
+	ta := (lo - pos) / dir
+	tb := (hi - pos) / dir
+	if ta > tb {
+		ta, tb = tb, ta
+	}
+	return ta, tb, true
+}
+
+// containingLayer returns the layer whose tile contains p, if any.
+func containingLayer(cfg *Config, p geom.Vec) (int, bool) {
+	if p.X < -cfg.TileHalfX || p.X > cfg.TileHalfX || p.Y < -cfg.TileHalfY || p.Y > cfg.TileHalfY {
+		return 0, false
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		if p.Z <= cfg.LayerTopZ(i) && p.Z >= cfg.LayerBottomZ(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,246 @@
+// Package evio serializes detector events in a compact binary framing
+// suitable for the instrument's storage and telemetry budget, with a
+// streaming reader/writer pair. The format is versioned and
+// little-endian:
+//
+//	file   := magic(4) version(u16) reserved(u16) record*
+//	record := eventHeader hits*
+//	eventHeader := nHits(u16) source(u8) flags(u8) trueSrc(3×f32)
+//	               trueEnergy(f32) arrival(f64)
+//	hit    := pos(3×f32) e(f32) sigmaXYZ(3×f32) sigmaE(f32) layer(u8) pad(3)
+//
+// Ground-truth fields (true source, energy, source label) travel with the
+// event because the format's first consumer is the simulation/training
+// loop; a flight build would zero them. TrueHits are not serialized — they
+// exist only for diagnostics inside a single process.
+package evio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/detector"
+	"repro/internal/geom"
+)
+
+// magic identifies evio streams ("ADEV").
+var magic = [4]byte{'A', 'D', 'E', 'V'}
+
+// Version of the on-disk format.
+const Version uint16 = 1
+
+// flag bits in the event header.
+const (
+	flagFullyAbsorbed = 1 << 0
+)
+
+// Writer streams events to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	wrote  bool
+	closed bool
+}
+
+// NewWriter starts a stream on w. The header is written lazily with the
+// first event (or by Close for an empty stream).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (w *Writer) header() error {
+	if w.wrote {
+		return nil
+	}
+	w.wrote = true
+	if _, err := w.w.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w.w, binary.LittleEndian, Version); err != nil {
+		return err
+	}
+	return binary.Write(w.w, binary.LittleEndian, uint16(0)) // reserved
+}
+
+// WriteEvent appends one event to the stream.
+func (w *Writer) WriteEvent(ev *detector.Event) error {
+	if w.closed {
+		return errors.New("evio: write after Close")
+	}
+	if len(ev.Hits) > math.MaxUint16 {
+		return fmt.Errorf("evio: event with %d hits exceeds format limit", len(ev.Hits))
+	}
+	if err := w.header(); err != nil {
+		return err
+	}
+	var flags uint8
+	if ev.FullyAbsorbed {
+		flags |= flagFullyAbsorbed
+	}
+	hdr := struct {
+		NHits      uint16
+		Source     uint8
+		Flags      uint8
+		TrueSrc    [3]float32
+		TrueEnergy float32
+		Arrival    float64
+	}{
+		NHits:      uint16(len(ev.Hits)),
+		Source:     uint8(ev.Source),
+		Flags:      flags,
+		TrueSrc:    [3]float32{float32(ev.TrueSource.X), float32(ev.TrueSource.Y), float32(ev.TrueSource.Z)},
+		TrueEnergy: float32(ev.TrueEnergy),
+		Arrival:    ev.ArrivalTime,
+	}
+	if err := binary.Write(w.w, binary.LittleEndian, &hdr); err != nil {
+		return err
+	}
+	for i := range ev.Hits {
+		h := &ev.Hits[i]
+		rec := struct {
+			Pos    [3]float32
+			E      float32
+			Sigma  [3]float32
+			SigmaE float32
+			Layer  uint8
+			Pad    [3]uint8
+		}{
+			Pos:    [3]float32{float32(h.Pos.X), float32(h.Pos.Y), float32(h.Pos.Z)},
+			E:      float32(h.E),
+			Sigma:  [3]float32{float32(h.SigmaX), float32(h.SigmaY), float32(h.SigmaZ)},
+			SigmaE: float32(h.SigmaE),
+			Layer:  uint8(h.Layer),
+		}
+		if err := binary.Write(w.w, binary.LittleEndian, &rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes the stream (writing the header even if no events were
+// written). It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.header(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader streams events from an io.Reader.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (r *Reader) start() error {
+	if r.started {
+		return nil
+	}
+	r.started = true
+	var m [4]byte
+	if _, err := io.ReadFull(r.r, m[:]); err != nil {
+		return fmt.Errorf("evio: reading magic: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("evio: bad magic %q", m)
+	}
+	var ver, reserved uint16
+	if err := binary.Read(r.r, binary.LittleEndian, &ver); err != nil {
+		return err
+	}
+	if ver != Version {
+		return fmt.Errorf("evio: unsupported version %d", ver)
+	}
+	return binary.Read(r.r, binary.LittleEndian, &reserved)
+}
+
+// ReadEvent returns the next event, or io.EOF at end of stream.
+func (r *Reader) ReadEvent() (*detector.Event, error) {
+	if err := r.start(); err != nil {
+		return nil, err
+	}
+	var hdr struct {
+		NHits      uint16
+		Source     uint8
+		Flags      uint8
+		TrueSrc    [3]float32
+		TrueEnergy float32
+		Arrival    float64
+	}
+	if err := binary.Read(r.r, binary.LittleEndian, &hdr); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("evio: event header: %w", err)
+	}
+	ev := &detector.Event{
+		Source:        detector.SourceKind(hdr.Source),
+		TrueSource:    geom.Vec{X: float64(hdr.TrueSrc[0]), Y: float64(hdr.TrueSrc[1]), Z: float64(hdr.TrueSrc[2])},
+		TrueEnergy:    float64(hdr.TrueEnergy),
+		ArrivalTime:   hdr.Arrival,
+		FullyAbsorbed: hdr.Flags&flagFullyAbsorbed != 0,
+		Hits:          make([]detector.Hit, hdr.NHits),
+	}
+	for i := range ev.Hits {
+		var rec struct {
+			Pos    [3]float32
+			E      float32
+			Sigma  [3]float32
+			SigmaE float32
+			Layer  uint8
+			Pad    [3]uint8
+		}
+		if err := binary.Read(r.r, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("evio: hit %d: %w", i, err)
+		}
+		ev.Hits[i] = detector.Hit{
+			Pos:    geom.Vec{X: float64(rec.Pos[0]), Y: float64(rec.Pos[1]), Z: float64(rec.Pos[2])},
+			E:      float64(rec.E),
+			SigmaX: float64(rec.Sigma[0]),
+			SigmaY: float64(rec.Sigma[1]),
+			SigmaZ: float64(rec.Sigma[2]),
+			SigmaE: float64(rec.SigmaE),
+			Layer:  int(rec.Layer),
+		}
+	}
+	return ev, nil
+}
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]*detector.Event, error) {
+	var out []*detector.Event
+	for {
+		ev, err := r.ReadEvent()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// WriteAll writes all events and closes the stream.
+func WriteAll(w io.Writer, events []*detector.Event) error {
+	ew := NewWriter(w)
+	for _, ev := range events {
+		if err := ew.WriteEvent(ev); err != nil {
+			return err
+		}
+	}
+	return ew.Close()
+}

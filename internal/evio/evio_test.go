@@ -1,0 +1,155 @@
+package evio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/detector"
+	"repro/internal/xrand"
+)
+
+func TestRoundTripSimulatedEvents(t *testing.T) {
+	cfg := detector.DefaultConfig()
+	rng := xrand.New(1)
+	events := detector.SimulateBurst(&cfg, detector.Burst{Fluence: 0.3, PolarDeg: 25, AzimuthDeg: 90}, rng)
+	if len(events) == 0 {
+		t.Fatal("no events to serialize")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("%d events back, want %d", len(got), len(events))
+	}
+	for i, ev := range events {
+		g := got[i]
+		if len(g.Hits) != len(ev.Hits) || g.Source != ev.Source || g.FullyAbsorbed != ev.FullyAbsorbed {
+			t.Fatalf("event %d metadata mismatch", i)
+		}
+		if g.ArrivalTime != ev.ArrivalTime {
+			t.Fatalf("event %d arrival %v vs %v (float64 must be exact)", i, g.ArrivalTime, ev.ArrivalTime)
+		}
+		if math.Abs(g.TrueEnergy-ev.TrueEnergy) > 1e-6*ev.TrueEnergy {
+			t.Fatalf("event %d energy %v vs %v", i, g.TrueEnergy, ev.TrueEnergy)
+		}
+		for j := range ev.Hits {
+			a, b := ev.Hits[j], g.Hits[j]
+			if a.Layer != b.Layer {
+				t.Fatalf("hit layer mismatch")
+			}
+			if math.Abs(a.Pos.X-b.Pos.X) > 1e-5 || math.Abs(a.E-b.E) > 1e-6 {
+				t.Fatalf("hit values drifted beyond float32 precision")
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := xrand.New(seed)
+		n := int(nRaw % 5)
+		events := make([]*detector.Event, 0, n)
+		for i := 0; i < n; i++ {
+			nh := rng.IntN(4) + 1
+			ev := &detector.Event{
+				Source:        detector.SourceKind(rng.IntN(2)),
+				TrueEnergy:    rng.Uniform(0.03, 30),
+				ArrivalTime:   rng.Float64(),
+				FullyAbsorbed: rng.Bool(0.5),
+			}
+			for h := 0; h < nh; h++ {
+				ev.Hits = append(ev.Hits, detector.Hit{
+					Pos:    vec3(rng.Uniform(-20, 20), rng.Uniform(-20, 20), rng.Uniform(-32, 0)),
+					E:      rng.Uniform(0.02, 5),
+					SigmaX: 0.17, SigmaY: 0.17, SigmaZ: 0.43,
+					SigmaE: rng.Uniform(0.001, 0.2),
+					Layer:  rng.IntN(4),
+				})
+			}
+			events = append(events, ev)
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, events); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadAll()
+		if err != nil || len(got) != len(events) {
+			return false
+		}
+		for i := range events {
+			if len(got[i].Hits) != len(events[i].Hits) {
+				return false
+			}
+			if got[i].ArrivalTime != events[i].ArrivalTime {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8 {
+		t.Errorf("empty stream is %d bytes, want 8 (header only)", buf.Len())
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty stream read: %v events, err %v", len(got), err)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE\x01\x00\x00\x00"))).ReadAll(); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("ADEV\x63\x00\x00\x00"))).ReadAll(); err == nil {
+		t.Error("future version accepted")
+	}
+	// Truncated mid-event: an error, not a silent EOF.
+	var buf bytes.Buffer
+	ev := &detector.Event{Hits: []detector.Hit{{E: 1}}}
+	if err := WriteAll(&buf, []*detector.Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	_, err := NewReader(bytes.NewReader(trunc)).ReadAll()
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("truncated stream error = %v, want a framing error", err)
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEvent(&detector.Event{}); err == nil {
+		t.Error("write after close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Error("double close errored")
+	}
+}
+
+func vec3(x, y, z float64) (v struct{ X, Y, Z float64 }) {
+	v.X, v.Y, v.Z = x, y, z
+	return v
+}

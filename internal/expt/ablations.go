@@ -1,0 +1,194 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datagen"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+)
+
+// AblationThresholds compares the paper's per-polar-bin classification
+// thresholds against a single global threshold (design choice from §III).
+func AblationThresholds(w io.Writer, sc Scale) []Series {
+	e := newEnv()
+	perBin := SharedBundle(sc)
+
+	// Rebuild a bundle that shares networks but uses one global threshold:
+	// refit on the training distribution with every sample in one bin.
+	set := trainingSet(sc, 1001)
+	ds := datagen.BackgroundDataset(set, perBin.WithPolar)
+	perBin.BkgNorm.Apply(ds.X)
+	probs := perBin.Bkg.PredictProbs(ds.X)
+	zeros := make([]float64, len(probs))
+	globalThr := models.FitThresholds(probs, ds.Y, zeros, 0)
+	global := *perBin
+	global.Thr = globalThr
+
+	var sBin, sGlobal Series
+	sBin.Name = "per-bin thresholds"
+	sGlobal.Name = "global threshold"
+	for _, a := range []float64{0, 40, 80} {
+		c68, c95 := e.evaluate(sc, 0xC00+uint64(a), evalCase{
+			fluence: 1.0, polarDeg: a,
+			configure: func(o *pipeline.Options) { o.Bundle = perBin },
+		})
+		sBin.Points = append(sBin.Points, Point{X: a, C68: c68, C95: c95})
+		c68, c95 = e.evaluate(sc, 0xC00+uint64(a), evalCase{
+			fluence: 1.0, polarDeg: a,
+			configure: func(o *pipeline.Options) { o.Bundle = &global },
+		})
+		sGlobal.Points = append(sGlobal.Points, Point{X: a, C68: c68, C95: c95})
+	}
+	out := []Series{sBin, sGlobal}
+	printSeries(w, "Ablation — per-polar-bin vs global classification threshold (1 MeV/cm²)", "polar(deg)", out)
+	return out
+}
+
+// AblationIterations compares the paper's iterative (≤5) application of the
+// background network against a single application (design rationale of
+// Fig. 6: iteration "is more effective at removing background Compton rings
+// than a single application").
+func AblationIterations(w io.Writer, sc Scale) []Series {
+	e := newEnv()
+	bundle := SharedBundle(sc)
+	var out []Series
+	for _, iters := range []int{1, 5} {
+		s := Series{Name: fmt.Sprintf("max %d iteration(s)", iters)}
+		for _, f := range []float64{0.5, 1.0} {
+			it := iters
+			c68, c95 := e.evaluate(sc, 0xD00+uint64(iters)<<8+uint64(f*4), evalCase{
+				fluence: f, polarDeg: 0,
+				configure: func(o *pipeline.Options) {
+					o.Bundle = bundle
+					o.MaxNNIters = it
+					o.ConvergeDeg = 0 // always use the full budget
+				},
+			})
+			s.Points = append(s.Points, Point{X: f, C68: c68, C95: c95})
+		}
+		out = append(out, s)
+	}
+	printSeries(w, "Ablation — iterative vs single-shot background rejection (normal incidence)", "MeV/cm^2", out)
+	return out
+}
+
+// AblationGating compares the robust ring gating in refinement against
+// ungated weighted least squares (design choice in the localization stage).
+func AblationGating(w io.Writer, sc Scale) []Series {
+	e := newEnv()
+	var out []Series
+	for _, gated := range []bool{true, false} {
+		name := "gated (default)"
+		if !gated {
+			name = "ungated least squares"
+		}
+		s := Series{Name: name}
+		for _, f := range []float64{0.5, 1.0} {
+			g := gated
+			c68, c95 := e.evaluate(sc, 0xE00+uint64(f*4), evalCase{
+				fluence: f, polarDeg: 0,
+				configure: func(o *pipeline.Options) {
+					if !g {
+						o.Loc.GateSigma = 1e9
+						o.Loc.MaxGateCos = 1e9
+					}
+				},
+			})
+			s.Points = append(s.Points, Point{X: f, C68: c68, C95: c95})
+		}
+		out = append(out, s)
+	}
+	printSeries(w, "Ablation — robust ring gating in refinement (no-ML pipeline, normal incidence)", "MeV/cm^2", out)
+	return out
+}
+
+// AblationWidening compares dEta-update policies: replace every ring's
+// width with the network prediction (ratio 1), the default selective
+// widening (median-normalized ratio 3), and no dEta update at all.
+func AblationWidening(w io.Writer, sc Scale) []Series {
+	e := newEnv()
+	bundle := SharedBundle(sc)
+	policies := []struct {
+		name      string
+		configure func(*pipeline.Options)
+	}{
+		{"replace all (ratio 1)", func(o *pipeline.Options) { o.Bundle = bundle; o.DEtaWidenRatio = 1 }},
+		{"selective widen (default)", func(o *pipeline.Options) { o.Bundle = bundle }},
+		{"dEta net off", func(o *pipeline.Options) { o.Bundle = bundle; o.DisableDEtaNN = true }},
+	}
+	var out []Series
+	for i, p := range policies {
+		s := Series{Name: p.name}
+		for _, a := range []float64{0, 40} {
+			c68, c95 := e.evaluate(sc, 0xF00+uint64(i)<<8+uint64(a), evalCase{
+				fluence: 1.0, polarDeg: a, configure: p.configure,
+			})
+			s.Points = append(s.Points, Point{X: a, C68: c68, C95: c95})
+		}
+		out = append(out, s)
+	}
+	printSeries(w, "Ablation — dEta update policy (1 MeV/cm²)", "polar(deg)", out)
+	return out
+}
+
+// AblationThreeCompton evaluates the optional three-Compton incident-energy
+// estimate (recon.EstimateIncidentEnergy3C) against the paper's
+// summed-deposit reconstruction, on the no-ML pipeline.
+func AblationThreeCompton(w io.Writer, sc Scale) []Series {
+	e := newEnv()
+	var out []Series
+	for _, enabled := range []bool{false, true} {
+		name := "summed deposits (paper)"
+		if enabled {
+			name = "three-Compton energy"
+		}
+		s := Series{Name: name}
+		for _, f := range []float64{1.0, 2.0} {
+			en := enabled
+			c68, c95 := e.evaluate(sc, 0x1300+uint64(f*4), evalCase{
+				fluence: f, polarDeg: 0,
+				configure: func(o *pipeline.Options) {
+					o.Recon.ThreeComptonEnergy = en
+				},
+			})
+			s.Points = append(s.Points, Point{X: f, C68: c68, C95: c95})
+		}
+		out = append(out, s)
+	}
+	printSeries(w, "Ablation — three-Compton incident-energy estimate (no-ML pipeline, normal incidence)", "MeV/cm^2", out)
+	return out
+}
+
+// AblationDEtaLoss compares the paper's ℓ₂ dEta-training loss against the
+// Huber loss, which is less sensitive to the heavy tail of the ln|Δη|
+// targets.
+func AblationDEtaLoss(w io.Writer, sc Scale) []Series {
+	e := newEnv()
+	mseBundle := SharedBundle(sc)
+	huberBundle := loadOrTrain(sc, "huber", func() *models.Bundle {
+		opts := trainOptions(sc, 2001, true, false)
+		opts.DEtaLoss = nn.Huber{Delta: 1}
+		return models.Train(trainingSet(sc, 1001), opts)
+	})
+	var out []Series
+	for i, arm := range []struct {
+		name   string
+		bundle *models.Bundle
+	}{{"L2 loss (paper)", mseBundle}, {"Huber loss", huberBundle}} {
+		s := Series{Name: arm.name}
+		b := arm.bundle
+		for _, a := range []float64{0, 40} {
+			c68, c95 := e.evaluate(sc, 0x1400+uint64(i)<<8+uint64(a), evalCase{
+				fluence: 1.0, polarDeg: a,
+				configure: func(o *pipeline.Options) { o.Bundle = b },
+			})
+			s.Points = append(s.Points, Point{X: a, C68: c68, C95: c95})
+		}
+		out = append(out, s)
+	}
+	printSeries(w, "Ablation — dEta training loss (1 MeV/cm²)", "polar(deg)", out)
+	return out
+}

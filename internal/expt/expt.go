@@ -1,0 +1,180 @@
+// Package expt regenerates every table and figure of the paper's evaluation
+// (the per-experiment index in DESIGN.md §4): the Fig. 4 motivation study,
+// the Fig. 7 polar-angle-input ablation, the Fig. 8/9 accuracy studies, the
+// Fig. 10 robustness study, the Table I/II timing decomposition, the Fig. 11
+// quantized-model accuracy study, and the Table III FPGA kernel comparison.
+//
+// All drivers print text tables to an io.Writer and also return their data,
+// so the same code backs cmd/adaptbench, the root bench_test.go targets, and
+// the integration tests. Workload sizes are scaled by ADAPT_SCALE
+// (ci | default | full); the paper's 1000-trial × 10-meta-trial protocol is
+// the "full" setting.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/background"
+	"repro/internal/detector"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Scale controls experiment workload sizes.
+type Scale struct {
+	Name string
+	// Trials per figure point per meta-trial.
+	Trials int
+	// MetaTrials groups trials for error bars (paper: 10).
+	MetaTrials int
+	// TrainBurstsPerAngle sizes the training set.
+	TrainBurstsPerAngle int
+	// TrainEpochs bounds model training.
+	TrainEpochs int
+	// TimingReps is the repetition count for Tables I/II (paper: 300).
+	TimingReps int
+	// PolarStepDeg is the polar-angle grid spacing for Figs 7/8/11
+	// (paper: 10°).
+	PolarStepDeg float64
+}
+
+var scales = map[string]Scale{
+	"ci": {
+		Name: "ci", Trials: 8, MetaTrials: 2,
+		TrainBurstsPerAngle: 1, TrainEpochs: 6,
+		TimingReps: 5, PolarStepDeg: 40,
+	},
+	"default": {
+		Name: "default", Trials: 25, MetaTrials: 3,
+		TrainBurstsPerAngle: 3, TrainEpochs: 30,
+		TimingReps: 40, PolarStepDeg: 20,
+	},
+	"full": {
+		Name: "full", Trials: 100, MetaTrials: 10,
+		TrainBurstsPerAngle: 10, TrainEpochs: 120,
+		TimingReps: 300, PolarStepDeg: 10,
+	},
+}
+
+// CurrentScale reads ADAPT_SCALE (ci | default | full); unset or unknown
+// values mean "default".
+func CurrentScale() Scale {
+	if s, ok := scales[os.Getenv("ADAPT_SCALE")]; ok {
+		return s
+	}
+	return scales["default"]
+}
+
+// ScaleByName returns a named scale for programmatic use.
+func ScaleByName(name string) (Scale, bool) {
+	s, ok := scales[name]
+	return s, ok
+}
+
+// Point is one x-position of a figure series with 68% and 95% containment
+// values and their meta-trial error bars.
+type Point struct {
+	X        float64
+	C68, C95 stats.MeanErr
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// evalCase describes one figure point's workload.
+type evalCase struct {
+	fluence    float64
+	polarDeg   float64
+	epsilonPct float64 // Fig. 10 perturbation
+	configure  func(*pipeline.Options)
+}
+
+// env bundles the simulation configuration shared by all experiments.
+type env struct {
+	det detector.Config
+	bg  background.Model
+}
+
+func newEnv() env {
+	return env{det: detector.DefaultConfig(), bg: background.DefaultModel()}
+}
+
+// evaluate runs one figure point: MetaTrials × Trials bursts, each through
+// the pipeline, returning containment statistics with meta-trial error
+// bars. The RNG stream is a pure function of (seed, point), independent of
+// evaluation order.
+func (e *env) evaluate(sc Scale, seed uint64, c evalCase) (c68, c95 stats.MeanErr) {
+	return e.evaluateWith(sc, seed, c, nil)
+}
+
+// evaluateWith is evaluate with an optional event-stream transform applied
+// after simulation and perturbation (used by the pile-up study).
+func (e *env) evaluateWith(sc Scale, seed uint64, c evalCase, transform func([]*detector.Event, *xrand.RNG) []*detector.Event) (c68, c95 stats.MeanErr) {
+	root := xrand.New(seed)
+	var m68, m95 []float64
+	for meta := 0; meta < sc.MetaTrials; meta++ {
+		var errs []float64
+		for trial := 0; trial < sc.Trials; trial++ {
+			rng := root.Split(uint64(meta)<<20 | uint64(trial)<<1)
+			burst := detector.Burst{
+				Fluence:    c.fluence,
+				PolarDeg:   c.polarDeg,
+				AzimuthDeg: rng.Uniform(0, 360),
+			}
+			events := detector.SimulateBurst(&e.det, burst, rng)
+			events = append(events, e.bg.Simulate(&e.det, 1.0, rng)...)
+			if c.epsilonPct > 0 {
+				for _, ev := range events {
+					detector.Perturb(ev, c.epsilonPct, rng)
+				}
+			}
+			if transform != nil {
+				events = transform(events, rng)
+			}
+			opts := pipeline.DefaultOptions()
+			if c.configure != nil {
+				c.configure(&opts)
+			}
+			res := pipeline.Run(opts, events, rng)
+			if res.Loc.OK {
+				errs = append(errs, res.Loc.ErrorDeg(burst.SourceDirection()))
+			} else {
+				// A failed localization is maximally wrong, not missing:
+				// score it at the worst possible separation so containment
+				// statistics cannot improve by failing.
+				errs = append(errs, 180)
+			}
+		}
+		a, b := stats.Containment68And95(errs)
+		m68 = append(m68, a)
+		m95 = append(m95, b)
+	}
+	return stats.OverMetaTrials(m68), stats.OverMetaTrials(m95)
+}
+
+// polarGrid returns the polar angles for Figs 7/8/11 at the scale's step.
+func polarGrid(sc Scale) []float64 {
+	var out []float64
+	for a := 0.0; a <= 80; a += sc.PolarStepDeg {
+		out = append(out, a)
+	}
+	return out
+}
+
+// printSeries renders figure data as an aligned text table.
+func printSeries(w io.Writer, title, xlabel string, series []Series) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(w, "  series %q\n", s.Name)
+		fmt.Fprintf(w, "    %-10s %-16s %-16s\n", xlabel, "68% cont. (deg)", "95% cont. (deg)")
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "    %-10.3g %-16s %-16s\n", p.X, p.C68, p.C95)
+		}
+	}
+}

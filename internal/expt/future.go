@@ -1,0 +1,184 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/background"
+	"repro/internal/datagen"
+	"repro/internal/detector"
+	"repro/internal/models"
+	"repro/internal/pipeline"
+	"repro/internal/spectrum"
+	"repro/internal/xrand"
+)
+
+// This file implements the paper's §VI future-work studies:
+//
+//   - the full APT instrument ("whose much larger detector ... could allow
+//     localization of even dim (< 0.1 MeV/cm²) GRBs to within a degree or
+//     less") — APTStudy;
+//   - simultaneous events within the detection latency — PileUpStudy; and
+//   - a broader range of quantization strategies — QuantStudy (PTQ vs QAT,
+//     per-tensor vs per-channel).
+
+// aptEnv returns the orbital-instrument simulation setup: the APT geometry
+// and a space (L2) background environment — no atmospheric albedo, a harder
+// diffuse spectrum, and a rate calibrated to the larger aperture.
+func aptEnv() env {
+	return env{
+		det: detector.APTConfig(),
+		bg: background.Model{
+			RatePerSecond:  45000,
+			AlbedoFraction: 0.05,
+			Spec:           spectrum.NewPowerLaw(-2.0, 0.030, 30.0),
+		},
+	}
+}
+
+// APTBundle trains (and caches) networks on APT-geometry simulations; the
+// ADAPT-trained networks do not transfer because the feature distributions
+// (hit coordinates, lever arms, background mixture) differ.
+func APTBundle(sc Scale) *models.Bundle {
+	return loadOrTrain(sc, "apt", func() *models.Bundle {
+		e := aptEnv()
+		gen := datagen.DefaultConfig(4001)
+		gen.Detector = &e.det
+		gen.Background = &e.bg
+		gen.Fluence = 0.3 // train in the dim regime APT targets
+		gen.BurstsPerAngle = 1
+		set := datagen.Generate(gen)
+		return models.Train(set, trainOptions(sc, 4002, true, false))
+	})
+}
+
+// APTFluences is the dim-burst grid of the APT study.
+var APTFluences = []float64{0.05, 0.1, 0.25}
+
+// APTStudy measures localization accuracy of the full APT instrument on dim
+// bursts, with and without the networks.
+func APTStudy(w io.Writer, sc Scale) []Series {
+	e := aptEnv()
+	bundle := APTBundle(sc)
+	var noML, ml Series
+	noML.Name = "APT without NN models"
+	ml.Name = "APT with NN models"
+	for i, f := range APTFluences {
+		c68, c95 := e.evaluate(sc, 0x1000+uint64(i), evalCase{fluence: f, polarDeg: 0})
+		noML.Points = append(noML.Points, Point{X: f, C68: c68, C95: c95})
+		c68, c95 = e.evaluate(sc, 0x1080+uint64(i), evalCase{
+			fluence: f, polarDeg: 0,
+			configure: func(o *pipeline.Options) { o.Bundle = bundle },
+		})
+		ml.Points = append(ml.Points, Point{X: f, C68: c68, C95: c95})
+	}
+	out := []Series{noML, ml}
+	printSeries(w, "Future work — full APT instrument on dim bursts (§VI; normal incidence)", "MeV/cm^2", out)
+	return out
+}
+
+// PileUpWindows are the event-builder latency windows studied (seconds).
+var PileUpWindows = []float64{0, 2e-5, 1e-4}
+
+// PileUpStudy measures the impact of simultaneous-event confusion on
+// localization: events arriving within the readout window merge into
+// combined (mis-reconstructable) events before the pipeline runs.
+func PileUpStudy(w io.Writer, sc Scale) []Series {
+	e := newEnv()
+	bundle := SharedBundle(sc)
+	var out []Series
+	for _, window := range PileUpWindows {
+		win := window
+		name := "no pile-up"
+		if win > 0 {
+			name = fmt.Sprintf("window %.0f µs", win*1e6)
+		}
+		s := Series{Name: name}
+		for _, arm := range []struct {
+			label string
+			ml    bool
+		}{{"no-ML", false}, {"ML", true}} {
+			useML := arm.ml
+			c68, c95 := e.evaluateWith(sc, 0x1100+uint64(win*1e7), evalCase{
+				fluence: 2.0, polarDeg: 0,
+				configure: func(o *pipeline.Options) {
+					if useML {
+						o.Bundle = bundle
+					}
+				},
+			}, func(events []*detector.Event, _ *xrand.RNG) []*detector.Event {
+				return detector.MergePileUp(events, win)
+			})
+			x := 0.0
+			if useML {
+				x = 1
+			}
+			s.Points = append(s.Points, Point{X: x, C68: c68, C95: c95})
+		}
+		out = append(out, s)
+	}
+	printSeries(w, "Future work — simultaneous events within the detection latency (§VI; 2 MeV/cm², x=0 no-ML, x=1 ML)", "arm", out)
+	return out
+}
+
+// QuantStrategy labels one quantization configuration of the QuantStudy.
+type QuantStrategy struct {
+	Name       string
+	Mode       models.QuantMode
+	PerChannel bool
+}
+
+// QuantStrategies are the §VI "broader range of quantization strategies".
+var QuantStrategies = []QuantStrategy{
+	{"QAT per-tensor (paper §V)", models.ModeQAT, false},
+	{"QAT per-channel", models.ModeQAT, true},
+	{"PTQ per-tensor", models.ModePTQ, false},
+	{"PTQ per-channel", models.ModePTQ, true},
+}
+
+// QuantStudyResult reports one strategy's agreement with the FP32 model.
+type QuantStudyResult struct {
+	Strategy  QuantStrategy
+	Agreement float64 // fraction of held-out rings classified identically
+}
+
+// QuantStudy converts the swapped background network under each strategy
+// and measures thresholded-classification agreement with the FP32 model on
+// a held-out simulated ring set.
+func QuantStudy(w io.Writer, sc Scale) []QuantStudyResult {
+	b := SwappedBundle(sc)
+	set := trainingSet(sc, 1001)
+	eval := datagen.BackgroundDataset(set, b.WithPolar)
+	b.BkgNorm.Apply(eval.X)
+	ref := b.Bkg.PredictProbs(eval.X)
+
+	var out []QuantStudyResult
+	fmt.Fprintf(w, "\nFuture work — quantization strategies (§VI): agreement with FP32 classification\n")
+	fmt.Fprintf(w, "  %-28s %s\n", "strategy", "agreement")
+	for i, strat := range QuantStrategies {
+		qopts := models.DefaultQuantizeOptions(5000 + uint64(i))
+		qopts.Mode = strat.Mode
+		qopts.PerChannel = strat.PerChannel
+		if sc.Name == "ci" {
+			qopts.QATEpochs = 1
+		}
+		int8net, _, err := models.QuantizeBackground(b, set, qopts)
+		if err != nil {
+			panic(fmt.Sprintf("expt: quant study: %v", err))
+		}
+		agree := 0
+		n := eval.Len()
+		if n > 4000 {
+			n = 4000
+		}
+		for r := 0; r < n; r++ {
+			if (int8net.Prob(eval.X.Row(r)) > 0.5) == (ref[r] > 0.5) {
+				agree++
+			}
+		}
+		res := QuantStudyResult{Strategy: strat, Agreement: float64(agree) / float64(n)}
+		out = append(out, res)
+		fmt.Fprintf(w, "  %-28s %.4f\n", strat.Name, res.Agreement)
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package expt
+
+import (
+	"repro/internal/features"
+	"repro/internal/nn"
+)
+
+// makeTestFeatures builds a small matrix of plausible (unnormalized)
+// feature rows for adapter tests.
+func makeTestFeatures() *nn.Tensor {
+	x := nn.NewTensor(8, features.NumFeatures)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		row[0] = 0.5 + 0.1*float32(r) // total energy
+		row[1] = float32(r) - 4       // hit1 x
+		row[2] = 2
+		row[3] = -0.7
+		row[4] = 0.2
+		row[5] = -3
+		row[6] = float32(r)
+		row[7] = -10.7
+		row[8] = 0.3
+		row[9] = 0.04
+		row[10] = 0.02
+		row[11] = 0.03
+		row[12] = float32(10 * (r % 9))
+	}
+	return x
+}

@@ -1,0 +1,137 @@
+package expt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/datagen"
+	"repro/internal/models"
+	"repro/internal/nn/quant"
+)
+
+// Trained models are expensive on a laptop-class host, so the harness
+// trains each variant once per scale and caches it: in memory for the
+// process, and on disk under the user cache directory so repeated bench
+// runs skip training entirely. Delete the cache directory (printed by
+// CachePath) or set ADAPT_NO_MODEL_CACHE=1 to force retraining.
+
+// cacheVersion invalidates on-disk models when training code changes shape.
+const cacheVersion = "v3"
+
+type variantKey struct {
+	scale   string
+	variant string
+}
+
+var (
+	cacheMu     sync.Mutex
+	bundleCache = map[variantKey]*models.Bundle{}
+	int8Cache   = map[string]*quant.Int8Net{}
+)
+
+// CachePath returns the on-disk location for a model variant at a scale.
+func CachePath(sc Scale, variant string) string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		base = os.TempDir()
+	}
+	return filepath.Join(base, "adapt-repro", fmt.Sprintf("%s-%s-%s.gob", cacheVersion, sc.Name, variant))
+}
+
+func diskCacheEnabled() bool { return os.Getenv("ADAPT_NO_MODEL_CACHE") == "" }
+
+// trainingSet generates the (deterministic) training data for a scale.
+func trainingSet(sc Scale, seed uint64) *datagen.Set {
+	gen := datagen.DefaultConfig(seed)
+	gen.BurstsPerAngle = sc.TrainBurstsPerAngle
+	return datagen.Generate(gen)
+}
+
+// trainOptions returns the scale-adjusted training configuration. The
+// paper's exact hyperparameters (batch 4096 / lr 5.204e-4) assume its
+// ~1M-ring dataset and a GPU; on this reproduction's scaled datasets the
+// same plateau is reached faster with a proportionally larger step (see
+// EXPERIMENTS.md "Training protocol").
+func trainOptions(sc Scale, seed uint64, withPolar, swapped bool) models.TrainOptions {
+	opts := models.DefaultTrainOptions(seed)
+	opts.WithPolar = withPolar
+	opts.Swapped = swapped
+	opts.MaxEpochs = sc.TrainEpochs
+	opts.Patience = sc.TrainEpochs/3 + 2
+	opts.BkgLR = 5e-3
+	opts.BkgBatch = 1024
+	return opts
+}
+
+// loadOrTrain returns the named model variant, training it at most once.
+func loadOrTrain(sc Scale, variant string, train func() *models.Bundle) *models.Bundle {
+	key := variantKey{sc.Name, variant}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if b, ok := bundleCache[key]; ok {
+		return b
+	}
+	path := CachePath(sc, variant)
+	if diskCacheEnabled() {
+		if b, err := models.LoadBundleFile(path); err == nil {
+			bundleCache[key] = b
+			return b
+		}
+	}
+	b := train()
+	bundleCache[key] = b
+	if diskCacheEnabled() {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err == nil {
+			_ = b.SaveFile(path) // best-effort; cache misses just retrain
+		}
+	}
+	return b
+}
+
+// SharedBundle returns the production model pair (13 features, polar-angle
+// input), used by Figs 8–10 and the timing tables.
+func SharedBundle(sc Scale) *models.Bundle {
+	return loadOrTrain(sc, "polar", func() *models.Bundle {
+		return models.Train(trainingSet(sc, 1001), trainOptions(sc, 2001, true, false))
+	})
+}
+
+// NoPolarBundle returns the Fig. 7 ablation variant trained without the
+// polar-angle feature.
+func NoPolarBundle(sc Scale) *models.Bundle {
+	return loadOrTrain(sc, "nopolar", func() *models.Bundle {
+		return models.Train(trainingSet(sc, 1001), trainOptions(sc, 2001, false, false))
+	})
+}
+
+// SwappedBundle returns the layer-swapped (fusion-friendly) FP32 bundle
+// that seeds the quantization study (§V).
+func SwappedBundle(sc Scale) *models.Bundle {
+	return loadOrTrain(sc, "swapped", func() *models.Bundle {
+		return models.Train(trainingSet(sc, 1001), trainOptions(sc, 2001, true, true))
+	})
+}
+
+// Int8Background returns the INT8 quantized background network derived from
+// SwappedBundle by QAT (in-memory cache only; conversion is cheap once the
+// swapped bundle exists).
+func Int8Background(sc Scale) (*quant.Int8Net, *models.Bundle) {
+	b := SwappedBundle(sc)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if n, ok := int8Cache[sc.Name]; ok {
+		return n, b
+	}
+	qopts := models.DefaultQuantizeOptions(3001)
+	if sc.Name == "ci" {
+		qopts.QATEpochs = 2
+	}
+	n, _, err := models.QuantizeBackground(b, trainingSet(sc, 1001), qopts)
+	if err != nil {
+		panic(fmt.Sprintf("expt: quantize: %v", err))
+	}
+	int8Cache[sc.Name] = n
+	return n, b
+}

@@ -1,0 +1,41 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RunAll regenerates every paper table and figure plus the ablations,
+// writing text tables to w. It is the engine behind cmd/adaptbench.
+func RunAll(w io.Writer, sc Scale) {
+	start := time.Now()
+	fmt.Fprintf(w, "ADAPT reproduction — full evaluation at scale %q\n", sc.Name)
+	fmt.Fprintf(w, "(trials/point=%d, meta-trials=%d, timing reps=%d)\n", sc.Trials, sc.MetaTrials, sc.TimingReps)
+
+	Fig4(w, sc)
+	Fig7(w, sc)
+	Fig8(w, sc)
+	Fig9(w, sc)
+	Fig10(w, sc)
+	TableI(w, sc)
+	TableII(w, sc)
+	Fig11(w, sc)
+	Table3(w)
+
+	fmt.Fprintf(w, "\nAblations\n")
+	AblationThresholds(w, sc)
+	AblationIterations(w, sc)
+	AblationGating(w, sc)
+	AblationWidening(w, sc)
+	AblationThreeCompton(w, sc)
+	AblationDEtaLoss(w, sc)
+
+	fmt.Fprintf(w, "\nFuture-work studies (§VI)\n")
+	QuantStudy(w, sc)
+	PileUpStudy(w, sc)
+	APTStudy(w, sc)
+	CoverageStudy(w, sc)
+
+	fmt.Fprintf(w, "\ncompleted in %v\n", time.Since(start).Round(time.Second))
+}

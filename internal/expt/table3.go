@@ -1,0 +1,45 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/features"
+	"repro/internal/fpga"
+)
+
+// Table3Workload is the ring count the paper times the FPGA kernel on ("the
+// first iteration of the background network processed 597 rings on
+// average", §V).
+const Table3Workload = 597
+
+// Table3 reproduces the FPGA quantization comparison (paper Table III):
+// the background-network kernel synthesized (via the analytic dataflow
+// model) in INT8 and FP32, with latency, initiation interval, resource
+// usage, and the total time for the Table3Workload rings at the
+// conservative 10 ns clock. The cycle-level simulator cross-checks the
+// n·II + (L − II) closed form.
+func Table3(w io.Writer) (int8Rep, fp32Rep fpga.Report) {
+	layers := fpga.BackgroundNetLayers(features.NumFeatures)
+	dev := fpga.DefaultDevice()
+	int8Rep = fpga.Synthesize(layers, fpga.INT8, dev)
+	fp32Rep = fpga.Synthesize(layers, fpga.FP32, dev)
+
+	fmt.Fprintf(w, "\nTable III — quantization results on FPGA (analytic dataflow model, %.0f MHz)\n", 1e3/dev.ClockNs)
+	fmt.Fprintf(w, "  %-30s %-12s %-12s\n", "Statistic", "INT8", "FP32")
+	row := func(name string, a, b any) { fmt.Fprintf(w, "  %-30s %-12v %-12v\n", name, a, b) }
+	row("Latency (cycles)", int8Rep.Latency, fp32Rep.Latency)
+	row("Initiation Interval (cycles)", int8Rep.II, fp32Rep.II)
+	row("BRAM Blocks", int8Rep.BRAM, fp32Rep.BRAM)
+	row("DSP Slices", int8Rep.DSP, fp32Rep.DSP)
+	row("Flip-Flops", int8Rep.FF, fp32Rep.FF)
+	row("Lookup Tables", int8Rep.LUT, fp32Rep.LUT)
+	row(fmt.Sprintf("Latency (ms) for %d rings", Table3Workload),
+		fmt.Sprintf("%.2f", int8Rep.TotalMs(Table3Workload)),
+		fmt.Sprintf("%.2f", fp32Rep.TotalMs(Table3Workload)))
+	fmt.Fprintf(w, "  throughput ratio INT8/FP32: %.2fx\n", int8Rep.Throughput()/fp32Rep.Throughput())
+	fmt.Fprintf(w, "  simulator cross-check: INT8 %d cycles (formula %d), FP32 %d (formula %d)\n",
+		fpga.Simulate(int8Rep, Table3Workload), int8Rep.TotalCycles(Table3Workload),
+		fpga.Simulate(fp32Rep, Table3Workload), fp32Rep.TotalCycles(Table3Workload))
+	return int8Rep, fp32Rep
+}

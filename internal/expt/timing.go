@@ -1,0 +1,77 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/detector"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// TimingRow is one stage of the Tables I/II decomposition.
+type TimingRow struct {
+	Stage   string
+	Summary stats.TimingSummary
+}
+
+// Timing reproduces the paper's Tables I and II: per-stage elapsed times of
+// the full ML pipeline on a 1 MeV/cm², normally incident burst, repeated
+// reps times. workers=1 is the slow-platform proxy for the paper's RPi 3B+
+// (Table I) and workers=NumCPU the proxy for the Atom board (Table II);
+// see DESIGN.md §2 for the substitution.
+func Timing(w io.Writer, sc Scale, workers int, label string) []TimingRow {
+	e := newEnv()
+	bundle := SharedBundle(sc)
+	root := xrand.New(0x71)
+
+	stages := []string{
+		"Reconstruction", "Localization Setup", "DEta NN Inference",
+		"Bkg NN Inference", "Approx + Refine", "Total (Max 5 iter)",
+	}
+	samples := make(map[string][]float64, len(stages))
+
+	for rep := 0; rep < sc.TimingReps; rep++ {
+		rng := root.Split(uint64(rep))
+		burst := detector.Burst{Fluence: 1.0, PolarDeg: 0, AzimuthDeg: rng.Uniform(0, 360)}
+		events := detector.SimulateBurst(&e.det, burst, rng)
+		events = append(events, e.bg.Simulate(&e.det, 1.0, rng)...)
+
+		opts := pipeline.DefaultOptions()
+		opts.Bundle = bundle
+		opts.Workers = workers
+		res := pipeline.Run(opts, events, rng)
+
+		ms := func(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1e3 }
+		samples["Reconstruction"] = append(samples["Reconstruction"], ms(res.Timing.Reconstruction))
+		samples["Localization Setup"] = append(samples["Localization Setup"], ms(res.Timing.Setup))
+		samples["DEta NN Inference"] = append(samples["DEta NN Inference"], ms(res.Timing.DEtaNN))
+		samples["Bkg NN Inference"] = append(samples["Bkg NN Inference"], ms(res.Timing.BkgNN))
+		samples["Approx + Refine"] = append(samples["Approx + Refine"], ms(res.Timing.ApproxRefine))
+		samples["Total (Max 5 iter)"] = append(samples["Total (Max 5 iter)"], ms(res.Timing.Total))
+	}
+
+	var rows []TimingRow
+	fmt.Fprintf(w, "\n%s (workers=%d, GOMAXPROCS=%d, %d reps)\n", label, workers, runtime.GOMAXPROCS(0), sc.TimingReps)
+	fmt.Fprintf(w, "  %-22s %-14s %s\n", "Stage", "Mean (ms)", "Range (ms)")
+	for _, st := range stages {
+		s := stats.SummarizeTimings(samples[st])
+		rows = append(rows, TimingRow{Stage: st, Summary: s})
+		fmt.Fprintf(w, "  %-22s %-14.1f %.0f–%.0f\n", st, s.MeanMs, s.MinMs, s.MaxMs)
+	}
+	return rows
+}
+
+// TableI runs the slow-platform (single-worker) proxy of the paper's
+// Table I (RPi 3B+).
+func TableI(w io.Writer, sc Scale) []TimingRow {
+	return Timing(w, sc, 1, "Table I — timing results, single-worker proxy for RPi 3B+")
+}
+
+// TableII runs the parallel proxy of the paper's Table II (Atom E3845,
+// four cores).
+func TableII(w io.Writer, sc Scale) []TimingRow {
+	return Timing(w, sc, 4, "Table II — timing results, 4-worker proxy for Atom E3845")
+}

@@ -1,0 +1,122 @@
+// Package features extracts the paper's model inputs from reconstructed
+// Compton rings (§III "Input Features"): twelve measured quantities — the
+// event's total deposited energy; position (x, y, z) and deposited energy of
+// the first and second hits; and the uncertainties of the three energy
+// measurements — plus a thirteenth feature, a rough guess of the source
+// polar angle in degrees supplied by the localization loop.
+package features
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/recon"
+)
+
+// NumFeatures is the input width with the polar-angle feature (the paper's
+// production configuration).
+const NumFeatures = 13
+
+// NumFeaturesNoPolar is the input width of the Fig. 7 ablation variant.
+const NumFeaturesNoPolar = 12
+
+// Extract fills dst with the ring's feature vector. polarDeg is the current
+// polar-angle guess in degrees; it is appended only when withPolar is true.
+// dst must have length NumFeatures or NumFeaturesNoPolar accordingly.
+func Extract(r *recon.Ring, polarDeg float64, withPolar bool, dst []float32) {
+	want := NumFeaturesNoPolar
+	if withPolar {
+		want = NumFeatures
+	}
+	if len(dst) != want {
+		panic(fmt.Sprintf("features: dst has %d slots, want %d", len(dst), want))
+	}
+	dst[0] = float32(r.ETotal)
+	dst[1] = float32(r.Hit1.Pos.X)
+	dst[2] = float32(r.Hit1.Pos.Y)
+	dst[3] = float32(r.Hit1.Pos.Z)
+	dst[4] = float32(r.Hit1.E)
+	dst[5] = float32(r.Hit2.Pos.X)
+	dst[6] = float32(r.Hit2.Pos.Y)
+	dst[7] = float32(r.Hit2.Pos.Z)
+	dst[8] = float32(r.Hit2.E)
+	dst[9] = float32(r.SigmaETotal)
+	dst[10] = float32(r.SigmaE1)
+	dst[11] = float32(r.SigmaE2)
+	if withPolar {
+		dst[12] = float32(polarDeg)
+	}
+}
+
+// Matrix builds the feature tensor for a set of rings with a shared polar
+// guess.
+func Matrix(rings []*recon.Ring, polarDeg float64, withPolar bool) *nn.Tensor {
+	cols := NumFeaturesNoPolar
+	if withPolar {
+		cols = NumFeatures
+	}
+	x := nn.NewTensor(len(rings), cols)
+	for i, r := range rings {
+		Extract(r, polarDeg, withPolar, x.Row(i))
+	}
+	return x
+}
+
+// Normalizer standardizes features to zero mean and unit variance using
+// statistics fitted on the training set. Networks are trained and evaluated
+// on normalized inputs.
+type Normalizer struct {
+	Mean, Std []float32
+}
+
+// FitNormalizer computes per-feature statistics from x.
+func FitNormalizer(x *nn.Tensor) *Normalizer {
+	n := &Normalizer{Mean: make([]float32, x.Cols), Std: make([]float32, x.Cols)}
+	if x.Rows == 0 {
+		for c := range n.Std {
+			n.Std[c] = 1
+		}
+		return n
+	}
+	rows := float64(x.Rows)
+	for c := 0; c < x.Cols; c++ {
+		var mean float64
+		for r := 0; r < x.Rows; r++ {
+			mean += float64(x.At(r, c))
+		}
+		mean /= rows
+		var v float64
+		for r := 0; r < x.Rows; r++ {
+			d := float64(x.At(r, c)) - mean
+			v += d * d
+		}
+		sd := math.Sqrt(v / rows)
+		if sd < 1e-9 {
+			sd = 1
+		}
+		n.Mean[c] = float32(mean)
+		n.Std[c] = float32(sd)
+	}
+	return n
+}
+
+// Apply standardizes x in place.
+func (n *Normalizer) Apply(x *nn.Tensor) {
+	if x.Cols != len(n.Mean) {
+		panic(fmt.Sprintf("features: normalizer fitted for %d cols, got %d", len(n.Mean), x.Cols))
+	}
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		for c := range row {
+			row[c] = (row[c] - n.Mean[c]) / n.Std[c]
+		}
+	}
+}
+
+// ApplyVec standardizes a single feature vector in place.
+func (n *Normalizer) ApplyVec(v []float32) {
+	for c := range v {
+		v[c] = (v[c] - n.Mean[c]) / n.Std[c]
+	}
+}

@@ -1,0 +1,114 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/geom"
+	"repro/internal/nn"
+	"repro/internal/recon"
+	"repro/internal/xrand"
+)
+
+func sampleRing() *recon.Ring {
+	return &recon.Ring{
+		Ring:        geom.Ring{Axis: geom.Vec{Z: 1}, Eta: 0.5, DEta: 0.05},
+		Hit1:        detector.Hit{Pos: geom.Vec{X: 1, Y: 2, Z: -0.5}, E: 0.3},
+		Hit2:        detector.Hit{Pos: geom.Vec{X: -4, Y: 5, Z: -10.7}, E: 0.6},
+		ETotal:      0.95,
+		SigmaETotal: 0.04,
+		SigmaE1:     0.02,
+		SigmaE2:     0.03,
+	}
+}
+
+func TestExtractLayout(t *testing.T) {
+	r := sampleRing()
+	dst := make([]float32, NumFeatures)
+	Extract(r, 37.5, true, dst)
+	want := []float32{0.95, 1, 2, -0.5, 0.3, -4, 5, -10.7, 0.6, 0.04, 0.02, 0.03, 37.5}
+	for i, w := range want {
+		if dst[i] != w {
+			t.Errorf("feature %d = %v, want %v", i, dst[i], w)
+		}
+	}
+	// The 12-feature variant drops only the polar angle.
+	short := make([]float32, NumFeaturesNoPolar)
+	Extract(r, 37.5, false, short)
+	for i := 0; i < NumFeaturesNoPolar; i++ {
+		if short[i] != want[i] {
+			t.Errorf("no-polar feature %d = %v, want %v", i, short[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong dst length did not panic")
+		}
+	}()
+	Extract(r, 0, true, make([]float32, 5))
+}
+
+func TestMatrix(t *testing.T) {
+	rings := []*recon.Ring{sampleRing(), sampleRing()}
+	x := Matrix(rings, 10, true)
+	if x.Rows != 2 || x.Cols != NumFeatures {
+		t.Fatalf("shape %dx%d", x.Rows, x.Cols)
+	}
+	if x.At(0, 12) != 10 || x.At(1, 12) != 10 {
+		t.Error("polar column wrong")
+	}
+	x = Matrix(rings, 10, false)
+	if x.Cols != NumFeaturesNoPolar {
+		t.Error("no-polar matrix width wrong")
+	}
+}
+
+func TestNormalizer(t *testing.T) {
+	rng := xrand.New(1)
+	x := nn.NewTensor(500, 3)
+	for r := 0; r < 500; r++ {
+		x.Set(r, 0, float32(rng.Gaussian(5, 2)))
+		x.Set(r, 1, float32(rng.Gaussian(-3, 0.5)))
+		x.Set(r, 2, 7) // constant feature: std must not blow up
+	}
+	n := FitNormalizer(x)
+	if math.Abs(float64(n.Mean[0])-5) > 0.3 || math.Abs(float64(n.Std[0])-2) > 0.3 {
+		t.Errorf("fitted stats %v ± %v", n.Mean[0], n.Std[0])
+	}
+	if n.Std[2] != 1 {
+		t.Errorf("constant feature std = %v, want fallback 1", n.Std[2])
+	}
+	n.Apply(x)
+	var mean, sq float64
+	for r := 0; r < 500; r++ {
+		mean += float64(x.At(r, 0))
+		sq += float64(x.At(r, 0)) * float64(x.At(r, 0))
+	}
+	mean /= 500
+	if math.Abs(mean) > 1e-5 {
+		t.Errorf("post-apply mean %v", mean)
+	}
+	if sd := math.Sqrt(sq/500 - mean*mean); math.Abs(sd-1) > 1e-4 {
+		t.Errorf("post-apply std %v", sd)
+	}
+	// ApplyVec matches Apply.
+	v := []float32{5, -3, 7}
+	n.ApplyVec(v)
+	if math.Abs(float64(v[2])) > 1e-6 {
+		t.Errorf("ApplyVec constant feature = %v", v[2])
+	}
+}
+
+func TestNormalizerEmptyAndMismatch(t *testing.T) {
+	n := FitNormalizer(nn.NewTensor(0, 2))
+	if n.Std[0] != 1 || n.Std[1] != 1 {
+		t.Error("empty fit should default std to 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("column mismatch did not panic")
+		}
+	}()
+	n.Apply(nn.NewTensor(1, 3))
+}

@@ -1,0 +1,263 @@
+// Package fpga models the HLS dataflow implementation of the background
+// network used in the paper's §V "FPGA Deployment": a pipeline of fused
+// Linear(+BN)+ReLU stages synthesized with Vitis HLS, evaluated by C/RTL
+// co-simulation at a conservative 10 ns (100 MHz) clock.
+//
+// Real synthesis is a hardware-toolchain gate this reproduction cannot
+// cross, so the package provides two substitutes (DESIGN.md §2):
+//
+//   - an analytic scheduling and resource model (Synthesize) that derives
+//     each stage's initiation interval, latency, and logic usage from the
+//     layer dimensions, the numeric type, and a device resource budget,
+//     following standard HLS unroll/pipeline cost accounting; and
+//   - a cycle-level event simulator (Simulate) of the resulting dataflow
+//     pipeline, which reproduces the paper's total-latency law
+//     n·II + (L − II) for n inputs and validates the closed form.
+//
+// The model's per-lane cost constants are calibrated to representative
+// Vitis HLS reports for port-limited fully-connected kernels, which places
+// the synthesized design at the same kind of operating point as the paper's
+// kernel (II in the hundreds of cycles, L/II ≈ 1.3–1.6, INT8 ≈ 1.75× FP32
+// throughput with smaller BRAM/DSP/FF footprints). The scheduling and the
+// n·II + (L − II) total-latency law are structural, not fitted.
+package fpga
+
+import (
+	"fmt"
+	"math"
+)
+
+// NumType selects the kernel's arithmetic precision.
+type NumType int
+
+const (
+	// INT8 is the quantized 8-bit integer kernel.
+	INT8 NumType = iota
+	// FP32 is the single-precision floating-point kernel.
+	FP32
+)
+
+// String implements fmt.Stringer.
+func (t NumType) String() string {
+	if t == INT8 {
+		return "INT8"
+	}
+	return "FP32"
+}
+
+// LayerDims describes one fused fully-connected stage.
+type LayerDims struct {
+	In, Out int
+}
+
+// MACs returns the multiply-accumulate count per input vector.
+func (l LayerDims) MACs() int { return l.In * l.Out }
+
+// Device describes the synthesis target's resource budget, representative
+// of the mid-range UltraScale+ parts considered for ADAPT's processing
+// stack.
+type Device struct {
+	DSP       int
+	BRAM      int
+	FF        int
+	LUT       int
+	ClockNs   float64 // target clock period (paper: conservative 10 ns)
+	DSPBudget float64 // fraction of DSPs the kernel may claim
+}
+
+// DefaultDevice returns the evaluation target: a large UltraScale+ class
+// device at a conservative 100 MHz.
+func DefaultDevice() Device {
+	return Device{
+		DSP:       9024,
+		BRAM:      4032,
+		FF:        2364480,
+		LUT:       1182240,
+		ClockNs:   10,
+		DSPBudget: 0.85,
+	}
+}
+
+// typeCost captures per-type implementation costs in the scheduling model.
+// The per-lane register/LUT constants and the lane caps are calibrated to
+// representative Vitis HLS reports for port-limited fully-connected kernels
+// (weight reads, not DSP count, bound the unroll factor at this scale);
+// they are not fitted to the paper's Table III values, but they land the
+// model at the same kind of design point.
+type typeCost struct {
+	// maxLanes is the per-stage parallel multiplier bound imposed by
+	// weight-memory port bandwidth after array partitioning: INT8 packs
+	// four weights per BRAM word, FP32 one, and LUT-RAM assists narrow
+	// types.
+	maxLanes int
+	// dspPerMAC is the DSP slices consumed per parallel multiplier lane
+	// (INT8 uses the DSP pre-adder path; FP32 mul+add ≈ 3).
+	dspPerMAC float64
+	// weightBits per weight for BRAM accounting.
+	weightBits int
+	// bramDup is the partition-replication factor needed to feed the lanes
+	// (FP32's wide words force replicated banks).
+	bramDup int
+	// pipeDepth is the per-stage pipeline depth overhead in cycles
+	// (deeper FP pipelines).
+	pipeDepth int
+	// ffPerLane / lutPerLane are register and LUT costs per multiplier
+	// lane, including the adder-tree and FIFO share.
+	ffPerLane  float64
+	lutPerLane float64
+	// lutFixed is glue logic per stage (control FSM, AXI adapters).
+	lutFixed float64
+}
+
+func costsFor(t NumType) typeCost {
+	if t == INT8 {
+		return typeCost{
+			maxLanes:   64,
+			dspPerMAC:  1.0,
+			weightBits: 8,
+			bramDup:    1,
+			pipeDepth:  6,
+			ffPerLane:  1400,
+			lutPerLane: 2950,
+			lutFixed:   4000,
+		}
+	}
+	return typeCost{
+		maxLanes:   36,
+		dspPerMAC:  3.0,
+		weightBits: 32,
+		bramDup:    3,
+		pipeDepth:  24,
+		ffPerLane:  4500,
+		lutPerLane: 5500,
+		lutFixed:   6000,
+	}
+}
+
+// StageReport is the synthesized schedule of one dataflow stage.
+type StageReport struct {
+	Dims     LayerDims
+	Parallel int // parallel multiplier lanes allocated
+	II       int // initiation interval, cycles
+	Latency  int // latency of one input through the stage, cycles
+}
+
+// Report is the synthesis result for the whole kernel, matching the
+// statistics of the paper's Table III.
+type Report struct {
+	Type    NumType
+	Stages  []StageReport
+	Latency int // cycles for one input through the pipeline (L)
+	II      int // kernel initiation interval (cycles between inputs)
+	BRAM    int
+	DSP     int
+	FF      int
+	LUT     int
+	ClockNs float64
+}
+
+// interfaceOverheadCycles models the AXI ingress/egress latency added to L.
+const interfaceOverheadCycles = 40
+
+// Synthesize schedules the layer pipeline onto the device. Parallel
+// multiplier lanes are allocated to stages in proportion to their MAC
+// demand (the HLS "balance the dataflow" optimization), subject to the DSP
+// budget and full-unroll bounds; each stage is then pipelined at
+// II = ceil(MACs / lanes).
+func Synthesize(layers []LayerDims, t NumType, dev Device) Report {
+	if len(layers) == 0 {
+		panic("fpga: no layers")
+	}
+	c := costsFor(t)
+	budget := float64(dev.DSP) * dev.DSPBudget
+
+	// Allocate each stage its port-bandwidth-limited unroll factor, then
+	// scale back uniformly if the DSP budget is exceeded (it is not, for
+	// the paper's kernel on the default device, but small devices matter
+	// for the ablation benches).
+	lanes := make([]int, len(layers))
+	var dspNeed float64
+	for i, l := range layers {
+		p := c.maxLanes
+		if p > l.MACs() {
+			p = l.MACs()
+		}
+		lanes[i] = p
+		dspNeed += float64(p) * c.dspPerMAC
+	}
+	if dspNeed > budget {
+		shrink := budget / dspNeed
+		for i := range lanes {
+			lanes[i] = int(float64(lanes[i]) * shrink)
+			if lanes[i] < 1 {
+				lanes[i] = 1
+			}
+		}
+	}
+
+	rep := Report{Type: t, ClockNs: dev.ClockNs}
+	var dsp float64
+	var ff, lut float64
+	weightBits := 0
+	kernelII := 0
+	latency := interfaceOverheadCycles
+	for i, l := range layers {
+		ii := ceilDiv(l.MACs(), lanes[i])
+		// Stage latency: fill the MAC array, drain the adder tree, plus the
+		// numeric pipeline depth.
+		stageLat := ii + int(math.Ceil(math.Log2(float64(l.In+1)))) + c.pipeDepth
+		rep.Stages = append(rep.Stages, StageReport{Dims: l, Parallel: lanes[i], II: ii, Latency: stageLat})
+		if ii > kernelII {
+			kernelII = ii
+		}
+		latency += stageLat
+		dsp += float64(lanes[i]) * c.dspPerMAC
+		ff += float64(lanes[i]) * c.ffPerLane
+		lut += float64(lanes[i])*c.lutPerLane + c.lutFixed
+		weightBits += l.MACs()*c.weightBits + l.Out*32 // weights + biases
+	}
+	// The kernel initiation interval is the bottleneck stage's interval
+	// plus one cycle of FIFO handshake; Simulate reproduces exactly this.
+	rep.II = kernelII + 1
+	rep.Latency = latency
+	rep.DSP = int(dsp)
+	rep.FF = int(ff)
+	rep.LUT = int(lut)
+	// BRAM36 blocks hold 36 kbit each; activation FIFOs add one block per
+	// stage boundary per 8 lanes.
+	fifoBRAM := 0
+	for i, l := range layers {
+		if i > 0 {
+			fifoBRAM += ceilDiv(l.In*32, 36*1024) + 1
+		}
+	}
+	rep.BRAM = ceilDiv(weightBits, 36*1024)*c.bramDup + fifoBRAM
+	return rep
+}
+
+// TotalCycles returns the pipelined total for n inputs: n·II + (L − II),
+// the formula of §V (citing the HLS performance model).
+func (r Report) TotalCycles(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n*r.II + (r.Latency - r.II)
+}
+
+// TotalMs returns the wall-clock time for n inputs at the report's clock.
+func (r Report) TotalMs(n int) float64 {
+	return float64(r.TotalCycles(n)) * r.ClockNs * 1e-6
+}
+
+// Throughput returns inputs per second in steady state.
+func (r Report) Throughput() float64 {
+	return 1e9 / (float64(r.II) * r.ClockNs)
+}
+
+// String implements fmt.Stringer with a Table-III-style summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%s: L=%d cycles, II=%d cycles, BRAM=%d, DSP=%d, FF=%d, LUT=%d",
+		r.Type, r.Latency, r.II, r.BRAM, r.DSP, r.FF, r.LUT)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,156 @@
+package fpga
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func reports() (Report, Report) {
+	layers := BackgroundNetLayers(13)
+	dev := DefaultDevice()
+	return Synthesize(layers, INT8, dev), Synthesize(layers, FP32, dev)
+}
+
+func TestSimulatorMatchesClosedForm(t *testing.T) {
+	i8, f32 := reports()
+	for _, r := range []Report{i8, f32} {
+		f := func(rawN uint16) bool {
+			n := int(rawN%2000) + 1
+			return Simulate(r, n) == r.TotalCycles(n)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: simulator disagrees with n·II+(L−II): %v", r.Type, err)
+		}
+	}
+}
+
+func TestTotalCyclesEdgeCases(t *testing.T) {
+	i8, _ := reports()
+	if i8.TotalCycles(0) != 0 || Simulate(i8, 0) != 0 {
+		t.Error("zero inputs should cost zero cycles")
+	}
+	if i8.TotalCycles(1) != i8.Latency {
+		t.Errorf("one input costs %d, want L=%d", i8.TotalCycles(1), i8.Latency)
+	}
+}
+
+func TestInt8VsFp32Ordering(t *testing.T) {
+	i8, f32 := reports()
+	// The Table III shape: INT8 beats FP32 on latency, II, BRAM, DSP, FF.
+	if i8.Latency >= f32.Latency {
+		t.Errorf("latency: INT8 %d !< FP32 %d", i8.Latency, f32.Latency)
+	}
+	if i8.II >= f32.II {
+		t.Errorf("II: INT8 %d !< FP32 %d", i8.II, f32.II)
+	}
+	if i8.BRAM >= f32.BRAM {
+		t.Errorf("BRAM: INT8 %d !< FP32 %d", i8.BRAM, f32.BRAM)
+	}
+	if i8.DSP >= f32.DSP {
+		t.Errorf("DSP: INT8 %d !< FP32 %d", i8.DSP, f32.DSP)
+	}
+	if i8.FF >= f32.FF {
+		t.Errorf("FF: INT8 %d !< FP32 %d", i8.FF, f32.FF)
+	}
+	// The paper's headline: ~1.75x throughput. Accept a band around it.
+	ratio := i8.Throughput() / f32.Throughput()
+	if ratio < 1.3 || ratio > 2.5 {
+		t.Errorf("throughput ratio %v outside [1.3, 2.5]", ratio)
+	}
+	// L > II for both (pipelined kernels).
+	if i8.Latency <= i8.II || f32.Latency <= f32.II {
+		t.Error("latency should exceed initiation interval")
+	}
+}
+
+func TestTotalMsAtPaperWorkload(t *testing.T) {
+	i8, f32 := reports()
+	// 597 rings at 100 MHz should land in the single-digit-ms regime the
+	// paper reports (4.13 / 7.22 ms).
+	if ms := i8.TotalMs(597); ms < 1 || ms > 10 {
+		t.Errorf("INT8 597-ring latency %v ms implausible", ms)
+	}
+	if ms := f32.TotalMs(597); ms < 2 || ms > 20 {
+		t.Errorf("FP32 597-ring latency %v ms implausible", ms)
+	}
+	if i8.TotalMs(597) >= f32.TotalMs(597) {
+		t.Error("INT8 not faster at the paper workload")
+	}
+}
+
+func TestDSPBudgetShrink(t *testing.T) {
+	layers := BackgroundNetLayers(13)
+	tiny := DefaultDevice()
+	tiny.DSP = 40 // starve the kernel
+	r := Synthesize(layers, FP32, tiny)
+	if float64(r.DSP) > float64(tiny.DSP)*tiny.DSPBudget+3*3 {
+		t.Errorf("DSP usage %d exceeds starved budget %d", r.DSP, tiny.DSP)
+	}
+	full := Synthesize(layers, FP32, DefaultDevice())
+	if r.II <= full.II {
+		t.Error("starved device should have worse II")
+	}
+}
+
+func TestStageSchedules(t *testing.T) {
+	i8, _ := reports()
+	if len(i8.Stages) != 4 {
+		t.Fatalf("%d stages, want 4", len(i8.Stages))
+	}
+	maxII := 0
+	for _, s := range i8.Stages {
+		if s.Parallel < 1 || s.II < 1 || s.Latency <= s.II {
+			t.Errorf("bad stage schedule %+v", s)
+		}
+		if s.II > maxII {
+			maxII = s.II
+		}
+	}
+	if i8.II != maxII+1 {
+		t.Errorf("kernel II %d != bottleneck %d + handshake", i8.II, maxII)
+	}
+	// The 256×128 layer dominates.
+	if i8.Stages[1].II != maxII {
+		t.Error("expected the 256→128 stage to be the bottleneck")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	i8, _ := reports()
+	want := 1e9 / (float64(i8.II) * i8.ClockNs)
+	if got := i8.Throughput(); got != want {
+		t.Errorf("Throughput = %v, want %v", got, want)
+	}
+	if i8.String() == "" {
+		t.Error("empty report string")
+	}
+	if INT8.String() != "INT8" || FP32.String() != "FP32" {
+		t.Error("NumType strings wrong")
+	}
+}
+
+func TestSynthesizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for empty layer list")
+		}
+	}()
+	Synthesize(nil, INT8, DefaultDevice())
+}
+
+func TestLayerDims(t *testing.T) {
+	l := LayerDims{In: 13, Out: 256}
+	if l.MACs() != 13*256 {
+		t.Error("MACs wrong")
+	}
+	bg := BackgroundNetLayers(13)
+	if bg[0].In != 13 || bg[len(bg)-1].Out != 1 {
+		t.Error("background net layer dims wrong")
+	}
+	// Widths follow the paper: 256, 128, 64, 1.
+	for i, want := range []int{256, 128, 64, 1} {
+		if bg[i].Out != want {
+			t.Errorf("layer %d out = %d, want %d", i, bg[i].Out, want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package geom
+
+import "math"
+
+// Ring is the geometric part of a Compton ring: the set of directions s on
+// the unit sphere with s·Axis = Eta, thickened by the Gaussian width DEta in
+// cosine space. Axis is the unit vector through the first two hits (from the
+// second hit toward the first, i.e. pointing back toward the sky).
+type Ring struct {
+	Axis Vec     // unit vector c
+	Eta  float64 // cosine of the ring opening angle, in [-1, 1]
+	DEta float64 // 1-sigma Gaussian width of Eta, > 0
+}
+
+// Residual returns the signed distance in cosine space between direction s
+// and the ring surface: s·Axis − Eta. s must be unit length.
+func (r Ring) Residual(s Vec) float64 { return s.Dot(r.Axis) - r.Eta }
+
+// Pull returns Residual(s)/DEta, the residual in units of the ring width.
+func (r Ring) Pull(s Vec) float64 { return r.Residual(s) / r.DEta }
+
+// Contains reports whether s lies within k ring widths of the ring surface.
+func (r Ring) Contains(s Vec, k float64) bool {
+	return math.Abs(r.Pull(s)) <= k
+}
+
+// Point returns the direction on the exact ring surface at azimuth phi about
+// the ring axis. If |Eta| > 1 it is clamped, collapsing the ring to the axis
+// (or its negation).
+func (r Ring) Point(phi float64) Vec {
+	eta := Clamp(r.Eta, -1, 1)
+	return ConeDirection(r.Axis, math.Acos(eta), phi)
+}
+
+// Points appends n directions uniformly spaced in azimuth around the ring
+// surface to dst and returns the extended slice. phase offsets the azimuths,
+// which callers use to decorrelate candidate sets across rings.
+func (r Ring) Points(dst []Vec, n int, phase float64) []Vec {
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.Point(phase+2*math.Pi*float64(i)/float64(n)))
+	}
+	return dst
+}
+
+// OpeningAngle returns arccos(Eta) in radians, clamping Eta to [-1, 1].
+func (r Ring) OpeningAngle() float64 {
+	return math.Acos(Clamp(r.Eta, -1, 1))
+}

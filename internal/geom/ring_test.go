@@ -1,0 +1,87 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingPointOnSurface(t *testing.T) {
+	f := func(ax, ay, az, rawEta, phi float64) bool {
+		a := Vec{ax, ay, az}
+		if !isFinite(a) || a.Norm() < 1e-6 || math.IsNaN(rawEta) || math.IsNaN(phi) || math.IsInf(rawEta, 0) || math.IsInf(phi, 0) {
+			return true // skip degenerate inputs
+		}
+		eta := math.Mod(rawEta, 1) // in (-1, 1)
+		r := Ring{Axis: a.Unit(), Eta: eta, DEta: 0.01}
+		p := r.Point(phi)
+		return p.IsUnit(1e-9) && math.Abs(p.Dot(r.Axis)-eta) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func isFinite(v Vec) bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+func TestRingResidualAndPull(t *testing.T) {
+	r := Ring{Axis: Vec{0, 0, 1}, Eta: 0.5, DEta: 0.1}
+	s := FromSpherical(math.Acos(0.5), 1.0) // exactly on the ring
+	if got := r.Residual(s); math.Abs(got) > 1e-12 {
+		t.Errorf("Residual on surface = %v", got)
+	}
+	zenith := Vec{0, 0, 1}
+	if got := r.Residual(zenith); !almost(got, 0.5, tol) {
+		t.Errorf("Residual at zenith = %v, want 0.5", got)
+	}
+	if got := r.Pull(zenith); !almost(got, 5, tol) {
+		t.Errorf("Pull at zenith = %v, want 5", got)
+	}
+	if !r.Contains(s, 1) {
+		t.Error("Contains false on surface")
+	}
+	if r.Contains(zenith, 3) {
+		t.Error("Contains true 5 sigma away")
+	}
+}
+
+func TestRingEtaClamping(t *testing.T) {
+	r := Ring{Axis: Vec{0, 0, 1}, Eta: 1.5, DEta: 0.1}
+	p := r.Point(0.7)
+	if p.Sub(Vec{0, 0, 1}).Norm() > 1e-12 {
+		t.Errorf("Point with eta>1 = %v, want axis", p)
+	}
+	if got := r.OpeningAngle(); got != 0 {
+		t.Errorf("OpeningAngle with eta>1 = %v", got)
+	}
+	r.Eta = -2
+	if got := r.OpeningAngle(); !almost(got, math.Pi, tol) {
+		t.Errorf("OpeningAngle with eta<-1 = %v", got)
+	}
+}
+
+func TestRingPoints(t *testing.T) {
+	r := Ring{Axis: Vec{1, 1, 1}.Unit(), Eta: 0.3, DEta: 0.05}
+	pts := r.Points(nil, 8, 0.123)
+	if len(pts) != 8 {
+		t.Fatalf("Points returned %d, want 8", len(pts))
+	}
+	for i, p := range pts {
+		if math.Abs(p.Dot(r.Axis)-0.3) > 1e-9 {
+			t.Errorf("point %d off surface", i)
+		}
+	}
+	// Appending extends rather than overwriting.
+	more := r.Points(pts, 4, 0)
+	if len(more) != 12 {
+		t.Errorf("append-style Points returned %d, want 12", len(more))
+	}
+	// Distinct azimuths produce distinct points.
+	if pts[0].Sub(pts[4]).Norm() < 1e-6 {
+		t.Error("uniformly spaced points coincide")
+	}
+}

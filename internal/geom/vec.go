@@ -1,0 +1,159 @@
+// Package geom provides the small amount of 3-D vector and spherical
+// geometry needed by the ADAPT reconstruction and localization pipeline:
+// vectors, rotations, angular separations, orthonormal frames, and sampling
+// of points on a Compton ring.
+//
+// All angles are in radians unless a function name says otherwise. Directions
+// are represented as unit 3-vectors; callers are expected to normalize unless
+// the function documents that it normalizes for them.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a 3-vector in detector coordinates. X and Y span the tile plane;
+// +Z points up, out of the top of the instrument toward the sky.
+type Vec struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns k*v.
+func (v Vec) Scale(k float64) Vec { return Vec{k * v.X, k * v.Y, k * v.Z} }
+
+// Neg returns -v.
+func (v Vec) Neg() Vec { return Vec{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the inner product v·w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec) Cross(w Vec) Vec {
+	return Vec{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length |v|.
+func (v Vec) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns |v|².
+func (v Vec) Norm2() float64 { return v.Dot(v) }
+
+// Unit returns v/|v|. It panics on the zero vector, which always indicates a
+// logic error upstream (a degenerate event should have been filtered).
+// Components are pre-scaled by the largest magnitude so that |v|² cannot
+// overflow or underflow for any finite non-zero input.
+func (v Vec) Unit() Vec {
+	m := math.Max(math.Abs(v.X), math.Max(math.Abs(v.Y), math.Abs(v.Z)))
+	if m == 0 {
+		panic("geom: Unit of zero vector")
+	}
+	s := v.Scale(1 / m)
+	return s.Scale(1 / s.Norm())
+}
+
+// IsUnit reports whether |v| is within tol of 1.
+func (v Vec) IsUnit(tol float64) bool {
+	return math.Abs(v.Norm()-1) <= tol
+}
+
+// Dist returns the Euclidean distance |v-w|.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Norm() }
+
+// String implements fmt.Stringer.
+func (v Vec) String() string {
+	return fmt.Sprintf("(%.4g, %.4g, %.4g)", v.X, v.Y, v.Z)
+}
+
+// Lerp returns (1-t)*v + t*w.
+func (v Vec) Lerp(w Vec, t float64) Vec {
+	return v.Scale(1 - t).Add(w.Scale(t))
+}
+
+// AngleBetween returns the angle in [0, π] between directions v and w.
+// Both inputs must be non-zero; they need not be unit length.
+// The implementation uses atan2 of the cross/dot pair, which is numerically
+// stable for nearly parallel and nearly antiparallel vectors (unlike acos of
+// the normalized dot product).
+func AngleBetween(v, w Vec) float64 {
+	return math.Atan2(v.Cross(w).Norm(), v.Dot(w))
+}
+
+// Clamp returns x limited to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// FromSpherical returns the unit vector at polar angle theta (from +Z) and
+// azimuth phi (from +X toward +Y).
+func FromSpherical(theta, phi float64) Vec {
+	st, ct := math.Sincos(theta)
+	sp, cp := math.Sincos(phi)
+	return Vec{st * cp, st * sp, ct}
+}
+
+// Polar returns the polar angle in [0, π] of direction v measured from +Z.
+// v need not be unit length.
+func Polar(v Vec) float64 {
+	return math.Atan2(math.Hypot(v.X, v.Y), v.Z)
+}
+
+// Azimuth returns the azimuth in (-π, π] of direction v measured from +X.
+func Azimuth(v Vec) float64 {
+	return math.Atan2(v.Y, v.X)
+}
+
+// Deg converts radians to degrees.
+func Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Rad converts degrees to radians.
+func Rad(deg float64) float64 { return deg * math.Pi / 180 }
+
+// OrthoBasis returns two unit vectors u, w such that {u, w, n.Unit()} is a
+// right-handed orthonormal basis. n must be non-zero.
+func OrthoBasis(n Vec) (u, w Vec) {
+	n = n.Unit()
+	// Pick the coordinate axis least aligned with n to avoid degeneracy.
+	ref := Vec{1, 0, 0}
+	if math.Abs(n.X) > 0.9 {
+		ref = Vec{0, 1, 0}
+	}
+	u = ref.Cross(n).Unit()
+	w = n.Cross(u)
+	return u, w
+}
+
+// RotateAbout rotates v by angle about the unit axis using Rodrigues'
+// formula. axis must be unit length.
+func RotateAbout(v, axis Vec, angle float64) Vec {
+	s, c := math.Sincos(angle)
+	return v.Scale(c).
+		Add(axis.Cross(v).Scale(s)).
+		Add(axis.Scale(axis.Dot(v) * (1 - c)))
+}
+
+// ConeDirection returns the unit vector obtained by tilting axis (unit) by
+// opening angle theta, at azimuth phi about the axis. The returned vector d
+// satisfies d·axis = cos(theta).
+func ConeDirection(axis Vec, theta, phi float64) Vec {
+	u, w := OrthoBasis(axis)
+	st, ct := math.Sincos(theta)
+	sp, cp := math.Sincos(phi)
+	return axis.Unit().Scale(ct).Add(u.Scale(st * cp)).Add(w.Scale(st * sp))
+}

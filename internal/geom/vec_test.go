@@ -1,0 +1,213 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// bound maps arbitrary quick-generated floats into a physically plausible
+// range, discarding NaN/Inf and extreme magnitudes that overflow float64
+// intermediates (detector coordinates are O(10) cm).
+func bound(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestBasicOps(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{-4, 5, 0.5}
+	if got := v.Add(w); got != (Vec{-3, 7, 3.5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec{5, -3, 2.5}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Neg(); got != (Vec{-1, -2, -3}) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := v.Dot(w); !almost(got, -4+10+1.5, tol) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Norm2(); !almost(got, 14, tol) {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := v.Norm(); !almost(got, math.Sqrt(14), tol) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := v.Dist(v); got != 0 {
+		t.Errorf("Dist(v,v) = %v", got)
+	}
+}
+
+func TestCrossProperties(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec{bound(ax), bound(ay), bound(az)}
+		b := Vec{bound(bx), bound(by), bound(bz)}
+		c := a.Cross(b)
+		// Orthogonal to both operands (within numeric tolerance scaled to
+		// the operand magnitudes).
+		scale := (a.Norm() + 1) * (b.Norm() + 1)
+		return math.Abs(c.Dot(a)) <= 1e-9*scale*scale && math.Abs(c.Dot(b)) <= 1e-9*scale*scale
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// Right-handedness on the canonical basis.
+	if got := (Vec{1, 0, 0}).Cross(Vec{0, 1, 0}); got != (Vec{0, 0, 1}) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Vec{3, 4, 0}.Unit()
+	if !almost(u.Norm(), 1, tol) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if !u.IsUnit(1e-12) {
+		t.Error("IsUnit false for unit vector")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Unit of zero vector did not panic")
+		}
+	}()
+	Vec{}.Unit()
+}
+
+func TestAngleBetween(t *testing.T) {
+	cases := []struct {
+		a, b Vec
+		want float64
+	}{
+		{Vec{1, 0, 0}, Vec{1, 0, 0}, 0},
+		{Vec{1, 0, 0}, Vec{0, 1, 0}, math.Pi / 2},
+		{Vec{1, 0, 0}, Vec{-1, 0, 0}, math.Pi},
+		{Vec{1, 0, 0}, Vec{5, 5, 0}, math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := AngleBetween(c.a, c.b); !almost(got, c.want, 1e-12) {
+			t.Errorf("AngleBetween(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// Stability for nearly parallel vectors: acos-based formulas lose
+	// precision here; atan2 must not.
+	a := Vec{1, 0, 0}
+	b := Vec{1, 1e-9, 0}
+	if got := AngleBetween(a, b); !almost(got, 1e-9, 1e-15) {
+		t.Errorf("near-parallel angle = %v, want 1e-9", got)
+	}
+}
+
+func TestSphericalRoundTrip(t *testing.T) {
+	f := func(rawTheta, rawPhi float64) bool {
+		theta := math.Mod(math.Abs(rawTheta), math.Pi)
+		phi := math.Mod(rawPhi, math.Pi) // keep away from the ±π seam
+		v := FromSpherical(theta, phi)
+		if !v.IsUnit(1e-12) {
+			return false
+		}
+		return almost(Polar(v), theta, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	if got := Azimuth(Vec{0, 1, 0}); !almost(got, math.Pi/2, tol) {
+		t.Errorf("Azimuth(+y) = %v", got)
+	}
+	if got := Polar(Vec{0, 0, -2}); !almost(got, math.Pi, tol) {
+		t.Errorf("Polar(-z) = %v", got)
+	}
+}
+
+func TestDegRad(t *testing.T) {
+	if !almost(Deg(math.Pi), 180, tol) || !almost(Rad(180), math.Pi, tol) {
+		t.Error("Deg/Rad conversion wrong")
+	}
+	if !almost(Rad(Deg(1.234)), 1.234, tol) {
+		t.Error("Deg/Rad not inverse")
+	}
+}
+
+func TestOrthoBasis(t *testing.T) {
+	dirs := []Vec{{0, 0, 1}, {1, 0, 0}, {0.99, 0.1, 0}, {1, 1, 1}, {-0.3, 0.2, -0.9}}
+	for _, n := range dirs {
+		u, w := OrthoBasis(n)
+		nu := n.Unit()
+		if !u.IsUnit(1e-12) || !w.IsUnit(1e-12) {
+			t.Errorf("OrthoBasis(%v): non-unit outputs", n)
+		}
+		if math.Abs(u.Dot(nu)) > 1e-12 || math.Abs(w.Dot(nu)) > 1e-12 || math.Abs(u.Dot(w)) > 1e-12 {
+			t.Errorf("OrthoBasis(%v): not orthogonal", n)
+		}
+		// Right-handed: u × w = n.
+		if u.Cross(w).Sub(nu).Norm() > 1e-12 {
+			t.Errorf("OrthoBasis(%v): not right-handed", n)
+		}
+	}
+}
+
+func TestRotateAbout(t *testing.T) {
+	axis := Vec{0, 0, 1}
+	v := Vec{1, 0, 0}
+	got := RotateAbout(v, axis, math.Pi/2)
+	if got.Sub(Vec{0, 1, 0}).Norm() > 1e-12 {
+		t.Errorf("RotateAbout 90° about z = %v, want (0,1,0)", got)
+	}
+	// Norm preservation and axis invariance (property).
+	f := func(vx, vy, vz, angle float64) bool {
+		v := Vec{bound(vx), bound(vy), bound(vz)}
+		if math.IsNaN(angle) || math.IsInf(angle, 0) {
+			angle = 1
+		}
+		angle = math.Mod(angle, 2*math.Pi)
+		axis := Vec{1, 2, -1}.Unit()
+		r := RotateAbout(v, axis, angle)
+		return almost(r.Norm(), v.Norm(), 1e-9*(1+v.Norm())) &&
+			almost(r.Dot(axis), v.Dot(axis), 1e-9*(1+v.Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConeDirection(t *testing.T) {
+	axis := Vec{0.3, -0.4, 0.87}.Unit()
+	for _, theta := range []float64{0, 0.3, 1.2, math.Pi / 2, 2.8} {
+		for _, phi := range []float64{0, 1, 3, 6} {
+			d := ConeDirection(axis, theta, phi)
+			if !d.IsUnit(1e-12) {
+				t.Fatalf("ConeDirection not unit at theta=%v phi=%v", theta, phi)
+			}
+			if !almost(d.Dot(axis), math.Cos(theta), 1e-12) {
+				t.Fatalf("ConeDirection dot = %v, want cos %v", d.Dot(axis), theta)
+			}
+		}
+	}
+}
+
+func TestClampAndLerp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp wrong")
+	}
+	a, b := Vec{0, 0, 0}, Vec{2, 4, 6}
+	if got := a.Lerp(b, 0.5); got != (Vec{1, 2, 3}) {
+		t.Errorf("Lerp = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Vec{1, 2, 3}).String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,52 @@
+package localize
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/recon"
+	"repro/internal/xrand"
+)
+
+// benchWorkload builds a paper-scale ring set: ~600 rings, 1:2.2
+// source:background, around a 25°-polar source.
+func benchWorkload() ([]*recon.Ring, geom.Vec) {
+	rng := xrand.New(42)
+	s := geom.FromSpherical(geom.Rad(25), geom.Rad(140))
+	rings := syntheticRings(s, 190, 0.02, 420, rng)
+	return rings, s
+}
+
+func BenchmarkApproximate(b *testing.B) {
+	cfg := DefaultConfig()
+	rings, _ := benchWorkload()
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Approximate(&cfg, rings, rng, 3)
+	}
+}
+
+func BenchmarkRefine(b *testing.B) {
+	cfg := DefaultConfig()
+	rings, s := benchWorkload()
+	start := geom.FromSpherical(geom.Rad(28), geom.Rad(143))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Refine(&cfg, rings, start)
+	}
+	_ = s
+}
+
+func BenchmarkLocalize(b *testing.B) {
+	cfg := DefaultConfig()
+	rings, _ := benchWorkload()
+	rng := xrand.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Localize(&cfg, rings, rng)
+	}
+}

@@ -1,0 +1,355 @@
+// Package localize infers a single GRB source direction from a set of
+// Compton rings (paper §II-B, "Computational Pipeline"). The algorithm has
+// the paper's two stages:
+//
+//   - Approximation: sample a small number of rings, take candidate
+//     directions on each sampled ring's surface, and keep the candidate
+//     that maximizes the joint robust likelihood of the sample.
+//   - Refinement: iterate { gate rings consistent with the current estimate;
+//     solve the weighted "almost-linear" least-squares problem
+//     min Σ wᵢ (s·cᵢ − ηᵢ)² over s ∈ R³; renormalize s } to convergence.
+//
+// The gating step is what makes the solver robust to background rings and
+// badly reconstructed rings: anything farther than GateSigma ring widths
+// from the current estimate contributes nothing to the update.
+package localize
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/recon"
+	"repro/internal/xrand"
+)
+
+// Config holds the localization parameters.
+type Config struct {
+	// SampleRings is how many rings the approximation stage samples.
+	SampleRings int
+	// CandidatesPerRing is how many directions are taken on each sampled
+	// ring's surface.
+	CandidatesPerRing int
+	// GateSigma is the ring-gating threshold κ in units of dη.
+	GateSigma float64
+	// MaxGateCos caps the gate half-width κ·dη in cosine space, so rings
+	// with honestly large widths still only vote near their surface instead
+	// of admitting most of the sky.
+	MaxGateCos float64
+	// RobustCap caps each ring's squared pull in the likelihood, so far-away
+	// rings saturate instead of dominating.
+	RobustCap float64
+	// MaxIters bounds the refinement loop.
+	MaxIters int
+	// ConvergeRad: refinement stops when the estimate moves less than this
+	// angle (radians) in one iteration.
+	ConvergeRad float64
+	// MinRings is the minimum number of gated rings required to trust a
+	// least-squares update; below it the gate is widened.
+	MinRings int
+	// SkyOnly restricts candidate directions to the upper hemisphere
+	// (Earth blocks ADAPT's view from below, §III).
+	SkyOnly bool
+}
+
+// DefaultConfig returns the solver settings used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		SampleRings:       16,
+		CandidatesPerRing: 36,
+		GateSigma:         3.0,
+		MaxGateCos:        0.20,
+		RobustCap:         9.0,
+		MaxIters:          25,
+		ConvergeRad:       geom.Rad(0.02),
+		MinRings:          5,
+		SkyOnly:           true,
+	}
+}
+
+// Result is the output of a localization run.
+type Result struct {
+	// Dir is the inferred unit source direction.
+	Dir geom.Vec
+	// RingsUsed is the number of rings inside the final gate.
+	RingsUsed int
+	// Iterations is the number of refinement iterations performed.
+	Iterations int
+	// Converged reports whether the estimate moved less than ConvergeRad on
+	// the final iteration.
+	Converged bool
+	// OK is false when there were not enough rings to localize at all.
+	OK bool
+}
+
+// ErrorDeg returns the angular separation in degrees between the result and
+// the true direction.
+func (r Result) ErrorDeg(truth geom.Vec) float64 {
+	return geom.Deg(geom.AngleBetween(r.Dir, truth))
+}
+
+// LogLikelihood returns the joint robust log-likelihood of direction s given
+// the rings: Σ −min(pull², cap)/2. Higher is better.
+func LogLikelihood(cfg *Config, rings []*recon.Ring, s geom.Vec) float64 {
+	var ll float64
+	for _, r := range rings {
+		p := r.Pull(s)
+		ll -= math.Min(p*p, cfg.RobustCap) / 2
+	}
+	return ll
+}
+
+// Approximate picks initial directions by sampling rings and scoring
+// candidate directions on their surfaces (paper: "Approximation picks a
+// small random sample of incoming Compton rings and considers the set of
+// candidate source directions that lie close to at least one of these
+// rings, choosing the direction s₀ that maximizes the joint likelihood of
+// the sample"). It returns up to maxSeeds well-separated candidates in
+// decreasing likelihood order; refining several seeds and keeping the most
+// likely final answer is what makes the stage robust when most rings are
+// background.
+func Approximate(cfg *Config, rings []*recon.Ring, rng *xrand.RNG, maxSeeds int) []geom.Vec {
+	if len(rings) == 0 || maxSeeds < 1 {
+		return nil
+	}
+	nSample := cfg.SampleRings
+	if nSample > len(rings) {
+		nSample = len(rings)
+	}
+	sample := make([]*recon.Ring, 0, nSample)
+	for _, i := range rng.Perm(len(rings))[:nSample] {
+		sample = append(sample, rings[i])
+	}
+
+	type scored struct {
+		dir geom.Vec
+		ll  float64
+	}
+	var cands []scored
+	buf := make([]geom.Vec, 0, cfg.CandidatesPerRing)
+	for _, r := range sample {
+		buf = r.Points(buf[:0], cfg.CandidatesPerRing, rng.Uniform(0, 2*math.Pi))
+		for _, cand := range buf {
+			if cfg.SkyOnly && cand.Z < -0.05 {
+				continue
+			}
+			cands = append(cands, scored{cand, LogLikelihood(cfg, rings, cand)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ll > cands[j].ll })
+
+	// Keep the best candidates that are mutually separated, so the seeds
+	// explore distinct likelihood modes instead of one cluster.
+	const minSepCos = 0.995 // ~5.7°
+	var seeds []geom.Vec
+	for _, c := range cands {
+		distinct := true
+		for _, s := range seeds {
+			if c.dir.Dot(s) > minSepCos {
+				distinct = false
+				break
+			}
+		}
+		if distinct {
+			seeds = append(seeds, c.dir)
+			if len(seeds) == maxSeeds {
+				break
+			}
+		}
+	}
+	return seeds
+}
+
+// Refine improves an initial direction by iteratively-gated weighted least
+// squares (the paper's "almost-linear least-squares" refinement).
+func Refine(cfg *Config, rings []*recon.Ring, s0 geom.Vec) Result {
+	if len(rings) == 0 {
+		return Result{}
+	}
+	s := s0.Unit()
+	res := Result{Dir: s, OK: true}
+	for it := 0; it < cfg.MaxIters; it++ {
+		res.Iterations = it + 1
+		gated, used := gate(cfg, rings, s)
+		res.RingsUsed = used
+		next, ok := solveLSQ(gated, s)
+		if !ok {
+			break
+		}
+		if cfg.SkyOnly && next.Z < 0 {
+			// Project back to the horizon rather than letting the estimate
+			// dive below the Earth limb.
+			next.Z = 0
+			if next.Norm() == 0 {
+				break
+			}
+			next = next.Unit()
+		}
+		move := geom.AngleBetween(s, next)
+		s = next
+		res.Dir = s
+		if move < cfg.ConvergeRad {
+			res.Converged = true
+			break
+		}
+	}
+	return res
+}
+
+// ErrorRadiusDeg estimates the 1σ angular uncertainty (degrees) of a
+// localization at s from the Fisher information of the gated rings: each
+// ring constrains the component of s along its axis with weight 1/dη²,
+// giving the 2×2 information matrix in the tangent plane at s. The returned
+// radius is the geometric mean of the two principal 1σ extents — what the
+// flight system would downlink as its own error estimate, since ground
+// truth is unavailable in flight.
+func ErrorRadiusDeg(cfg *Config, rings []*recon.Ring, s geom.Vec) float64 {
+	gated, _ := gate(cfg, rings, s)
+	if len(gated) == 0 {
+		return 180
+	}
+	u, w := geom.OrthoBasis(s)
+	var h00, h01, h11 float64
+	for _, r := range gated {
+		// d(s·c)/dt along tangent direction t is t·c; information adds
+		// (t·c)(t'·c)/dη².
+		cu := r.Axis.Dot(u)
+		cw := r.Axis.Dot(w)
+		wgt := 1 / (r.DEta * r.DEta)
+		h00 += wgt * cu * cu
+		h01 += wgt * cu * cw
+		h11 += wgt * cw * cw
+	}
+	det := h00*h11 - h01*h01
+	if det <= 0 {
+		return 180
+	}
+	// Covariance = H⁻¹; principal variances are the eigenvalues. Their
+	// geometric mean is sqrt(det(H⁻¹)) = 1/sqrt(det(H)).
+	sigmaRad := math.Sqrt(1 / math.Sqrt(det))
+	return geom.Deg(sigmaRad)
+}
+
+// Localize runs approximation followed by refinement. It refines the
+// best-scoring well-separated seeds from the approximation stage and keeps
+// the refined direction with the highest joint likelihood.
+func Localize(cfg *Config, rings []*recon.Ring, rng *xrand.RNG) Result {
+	seeds := Approximate(cfg, rings, rng, 3)
+	if len(seeds) == 0 {
+		return Result{}
+	}
+	best := math.Inf(-1)
+	var bestRes Result
+	for _, s0 := range seeds {
+		res := Refine(cfg, rings, s0)
+		if !res.OK {
+			continue
+		}
+		if ll := LogLikelihood(cfg, rings, res.Dir); ll > best {
+			best, bestRes = ll, res
+		}
+	}
+	return bestRes
+}
+
+// gate returns the rings within GateSigma ring widths (capped at MaxGateCos
+// in cosine space) of s, widening the gate when fewer than MinRings survive.
+func gate(cfg *Config, rings []*recon.Ring, s geom.Vec) ([]*recon.Ring, int) {
+	k := cfg.GateSigma
+	cap := cfg.MaxGateCos
+	if cap <= 0 {
+		cap = math.Inf(1)
+	}
+	for widen := 0; widen < 3; widen++ {
+		var out []*recon.Ring
+		for _, r := range rings {
+			w := k * r.DEta
+			if w > cap {
+				w = cap
+			}
+			if math.Abs(r.Residual(s)) <= w {
+				out = append(out, r)
+			}
+		}
+		if len(out) >= cfg.MinRings {
+			return out, len(out)
+		}
+		k *= 2
+		cap *= 2
+	}
+	return rings, len(rings)
+}
+
+// solveLSQ solves min_s Σ wᵢ(s·cᵢ − ηᵢ)² via the 3×3 normal equations and
+// renormalizes. prev seeds the Tikhonov fallback when the system is nearly
+// singular (all ring axes parallel).
+func solveLSQ(rings []*recon.Ring, prev geom.Vec) (geom.Vec, bool) {
+	if len(rings) == 0 {
+		return geom.Vec{}, false
+	}
+	var m [3][3]float64
+	var b [3]float64
+	for _, r := range rings {
+		w := 1 / (r.DEta * r.DEta)
+		c := [3]float64{r.Axis.X, r.Axis.Y, r.Axis.Z}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += w * c[i] * c[j]
+			}
+			b[i] += w * r.Eta * c[i]
+		}
+	}
+	// Tikhonov regularization toward the previous estimate stabilizes the
+	// degenerate case and barely perturbs the well-conditioned one.
+	lambda := 1e-6 * (m[0][0] + m[1][1] + m[2][2])
+	p := [3]float64{prev.X, prev.Y, prev.Z}
+	for i := 0; i < 3; i++ {
+		m[i][i] += lambda
+		b[i] += lambda * p[i]
+	}
+	x, ok := solve3(m, b)
+	if !ok {
+		return geom.Vec{}, false
+	}
+	v := geom.Vec{X: x[0], Y: x[1], Z: x[2]}
+	if v.Norm() == 0 {
+		return geom.Vec{}, false
+	}
+	return v.Unit(), true
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting.
+func solve3(m [3][3]float64, b [3]float64) ([3]float64, bool) {
+	a := [3][4]float64{}
+	for i := 0; i < 3; i++ {
+		copy(a[i][:3], m[i][:])
+		a[i][3] = b[i]
+	}
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-30 {
+			return [3]float64{}, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c < 4; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	var x [3]float64
+	for i := 0; i < 3; i++ {
+		x[i] = a[i][3] / a[i][i]
+	}
+	return x, true
+}

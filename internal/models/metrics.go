@@ -1,0 +1,176 @@
+package models
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ConfusionMatrix summarizes thresholded binary classification with the
+// background convention: positive = background (label 1).
+type ConfusionMatrix struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one thresholded prediction.
+func (c *ConfusionMatrix) Add(predictedBackground, isBackground bool) {
+	switch {
+	case predictedBackground && isBackground:
+		c.TP++
+	case predictedBackground && !isBackground:
+		c.FP++
+	case !predictedBackground && !isBackground:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Total returns the number of recorded samples.
+func (c ConfusionMatrix) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns the fraction classified correctly.
+func (c ConfusionMatrix) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP): how much of the rejected set really was
+// background.
+func (c ConfusionMatrix) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN): the fraction of background rings rejected.
+func (c ConfusionMatrix) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FalseRejectRate returns FP/(FP+TN): the fraction of GRB rings wrongly
+// discarded — the quantity the asymmetric threshold cost protects.
+func (c ConfusionMatrix) FalseRejectRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Confusion evaluates the per-bin thresholds over a labeled set.
+func Confusion(probs, labels []float32, polarDeg []float64, t *Thresholds) ConfusionMatrix {
+	var c ConfusionMatrix
+	for i := range probs {
+		c.Add(probs[i] > t.For(polarDeg[i]), labels[i] >= 0.5)
+	}
+	return c
+}
+
+// ROCPoint is one operating point of the ROC curve.
+type ROCPoint struct {
+	Threshold float32
+	TPR, FPR  float64
+}
+
+// ROC computes the full ROC curve by sweeping the threshold over the
+// sorted scores, highest threshold first (so the curve runs from (0,0) to
+// (1,1)).
+func ROC(probs, labels []float32) []ROCPoint {
+	if len(probs) != len(labels) {
+		panic("models: ROC length mismatch")
+	}
+	idx := make([]int, len(probs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return probs[idx[a]] > probs[idx[b]] })
+	var nPos, nNeg int
+	for _, l := range labels {
+		if l >= 0.5 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	var tp, fp int
+	curve := []ROCPoint{{Threshold: 2, TPR: 0, FPR: 0}}
+	for k := 0; k < len(idx); {
+		thr := probs[idx[k]]
+		for k < len(idx) && probs[idx[k]] == thr {
+			if labels[idx[k]] >= 0.5 {
+				tp++
+			} else {
+				fp++
+			}
+			k++
+		}
+		curve = append(curve, ROCPoint{
+			Threshold: thr,
+			TPR:       safeDiv(tp, nPos),
+			FPR:       safeDiv(fp, nNeg),
+		})
+	}
+	return curve
+}
+
+// AUC integrates the ROC curve with the trapezoid rule; 0.5 is chance,
+// 1.0 perfect.
+func AUC(probs, labels []float32) float64 {
+	curve := ROC(probs, labels)
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// BinReport is the per-polar-bin classifier evaluation.
+type BinReport struct {
+	Bin       int
+	LowDeg    float64
+	Threshold float32
+	N         int
+	Matrix    ConfusionMatrix
+}
+
+// ReportByBin evaluates the classifier separately in each ten-degree polar
+// bin, writing a table to w and returning the rows.
+func ReportByBin(w io.Writer, probs, labels []float32, polarDeg []float64, t *Thresholds) []BinReport {
+	rows := make([]BinReport, NumPolarBins)
+	for b := range rows {
+		rows[b] = BinReport{Bin: b, LowDeg: float64(10 * b), Threshold: t.ByBin[b]}
+	}
+	for i := range probs {
+		b := binOf(polarDeg[i])
+		rows[b].N++
+		rows[b].Matrix.Add(probs[i] > t.ByBin[b], labels[i] >= 0.5)
+	}
+	if w != nil {
+		fmt.Fprintf(w, "%-6s %-6s %-9s %-6s %-9s %-9s %-9s\n",
+			"bin", "deg", "thresh", "n", "acc", "bkg-rec", "grb-rej")
+		for _, r := range rows {
+			if r.N == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-6d %-6.0f %-9.3f %-6d %-9.3f %-9.3f %-9.3f\n",
+				r.Bin, r.LowDeg, r.Threshold, r.N,
+				r.Matrix.Accuracy(), r.Matrix.Recall(), r.Matrix.FalseRejectRate())
+		}
+	}
+	return rows
+}

@@ -1,0 +1,129 @@
+package models
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	var c ConfusionMatrix
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, false) // TN
+	c.Add(false, false) // TN
+	c.Add(false, true)  // FN
+	if c.TP != 1 || c.FP != 1 || c.TN != 2 || c.FN != 1 {
+		t.Fatalf("matrix %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Error("Total wrong")
+	}
+	if math.Abs(c.Accuracy()-0.6) > 1e-12 {
+		t.Errorf("Accuracy = %v", c.Accuracy())
+	}
+	if math.Abs(c.Precision()-0.5) > 1e-12 {
+		t.Errorf("Precision = %v", c.Precision())
+	}
+	if math.Abs(c.Recall()-0.5) > 1e-12 {
+		t.Errorf("Recall = %v", c.Recall())
+	}
+	if math.Abs(c.FalseRejectRate()-1.0/3) > 1e-12 {
+		t.Errorf("FalseRejectRate = %v", c.FalseRejectRate())
+	}
+	var empty ConfusionMatrix
+	if empty.Accuracy() != 0 || empty.Precision() != 0 || empty.Recall() != 0 || empty.FalseRejectRate() != 0 {
+		t.Error("empty matrix rates should be 0")
+	}
+}
+
+func TestROCAndAUC(t *testing.T) {
+	// Perfect separation → AUC 1.
+	probs := []float32{0.9, 0.8, 0.2, 0.1}
+	labels := []float32{1, 1, 0, 0}
+	if auc := AUC(probs, labels); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("perfect AUC = %v", auc)
+	}
+	// Inverted scores → AUC 0.
+	if auc := AUC(probs, []float32{0, 0, 1, 1}); math.Abs(auc) > 1e-12 {
+		t.Errorf("inverted AUC = %v", auc)
+	}
+	// Random scores → AUC ≈ 0.5.
+	rng := xrand.New(1)
+	n := 20000
+	p := make([]float32, n)
+	l := make([]float32, n)
+	for i := 0; i < n; i++ {
+		p[i] = float32(rng.Float64())
+		if rng.Bool(0.4) {
+			l[i] = 1
+		}
+	}
+	if auc := AUC(p, l); math.Abs(auc-0.5) > 0.02 {
+		t.Errorf("random AUC = %v", auc)
+	}
+	// The curve is monotone and ends at (1,1).
+	curve := ROC(probs, labels)
+	last := curve[len(curve)-1]
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("curve ends at (%v, %v)", last.FPR, last.TPR)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].TPR < curve[i-1].TPR || curve[i].FPR < curve[i-1].FPR {
+			t.Fatal("ROC not monotone")
+		}
+	}
+}
+
+func TestConfusionWithThresholds(t *testing.T) {
+	probs := []float32{0.9, 0.1, 0.7, 0.3}
+	labels := []float32{1, 0, 0, 1}
+	polar := []float64{5, 5, 5, 5}
+	var thr Thresholds
+	for i := range thr.ByBin {
+		thr.ByBin[i] = 0.5
+	}
+	c := Confusion(probs, labels, polar, &thr)
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Errorf("confusion %+v", c)
+	}
+}
+
+func TestReportByBin(t *testing.T) {
+	rng := xrand.New(2)
+	n := 1000
+	probs := make([]float32, n)
+	labels := make([]float32, n)
+	polar := make([]float64, n)
+	for i := 0; i < n; i++ {
+		polar[i] = rng.Uniform(0, 90)
+		if rng.Bool(0.4) {
+			labels[i] = 1
+			probs[i] = float32(rng.Gaussian(0.7, 0.1))
+		} else {
+			probs[i] = float32(rng.Gaussian(0.3, 0.1))
+		}
+	}
+	thr := FitThresholds(probs, labels, polar, 1)
+	var buf bytes.Buffer
+	rows := ReportByBin(&buf, probs, labels, polar, thr)
+	if len(rows) != NumPolarBins {
+		t.Fatalf("%d rows", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.N
+		if r.N > 0 && r.Matrix.Accuracy() < 0.8 {
+			t.Errorf("bin %d accuracy %v on well-separated data", r.Bin, r.Matrix.Accuracy())
+		}
+	}
+	if total != n {
+		t.Errorf("rows cover %d of %d samples", total, n)
+	}
+	if !strings.Contains(buf.String(), "thresh") {
+		t.Error("report header missing")
+	}
+}

@@ -1,0 +1,220 @@
+// Package models defines and trains the paper's two neural networks
+// (§III): the background network, a binary classifier that flags Compton
+// rings caused by background particles, and the dEta network, a regressor
+// that predicts ln(dη) for surviving rings. Both share the paper's block
+// architecture (Fig. 5): BatchNorm1D → fully-connected → ReLU, repeated,
+// with tunable depth and widths.
+//
+// The production architectures follow the paper's §III "Model Training":
+// four FC layers each; background net max width 256 in its first FC layer
+// with widths gradually decreasing; dEta net max width 16 in the middle with
+// shorter widths at the beginning and end.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/xrand"
+)
+
+// BackgroundWidths are the FC output widths of the background network.
+var BackgroundWidths = []int{256, 128, 64, 1}
+
+// DEtaWidths are the FC output widths of the dEta network.
+var DEtaWidths = []int{8, 16, 8, 1}
+
+// NewMLP builds the paper's block architecture: for each width w,
+// BatchNorm1D(prev) → Linear(prev→w) → ReLU, except the final block, which
+// omits the ReLU (raw logit / regression output).
+func NewMLP(in int, widths []int, rng *xrand.RNG) *nn.Sequential {
+	var layers []nn.Layer
+	prev := in
+	for i, w := range widths {
+		layers = append(layers, nn.NewBatchNorm1D(prev), nn.NewLinear(prev, w, rng))
+		if i < len(widths)-1 {
+			layers = append(layers, nn.NewReLU())
+		}
+		prev = w
+	}
+	return nn.NewSequential(layers...)
+}
+
+// NewMLPSwapped builds the layer-swapped variant used for quantization
+// (§V: "retraining the background model with an updated architecture that
+// reverses the order of these two layers within a block"): Linear →
+// BatchNorm1D → ReLU blocks, final Linear bare, so Linear+BN+ReLU can fuse.
+func NewMLPSwapped(in int, widths []int, rng *xrand.RNG) *nn.Sequential {
+	var layers []nn.Layer
+	prev := in
+	for i, w := range widths {
+		layers = append(layers, nn.NewLinear(prev, w, rng))
+		if i < len(widths)-1 {
+			layers = append(layers, nn.NewBatchNorm1D(w), nn.NewReLU())
+		}
+		prev = w
+	}
+	return nn.NewSequential(layers...)
+}
+
+// NewBackgroundNet returns the production background classifier for in
+// input features.
+func NewBackgroundNet(in int, rng *xrand.RNG) *nn.Sequential {
+	return NewMLP(in, BackgroundWidths, rng)
+}
+
+// NewBackgroundNetSwapped returns the fusion-friendly variant for the
+// quantization study.
+func NewBackgroundNetSwapped(in int, rng *xrand.RNG) *nn.Sequential {
+	return NewMLPSwapped(in, BackgroundWidths, rng)
+}
+
+// NewDEtaNet returns the production dEta regressor.
+func NewDEtaNet(in int, rng *xrand.RNG) *nn.Sequential {
+	return NewMLP(in, DEtaWidths, rng)
+}
+
+// NumPolarBins is the number of ten-degree polar-angle bins for threshold
+// selection (0°–90°).
+const NumPolarBins = 9
+
+// Thresholds holds the per-polar-bin classification thresholds (§III: "we
+// divided the range of input polar angles into ten-degree bins and chose an
+// output threshold for each bin that minimized training loss; the threshold
+// is then selected dynamically at inference time based on the input polar
+// angle").
+type Thresholds struct {
+	ByBin [NumPolarBins]float32
+}
+
+// binOf maps a polar angle in degrees to its bin index.
+func binOf(polarDeg float64) int {
+	b := int(polarDeg / 10)
+	if b < 0 {
+		b = 0
+	}
+	if b >= NumPolarBins {
+		b = NumPolarBins - 1
+	}
+	return b
+}
+
+// For returns the threshold for the given polar-angle guess.
+func (t *Thresholds) For(polarDeg float64) float32 { return t.ByBin[binOf(polarDeg)] }
+
+// DefaultFalseRejectCost weights the loss of discarding a true GRB ring
+// relative to keeping a background ring when fitting thresholds. Discarding
+// signal is worse for localization than keeping background (the robust
+// least-squares gate suppresses background anyway), so the default is
+// asymmetric. Cost 1 recovers plain misclassification minimization.
+const DefaultFalseRejectCost = 2.0
+
+// FitThresholds chooses, for each polar bin, the probability threshold that
+// minimizes the thresholded training loss over the given predictions (§III),
+// with false rejections of GRB rings weighted by cost (use
+// DefaultFalseRejectCost; 1 for the symmetric paper-literal rule). Bins with
+// no data inherit the global best threshold.
+func FitThresholds(probs []float32, labels []float32, polarDeg []float64, cost float64) *Thresholds {
+	if len(probs) != len(labels) || len(probs) != len(polarDeg) {
+		panic("models: FitThresholds length mismatch")
+	}
+	if cost <= 0 {
+		cost = DefaultFalseRejectCost
+	}
+	var t Thresholds
+	global := bestThreshold(probs, labels, nil, cost)
+	for b := 0; b < NumPolarBins; b++ {
+		sel := make([]bool, len(probs))
+		any := false
+		for i := range probs {
+			if binOf(polarDeg[i]) == b {
+				sel[i] = true
+				any = true
+			}
+		}
+		if !any {
+			t.ByBin[b] = global
+			continue
+		}
+		t.ByBin[b] = bestThreshold(probs, labels, sel, cost)
+	}
+	return &t
+}
+
+// bestThreshold scans candidate cutoffs to minimize the weighted error
+// cost·(GRB rings flagged) + (background rings kept) over the selected
+// samples (sel nil = all). Classification rule: prob > thr ⇒ background
+// (label 1).
+func bestThreshold(probs, labels []float32, sel []bool, cost float64) float32 {
+	type pl struct {
+		p float32
+		l float32
+	}
+	var xs []pl
+	for i := range probs {
+		if sel == nil || sel[i] {
+			xs = append(xs, pl{probs[i], labels[i]})
+		}
+	}
+	if len(xs) == 0 {
+		return 0.5
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i].p < xs[j].p })
+	// With the threshold below everything, every ring is classified
+	// background: we pay cost for each GRB ring flagged.
+	var errors float64
+	for _, x := range xs {
+		if x.l < 0.5 {
+			errors += cost
+		}
+	}
+	best := errors
+	bestThr := xs[0].p - 1e-6
+	// Raising the threshold past sample i flips it to "kept": a background
+	// ring becomes a kept-background error (+1), a GRB ring stops being
+	// falsely rejected (−cost).
+	for i, x := range xs {
+		if x.l >= 0.5 {
+			errors++
+		} else {
+			errors -= cost
+		}
+		thr := x.p + 1e-6
+		if i+1 < len(xs) {
+			thr = (x.p + xs[i+1].p) / 2
+		}
+		if errors < best {
+			best = errors
+			bestThr = thr
+		}
+	}
+	return bestThr
+}
+
+// Accuracy returns the fraction of correct thresholded classifications.
+func Accuracy(probs, labels []float32, polarDeg []float64, t *Thresholds) float64 {
+	if len(probs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range probs {
+		pred := float32(0)
+		if probs[i] > t.For(polarDeg[i]) {
+			pred = 1
+		}
+		if (pred >= 0.5) == (labels[i] >= 0.5) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(probs))
+}
+
+// describeWidths prints an architecture summary for logs.
+func describeWidths(name string, in int, widths []int) string {
+	s := fmt.Sprintf("%s: %d", name, in)
+	for _, w := range widths {
+		s += fmt.Sprintf("→%d", w)
+	}
+	return s
+}

@@ -1,0 +1,231 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/xrand"
+)
+
+func TestArchitectures(t *testing.T) {
+	rng := xrand.New(1)
+	bkg := NewBackgroundNet(features.NumFeatures, rng)
+	// Blocks: [BN, FC, ReLU]×3 + [BN, FC] = 11 layers.
+	if len(bkg.Layers) != 11 {
+		t.Errorf("background net has %d layers, want 11", len(bkg.Layers))
+	}
+	// Output is a single logit.
+	out := bkg.Predict(nn.NewTensor(3, features.NumFeatures))
+	if out.Rows != 3 || out.Cols != 1 {
+		t.Errorf("background output %dx%d", out.Rows, out.Cols)
+	}
+	// Parameter count sanity: dominated by 13·256 + 256·128 + 128·64 ≈ 44k.
+	if n := bkg.NumParams(); n < 40000 || n > 60000 {
+		t.Errorf("background net has %d params", n)
+	}
+
+	de := NewDEtaNet(features.NumFeatures, rng)
+	if n := de.NumParams(); n > 1000 {
+		t.Errorf("dEta net has %d params; the paper's is tiny (max width 16)", n)
+	}
+	if out := de.Predict(nn.NewTensor(2, features.NumFeatures)); out.Cols != 1 {
+		t.Error("dEta output not scalar")
+	}
+
+	sw := NewBackgroundNetSwapped(features.NumFeatures, rng)
+	if _, ok := sw.Layers[0].(*nn.Linear); !ok {
+		t.Error("swapped net should start with Linear")
+	}
+	if _, ok := bkg.Layers[0].(*nn.BatchNorm1D); !ok {
+		t.Error("paper net should start with BatchNorm")
+	}
+	// The swapped order drops the input BatchNorm (13 features x {gamma, beta}).
+	if want := bkg.NumParams() - 2*features.NumFeatures; sw.NumParams() != want {
+		t.Errorf("swapped has %d params, want %d", sw.NumParams(), want)
+	}
+}
+
+func TestThresholdFitting(t *testing.T) {
+	// Perfectly separable scores: background at 0.9, GRB at 0.1.
+	probs := []float32{0.9, 0.9, 0.1, 0.1, 0.85, 0.15}
+	labels := []float32{1, 1, 0, 0, 1, 0}
+	polar := []float64{5, 5, 5, 5, 5, 5}
+	thr := FitThresholds(probs, labels, polar, 1)
+	cut := thr.For(5)
+	if cut <= 0.15 || cut >= 0.85 {
+		t.Errorf("separable threshold %v not in the gap", cut)
+	}
+	if acc := Accuracy(probs, labels, polar, thr); acc != 1 {
+		t.Errorf("separable accuracy %v", acc)
+	}
+	// Bins without data inherit the global threshold.
+	if thr.For(85) != thr.For(5) {
+		t.Error("empty bin did not inherit global threshold")
+	}
+}
+
+func TestThresholdCostAsymmetry(t *testing.T) {
+	// Overlapping scores; a higher false-reject cost must push the
+	// threshold up (reject less).
+	rng := xrand.New(2)
+	n := 2000
+	probs := make([]float32, n)
+	labels := make([]float32, n)
+	polar := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			labels[i] = 1
+			probs[i] = float32(rng.Gaussian(0.6, 0.15))
+		} else {
+			probs[i] = float32(rng.Gaussian(0.4, 0.15))
+		}
+	}
+	cheap := FitThresholds(probs, labels, polar, 1)
+	costly := FitThresholds(probs, labels, polar, 5)
+	if costly.For(0) <= cheap.For(0) {
+		t.Errorf("cost 5 threshold %v not above cost 1 threshold %v", costly.For(0), cheap.For(0))
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	if binOf(-5) != 0 || binOf(0) != 0 || binOf(9.99) != 0 {
+		t.Error("bin 0 wrong")
+	}
+	if binOf(45) != 4 || binOf(89) != 8 || binOf(120) != 8 {
+		t.Error("bin clamping wrong")
+	}
+}
+
+// tinySet builds a small training set shared by the training tests.
+func tinySet() *datagen.Set {
+	cfg := datagen.DefaultConfig(3)
+	cfg.BurstsPerAngle = 1
+	cfg.PolarAnglesDeg = []float64{0, 40, 80}
+	cfg.Fluence = 1.5
+	return datagen.Generate(cfg)
+}
+
+func TestTrainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains networks")
+	}
+	set := tinySet()
+	opts := DefaultTrainOptions(4)
+	opts.MaxEpochs = 3
+	opts.BkgLR = 5e-3
+	opts.BkgBatch = 512
+	b := Train(set, opts)
+	if b.Bkg == nil || b.DEta == nil || b.Thr == nil || b.BkgNorm == nil || b.DEtaNorm == nil {
+		t.Fatal("incomplete bundle")
+	}
+	if b.BkgTestAcc < 0.4 {
+		t.Errorf("classifier worse than chance: %v", b.BkgTestAcc)
+	}
+	if b.DEtaScale <= 0 {
+		t.Errorf("dEta scale %v", b.DEtaScale)
+	}
+	if !b.WithPolar {
+		t.Error("WithPolar not recorded")
+	}
+
+	// Round-trip through the serializer.
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := nn.NewTensor(4, features.NumFeatures)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) - 3
+	}
+	b.BkgNorm.Apply(x)
+	p1 := b.Bkg.PredictProbs(x)
+	x2 := nn.NewTensor(4, features.NumFeatures)
+	for i := range x2.Data {
+		x2.Data[i] = float32(i%7) - 3
+	}
+	b2.BkgNorm.Apply(x2)
+	p2 := b2.Bkg.PredictProbs(x2)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("bundle round-trip changed predictions at %d", i)
+		}
+	}
+	if b2.DEtaScale != b.DEtaScale || b2.Thr.ByBin != b.Thr.ByBin {
+		t.Error("bundle metadata lost in round-trip")
+	}
+}
+
+func TestQuantizeBackgroundRejectsUnswapped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains networks")
+	}
+	set := tinySet()
+	opts := DefaultTrainOptions(5)
+	opts.MaxEpochs = 2
+	opts.BkgBatch = 512
+	b := Train(set, opts) // paper (BN-first) order
+	if _, _, err := QuantizeBackground(b, set, DefaultQuantizeOptions(6)); err == nil {
+		t.Error("quantizing the unswapped architecture should fail")
+	}
+}
+
+func TestQuantizeBackgroundFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains networks")
+	}
+	set := tinySet()
+	opts := DefaultTrainOptions(7)
+	opts.MaxEpochs = 2
+	opts.BkgBatch = 512
+	opts.Swapped = true
+	b := Train(set, opts)
+	qopts := DefaultQuantizeOptions(8)
+	qopts.QATEpochs = 1
+	int8net, fused, err := QuantizeBackground(b, set, qopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int8net == nil || fused == nil {
+		t.Fatal("nil outputs")
+	}
+	// INT8 classification should broadly agree with the swapped FP32 net.
+	ds := datagen.BackgroundDataset(set, true)
+	b.BkgNorm.Apply(ds.X)
+	probs := b.Bkg.PredictProbs(ds.X)
+	agree := 0
+	n := 400
+	for i := 0; i < n; i++ {
+		if (int8net.Prob(ds.X.Row(i)) > 0.5) == (probs[i] > 0.5) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(n); frac < 0.85 {
+		t.Errorf("INT8/FP32 agreement only %v", frac)
+	}
+
+	// The swapped bundle round-trips with its architecture flag.
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b2.Bkg.Layers[0].(*nn.Linear); !ok {
+		t.Error("swapped architecture lost in serialization")
+	}
+}
+
+func TestDescribeWidths(t *testing.T) {
+	if describeWidths("x", 13, []int{2, 1}) != "x: 13→2→1" {
+		t.Errorf("describeWidths = %q", describeWidths("x", 13, []int{2, 1}))
+	}
+}

@@ -1,0 +1,145 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/nn"
+	"repro/internal/nn/quant"
+	"repro/internal/xrand"
+)
+
+// QuantMode selects the quantization strategy (§VI lists "a broader range
+// of quantization strategies" as future work; this reproduction implements
+// the two standard ones).
+type QuantMode int
+
+const (
+	// ModeQAT is quantization-aware training: observers calibrate, then the
+	// network fine-tunes with fake quantization (the paper's §V flow).
+	ModeQAT QuantMode = iota
+	// ModePTQ is post-training quantization: observers calibrate on the
+	// training distribution and the weights convert as-is, with no
+	// fine-tuning. Cheaper, usually slightly less accurate.
+	ModePTQ
+)
+
+// String implements fmt.Stringer.
+func (m QuantMode) String() string {
+	if m == ModePTQ {
+		return "PTQ"
+	}
+	return "QAT"
+}
+
+// QuantizeOptions configures quantization.
+type QuantizeOptions struct {
+	Seed uint64
+	// Mode selects QAT (default) or PTQ.
+	Mode QuantMode
+	// PerChannel uses one weight scale per output row instead of one per
+	// tensor.
+	PerChannel bool
+	// WarmupEpochs run with fake quantization disabled so the observers see
+	// the activation ranges first (PyTorch's observer warm-up).
+	WarmupEpochs int
+	// QATEpochs of fake-quantized fine-tuning (ignored for ModePTQ).
+	QATEpochs int
+	// LR for the fine-tune; a fraction of the original training rate.
+	LR        float64
+	BatchSize int
+	Logf      func(format string, args ...any)
+}
+
+// DefaultQuantizeOptions returns the settings used by the experiments.
+func DefaultQuantizeOptions(seed uint64) QuantizeOptions {
+	return QuantizeOptions{
+		Seed:         seed,
+		WarmupEpochs: 1,
+		QATEpochs:    5,
+		LR:           5e-4,
+		BatchSize:    1024,
+	}
+}
+
+// QuantizeBackground converts a bundle's background network to INT8 via the
+// paper's §V flow: the bundle must hold the layer-swapped (Linear→BN→ReLU)
+// architecture; its BN layers are folded into the Linears, the fused
+// network is fine-tuned with fake quantization on the bundle's training
+// distribution (set), and the result is converted to an integer-only
+// inference network.
+//
+// The returned fused FP32 network is the QAT-trained float model (useful
+// for measuring the fusion-only effect); the Int8Net is the deployed model.
+func QuantizeBackground(b *Bundle, set *datagen.Set, opts QuantizeOptions) (*quant.Int8Net, *nn.Sequential, error) {
+	if !isSwapped(b.Bkg) {
+		return nil, nil, fmt.Errorf("models: QuantizeBackground needs the layer-swapped architecture (train with Swapped: true)")
+	}
+	fused, err := quant.FuseForQuant(b.Bkg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("models: fuse: %w", err)
+	}
+	if opts.PerChannel {
+		for _, l := range fused.Layers {
+			l.(*quant.QATLinear).PerChannel = true
+		}
+	}
+
+	// Rebuild the (normalized) training data the bundle was fitted on.
+	ds := datagen.BackgroundDataset(set, b.WithPolar)
+	b.BkgNorm.Apply(ds.X)
+	rng := xrand.New(opts.Seed)
+	train, val := ds.Split(0.9, rng)
+
+	// Observer warm-up: run with quantization disabled so ranges settle.
+	setQATEnabled(fused, false)
+	warm := &nn.Trainer{
+		Net:       fused,
+		Loss:      nn.BCEWithLogits{},
+		Opt:       nn.NewSGD(0, 0), // no updates; forward-only epochs
+		BatchSize: opts.BatchSize,
+		MaxEpochs: maxIntQ(opts.WarmupEpochs, 1),
+		Patience:  1 << 30,
+		Logf:      nil,
+	}
+	warm.Fit(train, nil, rng.Split(1))
+
+	setQATEnabled(fused, true)
+	if opts.Mode == ModeQAT {
+		// QAT fine-tune with the straight-through estimator. PTQ skips
+		// this: calibration alone determines the integer model.
+		tr := &nn.Trainer{
+			Net:       fused,
+			Loss:      nn.BCEWithLogits{},
+			Opt:       nn.NewSGD(opts.LR, 0.9),
+			BatchSize: opts.BatchSize,
+			MaxEpochs: opts.QATEpochs,
+			Patience:  opts.QATEpochs + 1,
+			Logf:      prefixed(opts.Logf, "qat"),
+		}
+		tr.Fit(train, val, rng.Split(2))
+	} else {
+		_ = val
+	}
+
+	int8net, err := quant.Convert(fused)
+	if err != nil {
+		return nil, nil, fmt.Errorf("models: convert: %w", err)
+	}
+	return int8net, fused, nil
+}
+
+func setQATEnabled(net *nn.Sequential, enabled bool) {
+	for _, l := range net.Layers {
+		if q, ok := l.(*quant.QATLinear); ok {
+			q.Enabled = enabled
+		}
+	}
+}
+
+func maxIntQ(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// numericalGradCheck compares the analytic parameter gradients of net under
+// loss against central finite differences. Returns the max relative error.
+func numericalGradCheck(t *testing.T, net *Sequential, loss Loss, x *Tensor, y []float32) float64 {
+	t.Helper()
+	// Analytic pass. BatchNorm's batch statistics make the loss a function
+	// of the whole batch; finite differences below recompute the full
+	// forward, so the comparison is consistent.
+	net.ZeroGrad()
+	pred := net.Forward(x, true)
+	dpred := NewTensor(pred.Rows, 1)
+	loss.Eval(pred, y, dpred)
+	net.Backward(dpred)
+
+	analytic := map[*Param][]float32{}
+	for _, p := range net.Params() {
+		analytic[p] = append([]float32(nil), p.G...)
+	}
+
+	evalLoss := func() float64 {
+		pred := net.Forward(x, true)
+		dp := NewTensor(pred.Rows, 1)
+		return loss.Eval(pred, y, dp)
+	}
+
+	const h = 1e-2 // float32 arithmetic: coarse steps beat roundoff
+	bad, total := 0, 0
+	for _, p := range net.Params() {
+		for i := range p.W {
+			orig := p.W[i]
+			p.W[i] = orig + h
+			up := evalLoss()
+			p.W[i] = orig - h
+			down := evalLoss()
+			p.W[i] = orig
+			numeric := (up - down) / (2 * h)
+			a := float64(analytic[p][i])
+			denom := math.Max(math.Abs(numeric)+math.Abs(a), 1e-4)
+			total++
+			if math.Abs(numeric-a)/denom > 0.05 {
+				bad++
+			}
+		}
+	}
+	// A systematic backward bug corrupts most coordinates; finite
+	// differences across a ReLU kink corrupt only the few whose
+	// perturbation flips an activation. Score the fraction.
+	return float64(bad) / float64(total)
+}
+
+func TestGradientLinear(t *testing.T) {
+	rng := xrand.New(1)
+	net := NewSequential(NewLinear(4, 3, rng), NewLinear(3, 1, rng))
+	x := randTensor(6, 4, rng)
+	y := randTargets(6, rng)
+	if frac := numericalGradCheck(t, net, MSE{}, x, y); frac > 0 {
+		t.Errorf("linear gradient check: %.1f%% coordinates off", 100*frac)
+	}
+}
+
+func TestGradientReLU(t *testing.T) {
+	rng := xrand.New(2)
+	net := NewSequential(NewLinear(4, 6, rng), NewReLU(), NewLinear(6, 1, rng))
+	x := randTensor(8, 4, rng)
+	y := randTargets(8, rng)
+	if frac := numericalGradCheck(t, net, MSE{}, x, y); frac > 0.05 {
+		t.Errorf("relu gradient check: %.1f%% coordinates off", 100*frac)
+	}
+}
+
+func TestGradientBatchNorm(t *testing.T) {
+	rng := xrand.New(3)
+	net := NewSequential(NewBatchNorm1D(4), NewLinear(4, 1, rng))
+	x := randTensor(8, 4, rng)
+	y := randTargets(8, rng)
+	if frac := numericalGradCheck(t, net, MSE{}, x, y); frac > 0.02 {
+		t.Errorf("batchnorm gradient check: %.1f%% coordinates off", 100*frac)
+	}
+}
+
+func TestGradientPaperBlockWithBCE(t *testing.T) {
+	rng := xrand.New(4)
+	// A miniature of the paper's block structure: BN → FC → ReLU → BN → FC.
+	net := NewSequential(
+		NewBatchNorm1D(5),
+		NewLinear(5, 7, rng),
+		NewReLU(),
+		NewBatchNorm1D(7),
+		NewLinear(7, 1, rng),
+	)
+	x := randTensor(10, 5, rng)
+	y := make([]float32, 10)
+	for i := range y {
+		if rng.Bool(0.5) {
+			y[i] = 1
+		}
+	}
+	if frac := numericalGradCheck(t, net, BCEWithLogits{}, x, y); frac > 0.06 {
+		t.Errorf("paper-block gradient check: %.1f%% coordinates off", 100*frac)
+	}
+}
+
+func randTensor(rows, cols int, rng *xrand.RNG) *Tensor {
+	x := NewTensor(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.Gaussian(0, 1))
+	}
+	return x
+}
+
+func randTargets(n int, rng *xrand.RNG) []float32 {
+	y := make([]float32, n)
+	for i := range y {
+		y[i] = float32(rng.Gaussian(0, 1))
+	}
+	return y
+}

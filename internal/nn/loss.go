@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss computes a scalar training loss and the gradient of the mean loss
+// w.r.t. the network output. pred is Rows×1; target has one value per row.
+type Loss interface {
+	// Eval returns the mean loss and fills dpred (same shape as pred) with
+	// ∂(mean loss)/∂pred.
+	Eval(pred *Tensor, target []float32, dpred *Tensor) float64
+	// Name identifies the loss in logs.
+	Name() string
+}
+
+// BCEWithLogits is binary cross-entropy on raw logits (numerically stable;
+// the sigmoid is fused into the loss as in PyTorch's BCEWithLogitsLoss).
+// Targets are 0 or 1. Used for the background network (paper §III).
+type BCEWithLogits struct{}
+
+// Eval implements Loss.
+func (BCEWithLogits) Eval(pred *Tensor, target []float32, dpred *Tensor) float64 {
+	checkLossShapes(pred, target, dpred)
+	n := float64(pred.Rows)
+	var total float64
+	for i := 0; i < pred.Rows; i++ {
+		z := float64(pred.Data[i])
+		t := float64(target[i])
+		// loss = max(z,0) − z·t + log(1+exp(−|z|))
+		total += math.Max(z, 0) - z*t + math.Log1p(math.Exp(-math.Abs(z)))
+		dpred.Data[i] = float32((1/(1+math.Exp(-z)) - t) / n)
+	}
+	return total / n
+}
+
+// Name implements Loss.
+func (BCEWithLogits) Name() string { return "bce-with-logits" }
+
+// MSE is the mean squared (ℓ₂) loss, used for the dEta network's regression
+// of ln(dη) (paper §III).
+type MSE struct{}
+
+// Eval implements Loss.
+func (MSE) Eval(pred *Tensor, target []float32, dpred *Tensor) float64 {
+	checkLossShapes(pred, target, dpred)
+	n := float64(pred.Rows)
+	var total float64
+	for i := 0; i < pred.Rows; i++ {
+		d := float64(pred.Data[i]) - float64(target[i])
+		total += d * d
+		dpred.Data[i] = float32(2 * d / n)
+	}
+	return total / n
+}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+func checkLossShapes(pred *Tensor, target []float32, dpred *Tensor) {
+	if pred.Cols != 1 {
+		panic(fmt.Sprintf("nn: loss expects single-output predictions, got %d cols", pred.Cols))
+	}
+	if len(target) != pred.Rows || dpred.Rows != pred.Rows || dpred.Cols != 1 {
+		panic("nn: loss shape mismatch")
+	}
+}
+
+// Huber is the Huber loss with transition point Delta: quadratic for
+// |error| ≤ Delta, linear beyond. More robust to the heavy-tailed ln|Δη|
+// targets than plain MSE; provided for dEta-training experiments.
+type Huber struct {
+	// Delta is the quadratic/linear transition; zero means 1.
+	Delta float64
+}
+
+// Eval implements Loss.
+func (h Huber) Eval(pred *Tensor, target []float32, dpred *Tensor) float64 {
+	checkLossShapes(pred, target, dpred)
+	delta := h.Delta
+	if delta <= 0 {
+		delta = 1
+	}
+	n := float64(pred.Rows)
+	var total float64
+	for i := 0; i < pred.Rows; i++ {
+		d := float64(pred.Data[i]) - float64(target[i])
+		if math.Abs(d) <= delta {
+			total += d * d / 2
+			dpred.Data[i] = float32(d / n)
+		} else {
+			total += delta * (math.Abs(d) - delta/2)
+			g := delta
+			if d < 0 {
+				g = -delta
+			}
+			dpred.Data[i] = float32(g / n)
+		}
+	}
+	return total / n
+}
+
+// Name implements Loss.
+func (h Huber) Name() string { return "huber" }

@@ -1,0 +1,87 @@
+package nn
+
+import "strings"
+
+// Sequential chains layers; the output of each feeds the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a network from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs the network. train toggles training-time behaviour in every
+// layer.
+func (s *Sequential) Forward(x *Tensor, train bool) *Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates dout through the network in reverse, accumulating
+// parameter gradients, and returns the gradient w.r.t. the input.
+func (s *Sequential) Backward(dout *Tensor) *Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns all learnable parameters in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		for i := range p.G {
+			p.G[i] = 0
+		}
+	}
+}
+
+// NumParams returns the total learnable parameter count.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += len(p.W)
+	}
+	return n
+}
+
+// String prints the architecture, one layer per line.
+func (s *Sequential) String() string {
+	var b strings.Builder
+	b.WriteString("Sequential[")
+	for i, l := range s.Layers {
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+		b.WriteString(l.String())
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Predict runs inference (eval mode) and returns the raw outputs.
+func (s *Sequential) Predict(x *Tensor) *Tensor { return s.Forward(x, false) }
+
+// PredictProbs runs inference and applies a sigmoid to a single-output
+// network, returning one probability per row.
+func (s *Sequential) PredictProbs(x *Tensor) []float32 {
+	y := s.Predict(x)
+	if y.Cols != 1 {
+		panic("nn: PredictProbs requires a single-output network")
+	}
+	out := make([]float32, y.Rows)
+	for i := range out {
+		out[i] = Sigmoid(y.Data[i])
+	}
+	return out
+}

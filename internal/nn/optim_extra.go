@@ -1,0 +1,187 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients. SGD and
+// Adam implement it; the Trainer accepts either.
+type Optimizer interface {
+	// Step applies one update; gradients are not cleared.
+	Step(params []*Param)
+	// LearningRate returns the current rate; SetLearningRate changes it
+	// (used by LR schedules).
+	LearningRate() float64
+	SetLearningRate(lr float64)
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015). The paper trains with SGD;
+// Adam is provided for the hyperparameter-search and quantization
+// experiments, where a faster-converging optimizer shortens sweeps.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	m, v    map[*Param][]float32
+	stepNum int
+}
+
+// NewAdam constructs Adam with the canonical defaults β₁=0.9, β₂=0.999.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float32), v: make(map[*Param][]float32),
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.stepNum++
+	b1 := float32(o.Beta1)
+	b2 := float32(o.Beta2)
+	// Bias correction factors.
+	c1 := 1 - math.Pow(o.Beta1, float64(o.stepNum))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.stepNum))
+	lr := float32(o.LR * math.Sqrt(c2) / c1)
+	eps := float32(o.Eps)
+	for _, p := range params {
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = make([]float32, len(p.W))
+			v = make([]float32, len(p.W))
+			o.m[p] = m
+			o.v[p] = v
+		}
+		for i := range p.W {
+			g := p.G[i]
+			m[i] = b1*m[i] + (1-b1)*g
+			v[i] = b2*v[i] + (1-b2)*g*g
+			p.W[i] -= lr * m[i] / (sqrtf(v[i]) + eps)
+		}
+	}
+}
+
+// LearningRate implements Optimizer.
+func (o *Adam) LearningRate() float64 { return o.LR }
+
+// SetLearningRate implements Optimizer.
+func (o *Adam) SetLearningRate(lr float64) { o.LR = lr }
+
+func sqrtf(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+// Schedule maps an epoch index to a learning-rate multiplier.
+type Schedule interface {
+	// Factor returns the LR multiplier for the given 0-based epoch.
+	Factor(epoch int) float64
+}
+
+// ConstantSchedule keeps the base learning rate.
+type ConstantSchedule struct{}
+
+// Factor implements Schedule.
+func (ConstantSchedule) Factor(int) float64 { return 1 }
+
+// StepSchedule multiplies the rate by Gamma every Every epochs.
+type StepSchedule struct {
+	Every int
+	Gamma float64
+}
+
+// Factor implements Schedule.
+func (s StepSchedule) Factor(epoch int) float64 {
+	if s.Every <= 0 {
+		return 1
+	}
+	return math.Pow(s.Gamma, float64(epoch/s.Every))
+}
+
+// CosineSchedule anneals the rate to MinFactor over Span epochs following a
+// half cosine, then holds.
+type CosineSchedule struct {
+	Span      int
+	MinFactor float64
+}
+
+// Factor implements Schedule.
+func (s CosineSchedule) Factor(epoch int) float64 {
+	if s.Span <= 0 {
+		return 1
+	}
+	t := float64(epoch) / float64(s.Span)
+	if t > 1 {
+		t = 1
+	}
+	return s.MinFactor + (1-s.MinFactor)*(1+math.Cos(math.Pi*t))/2
+}
+
+// Dropout randomly zeroes each activation with probability P during
+// training, scaling survivors by 1/(1−P) (inverted dropout); inference is a
+// pass-through. The unit uses its own deterministic stream so a fixed seed
+// reproduces training exactly.
+type Dropout struct {
+	P    float64
+	seed uint64
+	n    uint64
+	mask []bool
+}
+
+// NewDropout creates a dropout layer; seed fixes its mask stream.
+func NewDropout(p float64, seed uint64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0, 1)")
+	}
+	return &Dropout{P: p, seed: seed}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *Tensor, train bool) *Tensor {
+	if !train || d.P == 0 {
+		return x
+	}
+	y := NewTensor(x.Rows, x.Cols)
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]bool, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	scale := float32(1 / (1 - d.P))
+	for i, v := range x.Data {
+		if d.rand() < d.P {
+			d.mask[i] = false
+		} else {
+			d.mask[i] = true
+			y.Data[i] = v * scale
+		}
+	}
+	return y
+}
+
+// rand is a SplitMix64-based uniform in [0,1).
+func (d *Dropout) rand() float64 {
+	d.n++
+	z := d.seed + d.n*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dout *Tensor) *Tensor {
+	if d.P == 0 {
+		return dout
+	}
+	dx := NewTensor(dout.Rows, dout.Cols)
+	scale := float32(1 / (1 - d.P))
+	for i, g := range dout.Data {
+		if d.mask[i] {
+			dx.Data[i] = g * scale
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// String implements Layer.
+func (d *Dropout) String() string { return "Dropout" }

@@ -1,0 +1,60 @@
+package quant
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/xrand"
+)
+
+// benchInt8 builds a quantized network of the paper's background-net shape.
+func benchInt8(b *testing.B) (*Int8Net, *nn.Sequential, []float32) {
+	b.Helper()
+	rng := xrand.New(1)
+	net := nn.NewSequential(
+		nn.NewLinear(13, 256, rng), nn.NewBatchNorm1D(256), nn.NewReLU(),
+		nn.NewLinear(256, 128, rng), nn.NewBatchNorm1D(128), nn.NewReLU(),
+		nn.NewLinear(128, 64, rng), nn.NewBatchNorm1D(64), nn.NewReLU(),
+		nn.NewLinear(64, 1, rng),
+	)
+	fused, err := FuseForQuant(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := nn.NewTensor(512, 13)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.Gaussian(0, 1))
+	}
+	for _, l := range fused.Layers {
+		l.(*QATLinear).Enabled = false
+	}
+	warm := &nn.Trainer{Net: fused, Loss: nn.BCEWithLogits{}, Opt: nn.NewSGD(0, 0), BatchSize: 128, MaxEpochs: 1, Patience: 5}
+	warm.Fit(&nn.Dataset{X: x, Y: make([]float32, 512)}, nil, rng)
+	for _, l := range fused.Layers {
+		l.(*QATLinear).Enabled = true
+	}
+	int8net, err := Convert(fused)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return int8net, net, x.Row(0)
+}
+
+func BenchmarkInt8Logit(b *testing.B) {
+	int8net, _, row := benchInt8(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		int8net.Logit(row)
+	}
+}
+
+func BenchmarkFP32Single(b *testing.B) {
+	_, net, row := benchInt8(b)
+	x := nn.FromRows([][]float32{row})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}

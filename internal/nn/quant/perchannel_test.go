@@ -1,0 +1,119 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/xrand"
+)
+
+// calibrate runs one observer-warmup epoch over ds (PTQ calibration).
+func calibrate(fused *nn.Sequential, ds *nn.Dataset, rng *xrand.RNG) {
+	for _, l := range fused.Layers {
+		l.(*QATLinear).Enabled = false
+	}
+	warm := &nn.Trainer{Net: fused, Loss: nn.BCEWithLogits{}, Opt: nn.NewSGD(0, 0), BatchSize: 128, MaxEpochs: 1, Patience: 5}
+	warm.Fit(ds, nil, rng)
+	for _, l := range fused.Layers {
+		l.(*QATLinear).Enabled = true
+	}
+}
+
+func TestPerChannelConvertAgrees(t *testing.T) {
+	net, ds := buildTrainedSwapped(t)
+	rng := xrand.New(11)
+
+	fused, err := FuseForQuant(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range fused.Layers {
+		l.(*QATLinear).PerChannel = true
+	}
+	calibrate(fused, ds, rng)
+	int8net, err := Convert(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range int8net.Layers {
+		if !l.PerChannel || len(l.M0s) != l.Out || len(l.DeqScales) != l.Out {
+			t.Fatal("per-channel metadata missing")
+		}
+	}
+	probs := net.PredictProbs(ds.X)
+	agree := 0
+	for i := 0; i < ds.Len(); i++ {
+		if (int8net.Prob(ds.X.Row(i)) > 0.5) == (probs[i] > 0.5) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(ds.Len()); frac < 0.93 {
+		t.Errorf("per-channel INT8 agreement %.3f", frac)
+	}
+}
+
+func TestPerChannelBeatsPerTensorOnSkewedWeights(t *testing.T) {
+	// A single linear layer with wildly different row magnitudes: the
+	// per-tensor scale crushes the small row to zero codes, per-channel
+	// preserves it.
+	rng := xrand.New(12)
+	lin := nn.NewLinear(4, 2, rng)
+	for i := 0; i < 4; i++ {
+		lin.Weight.W[i] = 10 * float32(i+1)     // row 0: O(10)
+		lin.Weight.W[4+i] = 0.01 * float32(i+1) // row 1: O(0.01)
+	}
+	lin.Bias.W[0], lin.Bias.W[1] = 0, 0
+
+	mkNet := func(perChannel bool) *Int8Net {
+		q := NewQATLinear(cloneLinear(lin), false)
+		q.PerChannel = perChannel
+		net := nn.NewSequential(q, NewQATLinear(nn.NewLinear(2, 1, xrand.New(1)), false))
+		x := nn.NewTensor(16, 4)
+		for i := range x.Data {
+			x.Data[i] = float32(xrand.New(uint64(i)).Gaussian(0, 1))
+		}
+		calibrate(net, &nn.Dataset{X: x, Y: make([]float32, 16)}, xrand.New(13))
+		n, err := Convert(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	perTensor := mkNet(false)
+	perChannel := mkNet(true)
+
+	// Quantized codes of the small row must be non-degenerate per-channel.
+	ptRow := perTensor.Layers[0].W[4:8]
+	pcRow := perChannel.Layers[0].W[4:8]
+	ptNonZero, pcNonZero := 0, 0
+	for i := 0; i < 4; i++ {
+		if ptRow[i] != 0 {
+			ptNonZero++
+		}
+		if pcRow[i] != 0 {
+			pcNonZero++
+		}
+	}
+	if pcNonZero != 4 {
+		t.Errorf("per-channel lost small-row precision: %v", pcRow)
+	}
+	if ptNonZero != 0 {
+		t.Logf("note: per-tensor preserved %d small-row codes (scale-dependent)", ptNonZero)
+	}
+	// Per-channel reconstruction error of the small row is strictly lower.
+	rowErr := func(codes []int8, scale float32) float64 {
+		var e float64
+		for i := 0; i < 4; i++ {
+			e += math.Abs(float64(float32(codes[i])*scale) - float64(0.01*float32(i+1)))
+		}
+		return e
+	}
+	// Scales: per-tensor uses max|W| over both rows; per-channel row 1 uses
+	// its own max.
+	ptScale := Symmetric(40).Scale
+	pcScale := Symmetric(0.04).Scale
+	if rowErr(pcRow, pcScale) >= rowErr(ptRow, ptScale) {
+		t.Error("per-channel did not reduce small-row reconstruction error")
+	}
+}

@@ -1,0 +1,226 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// FoldBN folds a BatchNorm1D (using its running statistics) into the Linear
+// layer that precedes it, returning a new Linear with
+// W' = γ·W/√(σ²+ε) and b' = γ·(b−μ)/√(σ²+ε) + β. The inputs are not
+// modified.
+func FoldBN(l *nn.Linear, bn *nn.BatchNorm1D) *nn.Linear {
+	if bn.Dim != l.Out {
+		panic(fmt.Sprintf("quant: FoldBN dims: linear out %d, bn %d", l.Out, bn.Dim))
+	}
+	out := &nn.Linear{
+		In: l.In, Out: l.Out,
+		Weight: &nn.Param{Name: l.Weight.Name + ".folded", W: make([]float32, len(l.Weight.W)), G: make([]float32, len(l.Weight.W))},
+		Bias:   &nn.Param{Name: l.Bias.Name + ".folded", W: make([]float32, len(l.Bias.W)), G: make([]float32, len(l.Bias.W))},
+	}
+	for o := 0; o < l.Out; o++ {
+		inv := float32(1 / math.Sqrt(float64(bn.RunVar[o]+bn.Eps)))
+		k := bn.Gamma.W[o] * inv
+		for i := 0; i < l.In; i++ {
+			out.Weight.W[o*l.In+i] = l.Weight.W[o*l.In+i] * k
+		}
+		out.Bias.W[o] = (l.Bias.W[o]-bn.RunMean[o])*k + bn.Beta.W[o]
+	}
+	return out
+}
+
+// FuseForQuant converts a network of the *swapped* block order
+// [Linear, BatchNorm1D, ReLU]×k ... Linear into a Sequential of QATLinear
+// layers (BN folded, ReLU fused). The input network must follow that layer
+// pattern; anything else is an error, because silent partial fusion would
+// invalidate the quantization study. The input network is not modified.
+func FuseForQuant(net *nn.Sequential) (*nn.Sequential, error) {
+	var layers []nn.Layer
+	ls := net.Layers
+	for i := 0; i < len(ls); {
+		lin, ok := ls[i].(*nn.Linear)
+		if !ok {
+			return nil, fmt.Errorf("quant: layer %d is %s, want Linear", i, ls[i])
+		}
+		fused := cloneLinear(lin)
+		withReLU := false
+		j := i + 1
+		if j < len(ls) {
+			if bn, ok := ls[j].(*nn.BatchNorm1D); ok {
+				fused = FoldBN(lin, bn)
+				j++
+			}
+		}
+		if j < len(ls) {
+			if _, ok := ls[j].(*nn.ReLU); ok {
+				withReLU = true
+				j++
+			}
+		}
+		layers = append(layers, NewQATLinear(fused, withReLU))
+		i = j
+	}
+	return nn.NewSequential(layers...), nil
+}
+
+func cloneLinear(l *nn.Linear) *nn.Linear {
+	return &nn.Linear{
+		In: l.In, Out: l.Out,
+		Weight: &nn.Param{Name: l.Weight.Name, W: append([]float32(nil), l.Weight.W...), G: make([]float32, len(l.Weight.G))},
+		Bias:   &nn.Param{Name: l.Bias.Name, W: append([]float32(nil), l.Bias.W...), G: make([]float32, len(l.Bias.G))},
+	}
+}
+
+// QATLinear is a fused Linear (+ ReLU) trained with fake quantization: the
+// weights pass through the int8 grid on every forward, and the output
+// activations pass through the observed activation grid. Gradients use the
+// straight-through estimator (STE) with range clipping.
+type QATLinear struct {
+	Lin      *nn.Linear
+	WithReLU bool
+
+	// InObs observes this layer's input range (used at conversion for the
+	// first layer's input quantization; later layers reuse the previous
+	// layer's ActObs).
+	InObs Observer
+	// ActObs observes the post-activation output range.
+	ActObs Observer
+
+	// Enabled toggles fake quantization; when false the layer behaves as a
+	// plain fused Linear(+ReLU) while still updating observers in training
+	// mode (observer warm-up).
+	Enabled bool
+	// PerChannel quantizes each output row's weights with its own scale
+	// (per-channel symmetric quantization, one of the "broader range of
+	// quantization strategies" the paper's §VI plans to investigate).
+	PerChannel bool
+
+	shadow   []float32 // original weights saved across the fake-quant swap
+	reluMask []bool    // pre-activation > 0, for backward
+	clipMask []bool    // value inside the int8-representable range
+	swapped  bool
+}
+
+// NewQATLinear wraps an already-fused Linear.
+func NewQATLinear(lin *nn.Linear, withReLU bool) *QATLinear {
+	return &QATLinear{Lin: lin, WithReLU: withReLU, Enabled: true}
+}
+
+// Forward implements nn.Layer.
+func (q *QATLinear) Forward(x *nn.Tensor, train bool) *nn.Tensor {
+	if train {
+		q.InObs.Update(x.Data)
+	}
+	if q.Enabled {
+		if q.shadow == nil {
+			q.shadow = make([]float32, len(q.Lin.Weight.W))
+		}
+		copy(q.shadow, q.Lin.Weight.W)
+		if q.PerChannel {
+			for o := 0; o < q.Lin.Out; o++ {
+				row := q.Lin.Weight.W[o*q.Lin.In : (o+1)*q.Lin.In]
+				wp := Symmetric(maxAbs(row))
+				for i, w := range row {
+					row[i] = wp.FakeQuantize(w)
+				}
+			}
+		} else {
+			wp := Symmetric(maxAbs(q.Lin.Weight.W))
+			for i, w := range q.Lin.Weight.W {
+				q.Lin.Weight.W[i] = wp.FakeQuantize(w)
+			}
+		}
+		q.swapped = true
+		if !train {
+			// Inference: restore immediately after use.
+			defer q.restoreWeights()
+		}
+	}
+	y := q.Lin.Forward(x, train)
+	if q.WithReLU {
+		if train {
+			q.reluMask = growBool(q.reluMask, len(y.Data))
+		}
+		for i, v := range y.Data {
+			pos := v > 0
+			if !pos {
+				y.Data[i] = 0
+			}
+			if train {
+				q.reluMask[i] = pos
+			}
+		}
+	}
+	if train {
+		q.ActObs.Update(y.Data)
+	}
+	if q.Enabled && q.ActObs.Ready() {
+		ap := q.ActObs.QParams()
+		lo, hi := ap.Dequantize(-128), ap.Dequantize(127)
+		if train {
+			q.clipMask = growBool(q.clipMask, len(y.Data))
+		}
+		for i, v := range y.Data {
+			if train {
+				q.clipMask[i] = v >= lo && v <= hi
+			}
+			y.Data[i] = ap.FakeQuantize(v)
+		}
+	} else if train {
+		q.clipMask = q.clipMask[:0]
+	}
+	return y
+}
+
+// Backward implements nn.Layer.
+func (q *QATLinear) Backward(dout *nn.Tensor) *nn.Tensor {
+	if len(q.clipMask) == len(dout.Data) {
+		for i := range dout.Data {
+			if !q.clipMask[i] {
+				dout.Data[i] = 0
+			}
+		}
+	}
+	if q.WithReLU {
+		for i := range dout.Data {
+			if !q.reluMask[i] {
+				dout.Data[i] = 0
+			}
+		}
+	}
+	dx := q.Lin.Backward(dout)
+	if q.swapped {
+		// STE: gradients were computed against the quantized weights; apply
+		// them to the full-precision shadow copy.
+		q.restoreWeights()
+	}
+	return dx
+}
+
+func (q *QATLinear) restoreWeights() {
+	if q.swapped {
+		copy(q.Lin.Weight.W, q.shadow)
+		q.swapped = false
+	}
+}
+
+// Params implements nn.Layer.
+func (q *QATLinear) Params() []*nn.Param { return q.Lin.Params() }
+
+// String implements nn.Layer.
+func (q *QATLinear) String() string {
+	s := fmt.Sprintf("QATLinear(%d→%d", q.Lin.In, q.Lin.Out)
+	if q.WithReLU {
+		s += "+ReLU"
+	}
+	return s + ")"
+}
+
+func growBool(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	return b[:n]
+}

@@ -1,0 +1,267 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/xrand"
+)
+
+func TestQParamsRoundTrip(t *testing.T) {
+	p := Asymmetric(-2, 6)
+	f := func(raw float64) bool {
+		x := float32(math.Mod(raw, 8))
+		if x < -2 {
+			x = -2
+		}
+		if x > 6 {
+			x = 6
+		}
+		back := p.Dequantize(p.Quantize(x))
+		return math.Abs(float64(back-x)) <= float64(p.Scale)/2+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Zero must be exactly representable for asymmetric activation params.
+	if got := p.Dequantize(p.Quantize(0)); got != 0 {
+		t.Errorf("zero not exactly representable: %v", got)
+	}
+}
+
+func TestQParamsSaturation(t *testing.T) {
+	p := Asymmetric(0, 1)
+	if p.Quantize(100) != 127 {
+		t.Error("no saturation high")
+	}
+	if p.Quantize(-100) != -128 {
+		t.Error("no saturation low")
+	}
+}
+
+func TestSymmetric(t *testing.T) {
+	p := Symmetric(2.54)
+	if p.Zero != 0 {
+		t.Error("symmetric zero point not 0")
+	}
+	if got := p.Quantize(2.54); got != 127 {
+		t.Errorf("max maps to %d, want 127", got)
+	}
+	if got := p.Quantize(-2.54); got != -127 {
+		t.Errorf("-max maps to %d, want -127", got)
+	}
+	if Symmetric(0).Scale <= 0 {
+		t.Error("zero maxAbs gives non-positive scale")
+	}
+}
+
+func TestObserver(t *testing.T) {
+	var o Observer
+	if o.Ready() {
+		t.Error("fresh observer ready")
+	}
+	o.Update([]float32{1, -3, 2})
+	o.Update([]float32{5})
+	if o.Min != -3 || o.Max != 5 {
+		t.Errorf("observer range [%v, %v]", o.Min, o.Max)
+	}
+	if !o.Ready() {
+		t.Error("observer not ready after updates")
+	}
+	if o.String() == "" {
+		t.Error("empty observer string")
+	}
+	p := o.QParams()
+	if p.Dequantize(p.Quantize(-3)) < -3.1 || p.Dequantize(p.Quantize(5)) > 5.1 {
+		t.Error("observer qparams don't cover the range")
+	}
+}
+
+func TestRequantMultiplier(t *testing.T) {
+	for _, m := range []float64{0.0001, 0.3, 0.5, 0.9999, 1.0, 3.7, 100} {
+		m0, shift := requantMultiplier(m)
+		got := float64(m0) / math.Pow(2, float64(shift))
+		if math.Abs(got-m)/m > 1e-8 {
+			t.Errorf("requantMultiplier(%v) reconstructs to %v", m, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive multiplier did not panic")
+		}
+	}()
+	requantMultiplier(0)
+}
+
+func TestRequantizeMatchesFloat(t *testing.T) {
+	m := 0.0123
+	m0, shift := requantMultiplier(m)
+	for _, acc := range []int64{-100000, -1234, -1, 0, 1, 999, 54321} {
+		got := requantize(acc, m0, shift, 3)
+		want := clampInt8(int32(math.RoundToEven(float64(acc)*m)) + 3)
+		if got != want && got != want+1 && got != want-1 {
+			t.Errorf("requantize(%d) = %d, float says %d", acc, got, want)
+		}
+	}
+}
+
+func TestFoldBNEquivalence(t *testing.T) {
+	rng := xrand.New(1)
+	lin := nn.NewLinear(5, 4, rng)
+	bn := nn.NewBatchNorm1D(4)
+	// Give BN non-trivial statistics and affine parameters.
+	for i := 0; i < 4; i++ {
+		bn.RunMean[i] = float32(rng.Gaussian(0, 1))
+		bn.RunVar[i] = float32(0.5 + rng.Float64())
+		bn.Gamma.W[i] = float32(rng.Gaussian(1, 0.3))
+		bn.Beta.W[i] = float32(rng.Gaussian(0, 0.5))
+	}
+	folded := FoldBN(lin, bn)
+	x := nn.NewTensor(6, 5)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.Gaussian(0, 2))
+	}
+	want := bn.Forward(lin.Forward(x, false), false)
+	got := folded.Forward(x, false)
+	for i := range want.Data {
+		if math.Abs(float64(want.Data[i]-got.Data[i])) > 1e-4 {
+			t.Fatalf("folded output differs at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// buildTrainedSwapped trains a small layer-swapped classifier on a
+// synthetic separable task and returns it with its data.
+func buildTrainedSwapped(t *testing.T) (*nn.Sequential, *nn.Dataset) {
+	t.Helper()
+	rng := xrand.New(2)
+	n := 800
+	x := nn.NewTensor(n, 4)
+	y := make([]float32, n)
+	for i := 0; i < n; i++ {
+		var s float32
+		for c := 0; c < 4; c++ {
+			v := float32(rng.Gaussian(0, 1))
+			x.Set(i, c, v)
+			s += v
+		}
+		if s > 0 {
+			y[i] = 1
+		}
+	}
+	net := nn.NewSequential(
+		nn.NewLinear(4, 16, rng), nn.NewBatchNorm1D(16), nn.NewReLU(),
+		nn.NewLinear(16, 8, rng), nn.NewBatchNorm1D(8), nn.NewReLU(),
+		nn.NewLinear(8, 1, rng),
+	)
+	ds := &nn.Dataset{X: x, Y: y}
+	tr := &nn.Trainer{Net: net, Loss: nn.BCEWithLogits{}, Opt: nn.NewSGD(0.05, 0.9), BatchSize: 64, MaxEpochs: 25, Patience: 25}
+	tr.Fit(ds, nil, rng)
+	return net, ds
+}
+
+func TestFuseQATConvertPipeline(t *testing.T) {
+	net, ds := buildTrainedSwapped(t)
+
+	fused, err := FuseForQuant(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fused-but-unquantized must match the original closely.
+	for _, l := range fused.Layers {
+		l.(*QATLinear).Enabled = false
+	}
+	orig := net.Predict(ds.X)
+	fz := fused.Predict(ds.X)
+	for i := range orig.Data {
+		if math.Abs(float64(orig.Data[i]-fz.Data[i])) > 1e-3 {
+			t.Fatalf("fusion changed output at %d: %v vs %v", i, orig.Data[i], fz.Data[i])
+		}
+	}
+
+	// QAT: observers warm up, then fake-quant fine-tuning.
+	rng := xrand.New(3)
+	for _, l := range fused.Layers {
+		l.(*QATLinear).Enabled = false
+	}
+	warm := &nn.Trainer{Net: fused, Loss: nn.BCEWithLogits{}, Opt: nn.NewSGD(0, 0), BatchSize: 128, MaxEpochs: 1, Patience: 10}
+	warm.Fit(ds, nil, rng)
+	for _, l := range fused.Layers {
+		l.(*QATLinear).Enabled = true
+	}
+	qat := &nn.Trainer{Net: fused, Loss: nn.BCEWithLogits{}, Opt: nn.NewSGD(0.01, 0.9), BatchSize: 128, MaxEpochs: 3, Patience: 10}
+	qat.Fit(ds, nil, rng)
+
+	int8net, err := Convert(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Agreement: integer inference must classify like the FP32 model for
+	// the overwhelming majority of inputs.
+	probs := net.PredictProbs(ds.X)
+	agree := 0
+	for i := 0; i < ds.Len(); i++ {
+		pInt := int8net.Prob(ds.X.Row(i))
+		if (pInt > 0.5) == (probs[i] > 0.5) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(ds.Len()); frac < 0.93 {
+		t.Errorf("INT8 agrees with FP32 on only %.1f%% of inputs", 100*frac)
+	}
+
+	// The integer path is deterministic.
+	if int8net.Logit(ds.X.Row(0)) != int8net.Logit(ds.X.Row(0)) {
+		t.Error("integer inference not deterministic")
+	}
+	// Weight storage is ~4x smaller than FP32.
+	fpBytes := 0
+	for _, p := range net.Params() {
+		fpBytes += 4 * len(p.W)
+	}
+	if int8net.NumWeightBytes() >= fpBytes/2 {
+		t.Errorf("INT8 storage %d not substantially below FP32 %d", int8net.NumWeightBytes(), fpBytes)
+	}
+}
+
+func TestFuseRejectsWrongOrder(t *testing.T) {
+	rng := xrand.New(4)
+	// The paper's original (BN-first) order cannot fuse.
+	net := nn.NewSequential(nn.NewBatchNorm1D(3), nn.NewLinear(3, 1, rng))
+	if _, err := FuseForQuant(net); err == nil {
+		t.Error("BN-first network fused without error")
+	}
+}
+
+func TestConvertRequiresObservers(t *testing.T) {
+	rng := xrand.New(5)
+	net := nn.NewSequential(nn.NewLinear(3, 2, rng), nn.NewReLU(), nn.NewLinear(2, 1, rng))
+	fused, err := FuseForQuant(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Convert(fused); err == nil {
+		t.Error("Convert succeeded with cold observers")
+	}
+}
+
+func TestInt8NetInputValidation(t *testing.T) {
+	net, ds := buildTrainedSwapped(t)
+	fused, _ := FuseForQuant(net)
+	rng := xrand.New(6)
+	warm := &nn.Trainer{Net: fused, Loss: nn.BCEWithLogits{}, Opt: nn.NewSGD(0, 0), BatchSize: 128, MaxEpochs: 1, Patience: 5}
+	warm.Fit(ds, nil, rng)
+	int8net, err := Convert(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong feature count did not panic")
+		}
+	}()
+	int8net.Logit([]float32{1, 2})
+}

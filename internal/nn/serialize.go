@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// State is a serializable snapshot of a network: every learnable parameter
+// plus non-learnable buffers (batch-norm running statistics), keyed by
+// position so it can be restored into a freshly constructed network of the
+// same architecture.
+type State struct {
+	Params  [][]float32
+	Buffers [][]float32
+}
+
+// ExportState captures the network's full state.
+func (s *Sequential) ExportState() State {
+	var st State
+	for _, p := range s.Params() {
+		st.Params = append(st.Params, append([]float32(nil), p.W...))
+	}
+	for _, l := range s.Layers {
+		if bn, ok := l.(*BatchNorm1D); ok {
+			st.Buffers = append(st.Buffers,
+				append([]float32(nil), bn.RunMean...),
+				append([]float32(nil), bn.RunVar...))
+		}
+	}
+	return st
+}
+
+// ImportState restores a snapshot captured from an identically shaped
+// network.
+func (s *Sequential) ImportState(st State) error {
+	ps := s.Params()
+	if len(ps) != len(st.Params) {
+		return fmt.Errorf("nn: state has %d params, network has %d", len(st.Params), len(ps))
+	}
+	for i, p := range ps {
+		if len(p.W) != len(st.Params[i]) {
+			return fmt.Errorf("nn: param %d length mismatch: %d vs %d", i, len(st.Params[i]), len(p.W))
+		}
+		copy(p.W, st.Params[i])
+	}
+	bi := 0
+	for _, l := range s.Layers {
+		bn, ok := l.(*BatchNorm1D)
+		if !ok {
+			continue
+		}
+		if bi+2 > len(st.Buffers) {
+			return fmt.Errorf("nn: state missing batch-norm buffers")
+		}
+		copy(bn.RunMean, st.Buffers[bi])
+		copy(bn.RunVar, st.Buffers[bi+1])
+		bi += 2
+	}
+	if bi != len(st.Buffers) {
+		return fmt.Errorf("nn: state has %d extra buffers", len(st.Buffers)-bi)
+	}
+	return nil
+}
+
+// Save writes the network state to w with gob encoding.
+func (s *Sequential) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s.ExportState())
+}
+
+// Load reads a state written by Save into the network.
+func (s *Sequential) Load(r io.Reader) error {
+	var st State
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decode state: %w", err)
+	}
+	return s.ImportState(st)
+}
+
+// SaveFile writes the network state to path.
+func (s *Sequential) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return s.Save(f)
+}
+
+// LoadFile reads a state written by SaveFile.
+func (s *Sequential) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}

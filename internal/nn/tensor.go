@@ -1,0 +1,93 @@
+// Package nn is a from-scratch float32 neural-network library sufficient to
+// reproduce the paper's two models: multilayer feed-forward networks built
+// from BatchNorm1D → Linear → ReLU blocks (paper Fig. 5), trained with SGD
+// under binary cross-entropy or ℓ₂ loss, with mini-batches, early stopping,
+// and gob serialization. It replaces the paper's PyTorch substrate.
+//
+// Everything is float32: that matches the paper's FP32 deployment baseline
+// and makes the INT8 quantization study in nn/quant meaningful.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major matrix of float32: Rows samples × Cols
+// features. A Tensor with Rows == 1 doubles as a vector.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols, row-major
+}
+
+// NewTensor allocates a zeroed rows×cols tensor.
+func NewTensor(rows, cols int) *Tensor {
+	if rows < 0 || cols < 0 {
+		panic("nn: negative tensor dims")
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a tensor from a slice of equal-length rows.
+func FromRows(rows [][]float32) *Tensor {
+	if len(rows) == 0 {
+		return NewTensor(0, 0)
+	}
+	t := NewTensor(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != t.Cols {
+			panic(fmt.Sprintf("nn: ragged rows: row %d has %d cols, want %d", i, len(r), t.Cols))
+		}
+		copy(t.Row(i), r)
+	}
+	return t
+}
+
+// Row returns a mutable view of row i.
+func (t *Tensor) Row(i int) []float32 { return t.Data[i*t.Cols : (i+1)*t.Cols] }
+
+// At returns element (r, c).
+func (t *Tensor) At(r, c int) float32 { return t.Data[r*t.Cols+c] }
+
+// Set assigns element (r, c).
+func (t *Tensor) Set(r, c int, v float32) { t.Data[r*t.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := NewTensor(t.Rows, t.Cols)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// SliceRows returns a view of rows [lo, hi) sharing t's backing array.
+func (t *Tensor) SliceRows(lo, hi int) *Tensor {
+	return &Tensor{Rows: hi - lo, Cols: t.Cols, Data: t.Data[lo*t.Cols : hi*t.Cols]}
+}
+
+// Gather copies the given rows of t into a new tensor, in order.
+func (t *Tensor) Gather(idx []int) *Tensor {
+	out := NewTensor(len(idx), t.Cols)
+	for i, j := range idx {
+		copy(out.Row(i), t.Row(j))
+	}
+	return out
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Sigmoid returns 1/(1+exp(-x)) computed in float64 internally for accuracy
+// at large |x|.
+func Sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// Logit returns the inverse sigmoid ln(p/(1-p)); p must be in (0, 1).
+// The quantized deployment uses it to move a probability threshold into the
+// pre-sigmoid domain (paper §V: "because a sigmoid is a bijective function,
+// a prior threshold can instead be applied").
+func Logit(p float64) float64 { return math.Log(p / (1 - p)) }

@@ -1,0 +1,100 @@
+package physics
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// Material describes a scintillator medium well enough to compute linear
+// attenuation coefficients for the three processes the simulator models.
+type Material struct {
+	// Name for diagnostics.
+	Name string
+	// ElectronDensity in electrons/cm³.
+	ElectronDensity float64
+	// PhotoRefEnergy is the energy (MeV) at which the photoelectric and
+	// Compton linear attenuation coefficients are equal. For high-Z
+	// scintillators such as CsI this crossover sits near 0.3 MeV.
+	PhotoRefEnergy float64
+	// PhotoSlope is the power-law slope of the photoelectric cross-section
+	// (≈ 3 between absorption edges for E well above the K edge).
+	PhotoSlope float64
+	// PairScale scales the pair-production coefficient (cm⁻¹) at 10 MeV.
+	PairScale float64
+}
+
+// CsI returns the CsI(Na) scintillator used in the ADAPT tile stack.
+// Density 4.51 g/cm³, Z/A ≈ 0.416 gives n_e ≈ 1.13e24 /cm³. The
+// photoelectric crossover and pair scale are fits to NIST XCOM attenuation
+// tables for CsI (good to ~20% across 30 keV–30 MeV, which is sufficient for
+// interaction-length realism).
+func CsI() Material {
+	return Material{
+		Name:            "CsI(Na)",
+		ElectronDensity: 1.13e24,
+		PhotoRefEnergy:  0.26,
+		PhotoSlope:      3.0,
+		PairScale:       0.021,
+	}
+}
+
+// MuCompton returns the Compton linear attenuation coefficient (cm⁻¹) at
+// energy e (MeV).
+func (m Material) MuCompton(e float64) float64 {
+	return m.ElectronDensity * KleinNishinaTotalCrossSection(e)
+}
+
+// MuPhoto returns the photoelectric linear attenuation coefficient (cm⁻¹).
+// It is anchored to equal MuCompton at PhotoRefEnergy and falls as
+// E^−PhotoSlope above it (the inter-edge behaviour; K-edge fine structure is
+// below the 30 keV simulation floor for Cs/I K edges ≈ 33–36 keV and is
+// deliberately smoothed over).
+func (m Material) MuPhoto(e float64) float64 {
+	ref := m.MuCompton(m.PhotoRefEnergy)
+	return ref * math.Pow(m.PhotoRefEnergy/e, m.PhotoSlope)
+}
+
+// MuPair returns the pair-production linear attenuation coefficient (cm⁻¹),
+// zero below threshold (2 mec²) and growing logarithmically above, anchored
+// to PairScale at 10 MeV.
+func (m Material) MuPair(e float64) float64 {
+	const threshold = 2 * units.ElectronMassMeV
+	if e <= threshold*1.05 {
+		return 0
+	}
+	ref := math.Log(10 / threshold)
+	return m.PairScale * math.Log(e/threshold) / ref
+}
+
+// MuTotal returns the total linear attenuation coefficient (cm⁻¹).
+func (m Material) MuTotal(e float64) float64 {
+	return m.MuCompton(e) + m.MuPhoto(e) + m.MuPair(e)
+}
+
+// InteractionKind labels the process chosen at an interaction vertex.
+type InteractionKind int
+
+const (
+	// KindCompton is incoherent (Compton) scattering.
+	KindCompton InteractionKind = iota
+	// KindPhoto is photoelectric absorption (full energy deposit).
+	KindPhoto
+	// KindPair is pair production (treated as a local full deposit followed
+	// by possible 511 keV annihilation escape; see detector.transport).
+	KindPair
+)
+
+// String implements fmt.Stringer.
+func (k InteractionKind) String() string {
+	switch k {
+	case KindCompton:
+		return "compton"
+	case KindPhoto:
+		return "photo"
+	case KindPair:
+		return "pair"
+	default:
+		return "unknown"
+	}
+}

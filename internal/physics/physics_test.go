@@ -1,0 +1,147 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+func TestScatteredEnergyLimits(t *testing.T) {
+	// Forward scatter loses no energy.
+	if got := ScatteredEnergy(1.0, 0); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("forward scatter E' = %v", got)
+	}
+	// Backscatter at high energy approaches mec²/2.
+	if got := ScatteredEnergy(100, math.Pi); math.Abs(got-units.ElectronMassMeV/2) > 0.01 {
+		t.Errorf("backscatter limit = %v, want ~%v", got, units.ElectronMassMeV/2)
+	}
+	// Energy loss is monotone in angle.
+	prev := math.Inf(1)
+	for theta := 0.0; theta <= math.Pi; theta += 0.1 {
+		e := ScatteredEnergy(2.0, theta)
+		if e > prev+1e-12 {
+			t.Fatalf("scattered energy not monotone at theta=%v", theta)
+		}
+		prev = e
+	}
+}
+
+func TestCosThetaInvertsScatteredEnergy(t *testing.T) {
+	f := func(rawE, rawTheta float64) bool {
+		e := 0.05 + math.Mod(math.Abs(rawE), 20)
+		theta := math.Mod(math.Abs(rawTheta), math.Pi)
+		eOut := ScatteredEnergy(e, theta)
+		got := CosThetaFromEnergies(e, eOut)
+		return math.Abs(got-math.Cos(theta)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKleinNishinaSampling(t *testing.T) {
+	rng := xrand.New(1)
+	for _, e := range []float64{0.05, 0.3, 1.0, 5.0, 25.0} {
+		n := 20000
+		var sumCos float64
+		for i := 0; i < n; i++ {
+			cosT, eOut := SampleKleinNishina(e, rng)
+			if cosT < -1-1e-12 || cosT > 1+1e-12 {
+				t.Fatalf("cos out of range: %v", cosT)
+			}
+			if eOut <= 0 || eOut > e+1e-12 {
+				t.Fatalf("scattered energy out of range: %v of %v", eOut, e)
+			}
+			// Kinematic consistency between the returned pair.
+			if want := ScatteredEnergy(e, math.Acos(cosT)); math.Abs(want-eOut)/e > 1e-9 {
+				t.Fatalf("inconsistent (cos, E') pair at E=%v", e)
+			}
+			sumCos += cosT
+		}
+		meanCos := sumCos / float64(n)
+		if meanCos < 0 {
+			t.Errorf("E=%v: mean cos %v — KN should be forward-peaked", e, meanCos)
+		}
+		// Higher energies scatter more forward.
+		_ = meanCos
+	}
+	// Forward peaking grows with energy.
+	mean := func(e float64) float64 {
+		var s float64
+		n := 30000
+		for i := 0; i < n; i++ {
+			c, _ := SampleKleinNishina(e, rng)
+			s += c
+		}
+		return s / float64(n)
+	}
+	if mean(10) <= mean(0.1) {
+		t.Error("KN forward peaking does not grow with energy")
+	}
+}
+
+func TestKNTotalCrossSection(t *testing.T) {
+	// Thomson limit at E → 0: 8πr²/3 ≈ 6.652e-25 cm².
+	if got := KleinNishinaTotalCrossSection(1e-9); math.Abs(got-6.652e-25)/6.652e-25 > 0.01 {
+		t.Errorf("Thomson limit = %v", got)
+	}
+	// Monotone decreasing with energy.
+	prev := math.Inf(1)
+	for _, e := range []float64{0.01, 0.1, 0.5, 1, 5, 30} {
+		s := KleinNishinaTotalCrossSection(e)
+		if s <= 0 || s >= prev {
+			t.Fatalf("cross-section not positive/decreasing at %v MeV", e)
+		}
+		prev = s
+	}
+	// Reference value at 1 MeV: ~2.11e-25 cm² (standard tables).
+	if got := KleinNishinaTotalCrossSection(1.0); math.Abs(got-2.112e-25)/2.112e-25 > 0.02 {
+		t.Errorf("KN at 1 MeV = %v, want ~2.11e-25", got)
+	}
+}
+
+func TestMaterialCoefficients(t *testing.T) {
+	m := CsI()
+	// Photoelectric dominates at low energies, Compton at ~1 MeV.
+	if m.MuPhoto(0.05) <= m.MuCompton(0.05) {
+		t.Error("photoelectric should dominate at 50 keV in CsI")
+	}
+	if m.MuCompton(1.0) <= m.MuPhoto(1.0) {
+		t.Error("Compton should dominate at 1 MeV in CsI")
+	}
+	// Crossover at the configured reference energy.
+	ref := m.PhotoRefEnergy
+	if r := m.MuPhoto(ref) / m.MuCompton(ref); math.Abs(r-1) > 0.01 {
+		t.Errorf("photo/Compton at crossover = %v", r)
+	}
+	// Pair production: zero below threshold, growing above.
+	if m.MuPair(1.0) != 0 {
+		t.Error("pair production below threshold")
+	}
+	if m.MuPair(5) <= 0 || m.MuPair(20) <= m.MuPair(5) {
+		t.Error("pair production not growing above threshold")
+	}
+	// Total is the sum of the parts.
+	e := 2.5
+	if got := m.MuTotal(e); math.Abs(got-(m.MuCompton(e)+m.MuPhoto(e)+m.MuPair(e))) > 1e-15 {
+		t.Error("MuTotal != sum of components")
+	}
+	// Interaction length at 1 MeV is a few cm in CsI (tables: μ/ρ ≈ 0.058
+	// cm²/g → μ ≈ 0.26 /cm → λ ≈ 3.8 cm). Allow generous tolerance.
+	lambda := 1 / m.MuTotal(1.0)
+	if lambda < 2 || lambda > 7 {
+		t.Errorf("CsI interaction length at 1 MeV = %v cm, want ~4", lambda)
+	}
+}
+
+func TestInteractionKindString(t *testing.T) {
+	if KindCompton.String() != "compton" || KindPhoto.String() != "photo" || KindPair.String() != "pair" {
+		t.Error("InteractionKind.String wrong")
+	}
+	if InteractionKind(99).String() != "unknown" {
+		t.Error("unknown kind should stringify as unknown")
+	}
+}

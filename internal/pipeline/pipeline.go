@@ -1,0 +1,501 @@
+// Package pipeline implements the paper's full GRB analysis pipeline with
+// the machine-learning stage in the middle of localization (Fig. 6):
+//
+//	reconstruct events → localize → repeat ≤5× { estimate polar angle →
+//	background network flags rings → re-localize } → dEta network rewrites
+//	ring widths → final localization.
+//
+// The pipeline can run without models (the paper's prior, no-ML pipeline),
+// with oracle substitutions for the Fig. 4 upper-bound arms, or with an
+// alternative background classifier (e.g. the INT8 quantized network).
+// Every stage is timed with the same decomposition as the paper's
+// Tables I and II.
+package pipeline
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/features"
+	"repro/internal/geom"
+	"repro/internal/localize"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/recon"
+	"repro/internal/xrand"
+)
+
+// BkgClassifier produces background probabilities for normalized feature
+// rows. The FP32 bundle network and the INT8 quantized network both satisfy
+// it.
+type BkgClassifier interface {
+	Probs(x *nn.Tensor) []float32
+}
+
+// FP32Classifier adapts an nn.Sequential.
+type FP32Classifier struct{ Net *nn.Sequential }
+
+// Probs implements BkgClassifier.
+func (c FP32Classifier) Probs(x *nn.Tensor) []float32 { return c.Net.PredictProbs(x) }
+
+// Options configures a pipeline run. Zero-valued sub-configs mean package
+// defaults.
+type Options struct {
+	Recon recon.Config
+	Loc   localize.Config
+	// Bundle supplies the trained networks; nil runs the no-ML pipeline.
+	Bundle *models.Bundle
+	// BkgOverride replaces the bundle's FP32 background network (e.g. with
+	// the INT8 model) while keeping its thresholds and normalizer.
+	BkgOverride BkgClassifier
+	// MaxNNIters is the bound on localize↔classify iterations (paper:
+	// "currently five").
+	MaxNNIters int
+	// ConvergeDeg stops the iteration early once the direction estimate
+	// moves less than this many degrees between iterations.
+	ConvergeDeg float64
+	// OracleBackground removes ground-truth background rings before
+	// localization (Fig. 4 middle arm). Mutually exclusive with Bundle.
+	OracleBackground bool
+	// OracleDEta replaces every ring's dη with its realized |η error|
+	// (Fig. 4 right arm).
+	OracleDEta bool
+	// DEtaFloor bounds NN-predicted (and oracle) ring widths from below.
+	DEtaFloor float64
+	// DEtaWidenRatio: a ring's width is replaced by the dEta network's
+	// prediction only when the prediction exceeds the analytic width by at
+	// least this factor. The network exists to catch rings whose "actual
+	// errors in η [are] much larger than our estimates predict" (§II-B);
+	// for the bulk of rings the analytic propagation already orders the
+	// weights well, and wholesale replacement with an honest-but-noisy
+	// regression flattens that ordering. Zero means 3.
+	DEtaWidenRatio float64
+	// DisableBkgNN and DisableDEtaNN turn off one of the bundle's networks
+	// while keeping the other, for ablation studies.
+	DisableBkgNN, DisableDEtaNN bool
+	// Workers caps parallelism for reconstruction and NN inference;
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the production configuration.
+func DefaultOptions() Options {
+	return Options{
+		Recon:       recon.DefaultConfig(),
+		Loc:         localize.DefaultConfig(),
+		MaxNNIters:  5,
+		ConvergeDeg: 0.5,
+		DEtaFloor:   0.003,
+	}
+}
+
+// Timing is the per-stage elapsed time of one run, decomposed exactly as in
+// the paper's Tables I and II. BkgNN and ApproxRefine accumulate over the
+// iterations of the NN loop.
+type Timing struct {
+	Reconstruction time.Duration
+	Setup          time.Duration
+	DEtaNN         time.Duration
+	BkgNN          time.Duration
+	ApproxRefine   time.Duration
+	Total          time.Duration
+}
+
+// Result reports one pipeline run.
+type Result struct {
+	// Loc is the final localization (Loc.OK false when no usable rings).
+	Loc localize.Result
+	// Rings is the number reconstructed; Kept the number surviving the
+	// background filter.
+	Rings, Kept int
+	// RingsFirstBkg is the ring count entering the first background-network
+	// pass (the paper's FPGA workload statistic: 597 on average).
+	RingsFirstBkg int
+	// NNIterations is how many localize↔classify iterations ran.
+	NNIterations int
+	// FlaggedGRB and FlaggedBkg count rings removed by the final background
+	// filter, split by ground truth (evaluation diagnostics; the flight
+	// pipeline never sees these).
+	FlaggedGRB, FlaggedBkg int
+	// ErrorRadiusDeg is the pipeline's own 1σ uncertainty estimate for the
+	// final direction (Fisher information of the surviving rings) — the
+	// figure a flight system downlinks, since it has no ground truth.
+	ErrorRadiusDeg float64
+	// ActiveRings are the rings the final localization used (background
+	// filter survivors, with dEta-updated widths). Downstream products —
+	// posterior sky maps, credible regions — should be built from these,
+	// not from the raw reconstruction.
+	ActiveRings []*recon.Ring
+	// Trace records one entry per NN-loop iteration (ML runs only).
+	Trace []IterationRecord
+	// Timing is the stage decomposition of this run.
+	Timing Timing
+}
+
+// IterationRecord captures one localize↔classify iteration for analysis.
+type IterationRecord struct {
+	// PolarDeg is the polar-angle guess fed to the classifier.
+	PolarDeg float64
+	// Flagged is how many rings the classifier rejected this iteration.
+	Flagged int
+	// MovedDeg is how far the direction estimate moved.
+	MovedDeg float64
+}
+
+// Run executes the pipeline over one exposure's events.
+func Run(opts Options, events []*detector.Event, rng *xrand.RNG) Result {
+	start := time.Now()
+	var res Result
+
+	// ---- Stage: reconstruction (parallel over events) ----
+	t0 := time.Now()
+	rings := reconstructAll(&opts, events)
+	res.Timing.Reconstruction = time.Since(t0)
+	res.Rings = len(rings)
+
+	// ---- Stage: localization setup ----
+	t0 = time.Now()
+	if opts.OracleBackground {
+		kept := rings[:0]
+		for _, r := range rings {
+			if !r.Background {
+				kept = append(kept, r)
+			}
+		}
+		rings = kept
+	}
+	if opts.OracleDEta {
+		for _, r := range rings {
+			d := r.EtaError()
+			if d < opts.DEtaFloor {
+				d = opts.DEtaFloor
+			}
+			r.DEta = d
+		}
+	}
+	flagged := make([]bool, len(rings)) // true = classified background
+	active := make([]*recon.Ring, 0, len(rings))
+	res.Timing.Setup = time.Since(t0)
+
+	if len(rings) == 0 {
+		res.Timing.Total = time.Since(start)
+		return res
+	}
+
+	// ---- Initial localization (approx + refine) ----
+	t0 = time.Now()
+	loc := localize.Localize(&opts.Loc, rings, rng)
+	res.Timing.ApproxRefine += time.Since(t0)
+	if !loc.OK {
+		res.Timing.Total = time.Since(start)
+		return res
+	}
+
+	// ---- Iterative background rejection (Fig. 6) ----
+	if opts.Bundle != nil {
+		cls := opts.BkgOverride
+		if cls == nil {
+			cls = FP32Classifier{Net: opts.Bundle.Bkg}
+		}
+		res.RingsFirstBkg = len(rings)
+		prev := loc.Dir
+		maxIters := opts.MaxNNIters
+		if opts.DisableBkgNN {
+			maxIters = 0
+			active = append(active[:0], rings...)
+		}
+		for it := 0; it < maxIters; it++ {
+			res.NNIterations = it + 1
+
+			t0 = time.Now()
+			polar := polarDeg(prev)
+			x := features.Matrix(rings, polar, opts.Bundle.WithPolar)
+			opts.Bundle.BkgNorm.Apply(x)
+			probs := parallelProbs(cls, x, opts.Workers)
+			thr := opts.Bundle.Thr.For(polar)
+			res.FlaggedGRB, res.FlaggedBkg = 0, 0
+			for i := range rings {
+				flagged[i] = probs[i] > thr
+				if flagged[i] {
+					if rings[i].Background {
+						res.FlaggedBkg++
+					} else {
+						res.FlaggedGRB++
+					}
+				}
+			}
+			res.Timing.BkgNN += time.Since(t0)
+
+			active = active[:0]
+			for i, r := range rings {
+				if !flagged[i] {
+					active = append(active, r)
+				}
+			}
+			if len(active) < opts.Loc.MinRings {
+				break // classifier rejected nearly everything; keep prev
+			}
+
+			// Re-localize on the filtered set two ways: refine from the
+			// previous estimate, and run a fresh approximation pass. The
+			// fresh pass lets the solver escape a background-induced
+			// likelihood mode once the classifier has thinned the
+			// background out — the reason the paper iterates rather than
+			// applying the model once — while the likelihood comparison
+			// keeps a jumpy re-approximation from discarding a good mode.
+			t0 = time.Now()
+			refined := localize.Refine(&opts.Loc, active, prev)
+			fresh := localize.Localize(&opts.Loc, active, rng)
+			next := refined
+			if fresh.OK && (!refined.OK ||
+				localize.LogLikelihood(&opts.Loc, active, fresh.Dir) >
+					localize.LogLikelihood(&opts.Loc, active, refined.Dir)) {
+				next = fresh
+			}
+			res.Timing.ApproxRefine += time.Since(t0)
+			if !next.OK {
+				break
+			}
+			loc = next
+			moved := loc.ErrorDeg(prev)
+			prev = loc.Dir
+			nFlagged := 0
+			for _, f := range flagged {
+				if f {
+					nFlagged++
+				}
+			}
+			res.Trace = append(res.Trace, IterationRecord{
+				PolarDeg: polarDeg(prev), Flagged: nFlagged, MovedDeg: moved,
+			})
+			if moved < opts.ConvergeDeg {
+				break
+			}
+		}
+
+		// ---- dEta network rewrites surviving ring widths ----
+		t0 = time.Now()
+		if len(active) > 0 && !opts.DisableDEtaNN {
+			ApplyDEta(opts.Bundle, active, polarDeg(prev), opts.DEtaFloor, opts.DEtaWidenRatio)
+		}
+		res.Timing.DEtaNN = time.Since(t0)
+
+		// ---- Final localization seeded at the last estimate ----
+		t0 = time.Now()
+		if len(active) >= opts.Loc.MinRings {
+			if final := localize.Refine(&opts.Loc, active, prev); final.OK {
+				loc = final
+			}
+			res.Kept = len(active)
+		} else {
+			res.Kept = len(rings)
+		}
+		res.Timing.ApproxRefine += time.Since(t0)
+	} else {
+		res.Kept = len(rings)
+	}
+
+	res.Loc = loc
+	res.ActiveRings = rings
+	if opts.Bundle != nil && len(active) >= opts.Loc.MinRings {
+		res.ActiveRings = active
+	}
+	if loc.OK {
+		res.ErrorRadiusDeg = localize.ErrorRadiusDeg(&opts.Loc, res.ActiveRings, loc.Dir)
+	}
+	res.Timing.Total = time.Since(start)
+	return res
+}
+
+// reconstructAll runs event reconstruction on a worker pool.
+func reconstructAll(opts *Options, events []*detector.Event) []*recon.Ring {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(events) {
+		workers = len(events)
+	}
+	if workers <= 1 {
+		var rings []*recon.Ring
+		for _, ev := range events {
+			if r, ok := recon.Reconstruct(&opts.Recon, ev); ok {
+				rings = append(rings, r)
+			}
+		}
+		return rings
+	}
+	out := make([]*recon.Ring, len(events))
+	var wg sync.WaitGroup
+	chunk := (len(events) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if r, ok := recon.Reconstruct(&opts.Recon, events[i]); ok {
+					out[i] = r
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	rings := make([]*recon.Ring, 0, len(events)/4)
+	for _, r := range out {
+		if r != nil {
+			rings = append(rings, r)
+		}
+	}
+	return rings
+}
+
+// parallelProbs shards classifier inference over row ranges.
+func parallelProbs(cls BkgClassifier, x *nn.Tensor, workers int) []float32 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || x.Rows < 64 {
+		return cls.Probs(x)
+	}
+	out := make([]float32, x.Rows)
+	var wg sync.WaitGroup
+	chunk := (x.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			copy(out[lo:hi], cls.Probs(x.SliceRows(lo, hi)))
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// polarDeg returns the polar angle of a direction in degrees.
+func polarDeg(v geom.Vec) float64 { return geom.Deg(geom.Polar(v)) }
+
+// expf32 is exp on float32 via the float64 implementation.
+func expf32(x float32) float32 { return float32(math.Exp(float64(x))) }
+
+// ApplyDEta rewrites ring widths in place using the bundle's dEta network
+// with the pipeline's widening-only policy (see Options.DEtaWidenRatio):
+// the analytic dη is globally underconfident by a roughly uniform factor
+// (the unmodeled-noise premise of §II-B), so the per-ring ratio NN/analytic
+// is first normalized by its run median; a ring is widened only when the
+// network singles it out as far more wrong than its peers — the
+// misordered/energy-lossy rings whose false certainty "can lead our
+// likelihood model astray". polarGuess is the current source polar angle
+// estimate in degrees; floor bounds the widths from below (≤0 for the
+// default); widenRatio ≤ 0 means the default 3.
+func ApplyDEta(bundle *models.Bundle, rings []*recon.Ring, polarGuess, floor, widenRatio float64) {
+	if len(rings) == 0 {
+		return
+	}
+	if floor <= 0 {
+		floor = DefaultOptions().DEtaFloor
+	}
+	if widenRatio <= 0 {
+		widenRatio = 3
+	}
+	nnWidth, med := dEtaPredictions(bundle, rings, polarGuess)
+	for i, r := range rings {
+		if nnWidth[i] > widenRatio*med*r.DEta {
+			r.DEta = nnWidth[i]
+		}
+		if r.DEta < floor {
+			r.DEta = floor
+		}
+	}
+}
+
+// ApplyDEtaCalibrated rewrites ring widths to *honest* values: every ring's
+// analytic dη is scaled by the network's median correction factor (fixing
+// the global underconfidence the analytic model shares across rings) and
+// outliers are widened to their individual predictions. Use this when the
+// widths feed an uncertainty product (credible regions, error radii) rather
+// than the point-estimate's relative weighting, where ApplyDEta's
+// widening-only policy preserves accuracy better.
+func ApplyDEtaCalibrated(bundle *models.Bundle, rings []*recon.Ring, polarGuess float64) {
+	if len(rings) == 0 {
+		return
+	}
+	floor := DefaultOptions().DEtaFloor
+	nnWidth, med := dEtaPredictions(bundle, rings, polarGuess)
+	for i, r := range rings {
+		d := med * r.DEta
+		if nnWidth[i] > d {
+			d = nnWidth[i]
+		}
+		if d < floor {
+			d = floor
+		}
+		r.DEta = d
+	}
+}
+
+// BackgroundProbs evaluates the bundle's background classifier on rings at
+// the given polar-angle guess, returning one probability per ring. Used by
+// sky-map products that weight rings by their background likelihood.
+func BackgroundProbs(bundle *models.Bundle, rings []*recon.Ring, polarGuess float64) []float64 {
+	x := features.Matrix(rings, polarGuess, bundle.WithPolar)
+	bundle.BkgNorm.Apply(x)
+	probs := bundle.Bkg.PredictProbs(x)
+	out := make([]float64, len(probs))
+	for i, p := range probs {
+		out[i] = float64(p)
+	}
+	return out
+}
+
+// dEtaPredictions returns the network's per-ring width predictions and the
+// median prediction/analytic ratio (≥1).
+func dEtaPredictions(bundle *models.Bundle, rings []*recon.Ring, polarGuess float64) ([]float64, float64) {
+	x := features.Matrix(rings, polarGuess, bundle.WithPolar)
+	bundle.DEtaNorm.Apply(x)
+	pred := bundle.DEta.Predict(x)
+	scale := bundle.DEtaScale
+	if scale <= 0 {
+		scale = 1
+	}
+	ratios := make([]float64, len(rings))
+	nnWidth := make([]float64, len(rings))
+	for i, r := range rings {
+		nnWidth[i] = scale * float64(expf32(pred.Data[i]))
+		ratios[i] = nnWidth[i] / r.DEta
+	}
+	med := medianOf(ratios)
+	if med < 1 {
+		med = 1
+	}
+	return nnWidth, med
+}
+
+// medianOf returns the median of xs without modifying it.
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

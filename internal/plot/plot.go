@@ -1,0 +1,208 @@
+// Package plot renders small ASCII line charts and sky maps for terminal
+// output: the reproduction's equivalents of the paper's matplotlib figures.
+// It depends only on the standard library and the geometry package, so both
+// the experiment harness and the examples can use it.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/recon"
+)
+
+// XY is one plotted point.
+type XY struct {
+	X, Y float64
+}
+
+// Curve is one named line of a chart.
+type Curve struct {
+	Name   string
+	Points []XY
+}
+
+// markers are assigned to curves in order.
+var markers = []byte{'o', 'x', '+', '*', '#', '@'}
+
+// Lines renders the curves into an ASCII grid of the given size (columns ×
+// rows of the plotting area, excluding axes). Curves are linearly
+// interpolated between points; overlapping curves show the later curve's
+// marker.
+func Lines(w io.Writer, title, xlabel, ylabel string, curves []Curve, width, height int) {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			any = true
+			xmin = math.Min(xmin, p.X)
+			xmax = math.Max(xmax, p.X)
+			ymin = math.Min(ymin, p.Y)
+			ymax = math.Max(ymax, p.Y)
+		}
+	}
+	if !any {
+		fmt.Fprintf(w, "%s\n  (no data)\n", title)
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		return clampInt(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		return clampInt(height-1-r, 0, height-1)
+	}
+
+	for ci, c := range curves {
+		m := markers[ci%len(markers)]
+		for i, p := range c.Points {
+			grid[row(p.Y)][col(p.X)] = m
+			if i > 0 {
+				// Interpolate a light trace between consecutive points.
+				q := c.Points[i-1]
+				steps := width
+				for s := 1; s < steps; s++ {
+					t := float64(s) / float64(steps)
+					x := q.X + t*(p.X-q.X)
+					y := q.Y + t*(p.Y-q.Y)
+					r, cc := row(y), col(x)
+					if grid[r][cc] == ' ' {
+						grid[r][cc] = '.'
+					}
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%10.3g ┤%s\n", ymax, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(w, "%10s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(w, "%10.3g ┤%s\n", ymin, string(grid[height-1]))
+	fmt.Fprintf(w, "%10s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(w, "%10s  %-*.3g%*.3g\n", "", width/2, xmin, width-width/2, xmax)
+	var legend []string
+	for ci, c := range curves {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[ci%len(markers)], c.Name))
+	}
+	fmt.Fprintf(w, "%10s  x: %s   y: %s\n", "", xlabel, ylabel)
+	fmt.Fprintf(w, "%10s  %s\n", "", strings.Join(legend, "   "))
+}
+
+// SkyMap renders the upper hemisphere in an orthographic projection from
+// zenith: ring density as shading, plus labeled marker directions (e.g.
+// 'T' truth, 'L' localized). size is the map diameter in characters.
+func SkyMap(w io.Writer, rings []*recon.Ring, marks map[byte]geom.Vec, size int) {
+	if size < 11 {
+		size = 11
+	}
+	if size%2 == 0 {
+		size++
+	}
+	// Density of ring surfaces per cell.
+	density := make([][]float64, size)
+	maxD := 0.0
+	for r := range density {
+		density[r] = make([]float64, size)
+	}
+	for row := 0; row < size; row++ {
+		for col := 0; col < size; col++ {
+			d, ok := cellDir(row, col, size)
+			if !ok {
+				continue
+			}
+			var acc float64
+			for _, ring := range rings {
+				pull := ring.Pull(d)
+				if pull > -3 && pull < 3 {
+					acc++
+				}
+			}
+			density[row][col] = acc
+			maxD = math.Max(maxD, acc)
+		}
+	}
+	shades := []byte(" .:-=+%")
+	for row := 0; row < size; row++ {
+		line := make([]byte, size)
+		for col := 0; col < size; col++ {
+			d, ok := cellDir(row, col, size)
+			if !ok {
+				line[col] = ' '
+				continue
+			}
+			idx := 0
+			if maxD > 0 {
+				idx = int(density[row][col] / maxD * float64(len(shades)-1))
+			}
+			line[col] = shades[idx]
+			for mark, dir := range marks {
+				if geom.AngleBetween(d, dir) < math.Pi/float64(size) {
+					line[col] = mark
+				}
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", doubleWide(line))
+	}
+	fmt.Fprintf(w, "  (orthographic view from zenith; shading = Compton-ring density)\n")
+}
+
+// cellDir maps a map cell to the sky direction it views; ok is false
+// outside the horizon circle.
+func cellDir(row, col, size int) (geom.Vec, bool) {
+	h := float64(size-1) / 2
+	x := (float64(col) - h) / h
+	y := (h - float64(row)) / h
+	r2 := x*x + y*y
+	if r2 > 1 {
+		return geom.Vec{}, false
+	}
+	return geom.Vec{X: x, Y: y, Z: math.Sqrt(1 - r2)}, true
+}
+
+// doubleWide doubles each character horizontally so the circle looks round
+// in typical terminal fonts.
+func doubleWide(line []byte) string {
+	var b strings.Builder
+	for _, c := range line {
+		b.WriteByte(c)
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,87 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/recon"
+	"repro/internal/xrand"
+)
+
+func TestLinesBasic(t *testing.T) {
+	var buf bytes.Buffer
+	Lines(&buf, "test chart", "x", "y", []Curve{
+		{Name: "rising", Points: []XY{{0, 0}, {1, 1}, {2, 4}}},
+		{Name: "falling", Points: []XY{{0, 4}, {2, 0}}},
+	}, 40, 10)
+	out := buf.String()
+	for _, want := range []string{"test chart", "rising", "falling", "o", "x:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	// Axis labels include the data range.
+	if !strings.Contains(out, "4") || !strings.Contains(out, "0") {
+		t.Error("axis bounds missing")
+	}
+}
+
+func TestLinesDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	Lines(&buf, "empty", "x", "y", nil, 20, 5)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+	// Constant data must not divide by zero.
+	buf.Reset()
+	Lines(&buf, "flat", "x", "y", []Curve{{Name: "c", Points: []XY{{1, 5}, {2, 5}}}}, 20, 5)
+	if buf.Len() == 0 {
+		t.Error("flat chart rendered nothing")
+	}
+}
+
+func TestSkyMap(t *testing.T) {
+	rng := xrand.New(1)
+	s := geom.FromSpherical(geom.Rad(30), geom.Rad(45))
+	var rings []*recon.Ring
+	for i := 0; i < 40; i++ {
+		x, y, z := rng.UnitVectorPolarRange(0, 3.14)
+		axis := geom.Vec{X: x, Y: y, Z: z}
+		rings = append(rings, &recon.Ring{
+			Ring: geom.Ring{Axis: axis, Eta: s.Dot(axis), DEta: 0.02},
+		})
+	}
+	var buf bytes.Buffer
+	SkyMap(&buf, rings, map[byte]geom.Vec{'T': s}, 21)
+	out := buf.String()
+	if !strings.Contains(out, "T") {
+		t.Error("truth marker missing from sky map")
+	}
+	if !strings.Contains(out, "ring density") {
+		t.Error("caption missing")
+	}
+	// The map is round: corners blank.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[0], "   ") {
+		t.Error("top-left corner not blank")
+	}
+}
+
+func TestCellDir(t *testing.T) {
+	// Center looks at zenith.
+	d, ok := cellDir(10, 10, 21)
+	if !ok || d.Sub(geom.Vec{Z: 1}).Norm() > 1e-12 {
+		t.Errorf("center direction %v", d)
+	}
+	// Corner is outside the horizon.
+	if _, ok := cellDir(0, 0, 21); ok {
+		t.Error("corner inside the circle")
+	}
+	// Right edge looks at the +x horizon.
+	d, ok = cellDir(10, 20, 21)
+	if !ok || d.Sub(geom.Vec{X: 1}).Norm() > 1e-9 {
+		t.Errorf("east-horizon direction %v", d)
+	}
+}

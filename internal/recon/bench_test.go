@@ -1,0 +1,53 @@
+package recon
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// benchEvents simulates a pool of detected events for reconstruction
+// benchmarks.
+func benchEvents(n int) []*detector.Event {
+	cfg := detector.DefaultConfig()
+	rng := xrand.New(7)
+	var out []*detector.Event
+	for len(out) < n {
+		ev := detector.ThrowPhoton(&cfg, geom.Vec{Z: -1}, 0.9, rng)
+		if ev != nil && len(ev.Hits) >= 2 {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	cfg := DefaultConfig()
+	events := benchEvents(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reconstruct(&cfg, events[i%len(events)])
+	}
+}
+
+func BenchmarkSequenceMulti(b *testing.B) {
+	cfg := DefaultConfig()
+	// Pick events with 3+ hits (permutation search path).
+	var multi []*detector.Event
+	for _, ev := range benchEvents(2048) {
+		if len(ev.Hits) >= 3 {
+			multi = append(multi, ev)
+		}
+	}
+	if len(multi) == 0 {
+		b.Skip("no multi-hit events generated")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sequence(&cfg, multi[i%len(multi)].Hits)
+	}
+}

@@ -1,0 +1,98 @@
+package recon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/physics"
+	"repro/internal/xrand"
+)
+
+// TestRingPassesThroughSourceProperty: for any noiseless two-hit event whose
+// ordering is unambiguous, the reconstructed ring surface contains the true
+// source direction exactly (|s·c − η| ≈ 0). This is the defining invariant
+// of Compton-ring reconstruction.
+func TestRingPassesThroughSourceProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		// Source anywhere in the upper 85°; energy in the MeV band; small
+		// scattering angle keeps E1 < E2 so the two-hit heuristic cannot
+		// flip the order.
+		src := geom.FromSpherical(rng.Uniform(0, geom.Rad(85)), rng.Uniform(0, 2*math.Pi))
+		e := rng.Uniform(0.5, 3)
+		theta := rng.Uniform(geom.Rad(10), geom.Rad(35))
+		phi := rng.Uniform(0, 2*math.Pi)
+		lever := rng.Uniform(cfg.MinLeverArm+1, 25)
+		r1 := geom.Vec{X: rng.Uniform(-10, 10), Y: rng.Uniform(-10, 10), Z: rng.Uniform(-1.5, 0)}
+
+		ev := syntheticEvent(e, theta, phi, lever, src, r1)
+		if ev.Hits[0].E >= ev.Hits[1].E {
+			return true // ordering ambiguous; not this property's subject
+		}
+		r, ok := Reconstruct(&cfg, ev)
+		if !ok {
+			return true // filtered (e.g. backscatter-like kinematics)
+		}
+		return math.Abs(r.Residual(src)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDEtaPositiveProperty: the analytic width is positive and at least the
+// configured floor for every reconstructable event.
+func TestDEtaPositiveProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		src := geom.FromSpherical(rng.Uniform(0, geom.Rad(80)), rng.Uniform(0, 2*math.Pi))
+		ev := syntheticEvent(
+			rng.Uniform(0.2, 5),
+			rng.Uniform(geom.Rad(5), geom.Rad(120)),
+			rng.Uniform(0, 2*math.Pi),
+			rng.Uniform(4, 30),
+			src,
+			geom.Vec{Z: -0.5},
+		)
+		r, ok := Reconstruct(&cfg, ev)
+		if !ok {
+			return true
+		}
+		return r.DEta >= cfg.DEtaFloor && !math.IsNaN(r.DEta) && !math.IsInf(r.DEta, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEtaConsistencyProperty: the reconstructed η always equals the value
+// implied by the Compton formula for the measured energies (whatever order
+// the sequencer picked).
+func TestEtaConsistencyProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		src := geom.FromSpherical(rng.Uniform(0, geom.Rad(80)), 0)
+		ev := syntheticEvent(
+			rng.Uniform(0.3, 4),
+			rng.Uniform(geom.Rad(10), geom.Rad(100)),
+			1.0,
+			rng.Uniform(5, 20),
+			src,
+			geom.Vec{Z: -0.5},
+		)
+		r, ok := Reconstruct(&cfg, ev)
+		if !ok {
+			return true
+		}
+		want := physics.CosThetaFromEnergies(r.ETotal, r.ETotal-r.Hit1.E)
+		return math.Abs(r.Eta-geom.Clamp(want, -1, 1)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

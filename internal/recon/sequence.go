@@ -1,0 +1,153 @@
+package recon
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/detector"
+	"repro/internal/units"
+)
+
+// Sequence infers the time order of an event's measured hits. It returns
+// indices into hits such that order[0] is the inferred first interaction.
+// ok is false when no ordering is kinematically admissible.
+//
+// For events with three or more hits, every permutation of the
+// MaxSequenced highest-energy hits is scored by the standard Compton
+// sequencing figure of merit: at each internal vertex the scattering angle
+// implied by the energies must match the angle implied by the geometry.
+// Two-hit events have no internal vertex, so ordering falls back to
+// kinematic admissibility plus the "larger deposit is usually the
+// photoabsorption (second)" heuristic — which is right most of the time and
+// wrong often enough to matter, as in the real pipeline.
+func Sequence(cfg *Config, hits []detector.Hit) (order []int, ok bool) {
+	switch {
+	case len(hits) < 2:
+		return nil, false
+	case len(hits) == 2:
+		return sequencePair(hits)
+	default:
+		return sequenceMulti(cfg, hits)
+	}
+}
+
+// sequencePair orders a two-hit event.
+func sequencePair(hits []detector.Hit) ([]int, bool) {
+	etot := hits[0].E + hits[1].E
+	valid01 := kinematicallyValid(etot, hits[0].E)
+	valid10 := kinematicallyValid(etot, hits[1].E)
+	switch {
+	case valid01 && !valid10:
+		return []int{0, 1}, true
+	case valid10 && !valid01:
+		return []int{1, 0}, true
+	case !valid01 && !valid10:
+		return nil, false
+	}
+	// Both admissible: the photoabsorption usually deposits more energy, so
+	// put the larger deposit second.
+	if hits[0].E <= hits[1].E {
+		return []int{0, 1}, true
+	}
+	return []int{1, 0}, true
+}
+
+// kinematicallyValid reports whether treating e1 as the first deposit of a
+// photon with total energy etot gives |cosθ| ≤ 1 (with a small tolerance for
+// measurement smearing).
+func kinematicallyValid(etot, e1 float64) bool {
+	eOut := etot - e1
+	if eOut <= 0 {
+		return false
+	}
+	eta := 1 - units.ElectronMassMeV*(1/eOut-1/etot)
+	return eta >= -1.1 && eta <= 1.0001
+}
+
+// sequenceMulti scores permutations of the highest-energy hits.
+func sequenceMulti(cfg *Config, hits []detector.Hit) ([]int, bool) {
+	// Select the hits to sequence: all of them up to MaxSequenced, by
+	// descending energy; the rest contribute only to the energy total.
+	sel := make([]int, len(hits))
+	for i := range sel {
+		sel[i] = i
+	}
+	sort.Slice(sel, func(a, b int) bool { return hits[sel[a]].E > hits[sel[b]].E })
+	if len(sel) > cfg.MaxSequenced {
+		sel = sel[:cfg.MaxSequenced]
+	}
+
+	var etot float64
+	for i := range hits {
+		etot += hits[i].E
+	}
+
+	best := math.Inf(1)
+	var bestOrder []int
+	perm := make([]int, len(sel))
+	copy(perm, sel)
+	permute(perm, 0, func(p []int) {
+		fom, admissible := sequenceFOM(hits, p, etot)
+		if admissible && fom < best {
+			best = fom
+			bestOrder = append(bestOrder[:0], p...)
+		}
+	})
+	if bestOrder == nil {
+		return nil, false
+	}
+	return bestOrder, true
+}
+
+// sequenceFOM computes the Compton sequencing figure of merit for ordering p
+// of the event's hits: the summed squared mismatch between the kinematic and
+// geometric scattering-angle cosines at each internal vertex, in units of a
+// rough per-vertex uncertainty. Lower is better.
+func sequenceFOM(hits []detector.Hit, p []int, etot float64) (fom float64, admissible bool) {
+	// Energy entering the first vertex is the event total; the unsequenced
+	// remainder is treated as deposited at the end of the chain.
+	// First-vertex admissibility (this is the η that becomes the ring).
+	if !kinematicallyValid(etot, hits[p[0]].E) {
+		return 0, false
+	}
+	ein := etot
+	for v := 0; v < len(p); v++ {
+		if v >= 1 && v+1 < len(p) {
+			eout := ein - hits[p[v]].E
+			if eout <= 0 {
+				return 0, false
+			}
+			cosKin := 1 - units.ElectronMassMeV*(1/eout-1/ein)
+			if cosKin < -1.2 {
+				return 0, false
+			}
+			a := hits[p[v]].Pos.Sub(hits[p[v-1]].Pos)
+			b := hits[p[v+1]].Pos.Sub(hits[p[v]].Pos)
+			if a.Norm() == 0 || b.Norm() == 0 {
+				return 0, false
+			}
+			cosGeom := a.Unit().Dot(b.Unit())
+			d := cosGeom - cosKin
+			// Per-vertex scale: dominated by position quantization over
+			// short lever arms; 0.1 in cosine is representative and the
+			// ranking is insensitive to the exact value.
+			fom += d * d / 0.01
+		}
+		ein -= hits[p[v]].E
+	}
+	return fom, true
+}
+
+// permute calls visit for every permutation of s[k:] (Heap's algorithm,
+// iterative on the recursion index).
+func permute(s []int, k int, visit func([]int)) {
+	if k == len(s)-1 {
+		visit(s)
+		return
+	}
+	for i := k; i < len(s); i++ {
+		s[k], s[i] = s[i], s[k]
+		permute(s, k+1, visit)
+		s[k], s[i] = s[i], s[k]
+	}
+}

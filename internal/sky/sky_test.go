@@ -1,0 +1,193 @@
+package sky
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/localize"
+	"repro/internal/recon"
+	"repro/internal/xrand"
+)
+
+func TestGridCoversHemisphere(t *testing.T) {
+	g := NewGrid(16)
+	if g.NumPixels() < 100 {
+		t.Fatalf("only %d pixels", g.NumPixels())
+	}
+	// Total solid angle = 2π (the hemisphere).
+	var sr float64
+	for i := 0; i < g.NumPixels(); i++ {
+		sr += g.PixelSr(i)
+	}
+	if math.Abs(sr-2*math.Pi) > 1e-9 {
+		t.Errorf("total solid angle %v, want 2π", sr)
+	}
+	// Pixel areas roughly equal: max/min within a factor ~3 (the polar cap
+	// pixel is the outlier).
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for i := 0; i < g.NumPixels(); i++ {
+		a := g.PixelSr(i)
+		mn = math.Min(mn, a)
+		mx = math.Max(mx, a)
+	}
+	if mx/mn > 4 {
+		t.Errorf("pixel area ratio %v; not equal-area", mx/mn)
+	}
+}
+
+func TestFindInvertsDir(t *testing.T) {
+	g := NewGrid(12)
+	for i := 0; i < g.NumPixels(); i++ {
+		if got := g.Find(g.Dir(i)); got != i {
+			t.Fatalf("Find(Dir(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestFindArbitraryDirections(t *testing.T) {
+	g := NewGrid(10)
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		x, y, z := rng.UnitVectorPolarRange(0, math.Pi/2)
+		d := geom.Vec{X: x, Y: y, Z: z}
+		i := g.Find(d)
+		if i < 0 || i >= g.NumPixels() {
+			return false
+		}
+		// The pixel center must be within a few pixel scales of d.
+		return geom.AngleBetween(g.Dir(i), d) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ringsAround builds noisy rings through s.
+func ringsAround(s geom.Vec, n int, noise float64, rng *xrand.RNG) []*recon.Ring {
+	var rings []*recon.Ring
+	for i := 0; i < n; i++ {
+		x, y, z := rng.UnitVectorPolarRange(0, math.Pi)
+		axis := geom.Vec{X: x, Y: y, Z: z}
+		rings = append(rings, &recon.Ring{
+			Ring: geom.Ring{Axis: axis, Eta: geom.Clamp(s.Dot(axis)+rng.Gaussian(0, noise), -1, 1), DEta: noise},
+		})
+	}
+	return rings
+}
+
+func TestLikelihoodPeaksAtSource(t *testing.T) {
+	cfg := localize.DefaultConfig()
+	rng := xrand.New(1)
+	s := geom.FromSpherical(geom.Rad(35), geom.Rad(120))
+	rings := ringsAround(s, 80, 0.02, rng)
+	g := NewGrid(16)
+	m := Likelihood(&cfg, rings, g)
+	best, _ := m.Best()
+	if d := geom.Deg(geom.AngleBetween(best, s)); d > 6 {
+		t.Errorf("map peak %v° from the source", d)
+	}
+	if !m.Contains(s, 0.95) {
+		t.Error("95% credible region misses the source")
+	}
+	if m.String() == "" {
+		t.Error("empty map summary")
+	}
+}
+
+func TestCredibleAreaShrinksWithMoreRings(t *testing.T) {
+	cfg := localize.DefaultConfig()
+	s := geom.FromSpherical(geom.Rad(20), geom.Rad(-40))
+	g := NewGrid(24)
+	few := Likelihood(&cfg, ringsAround(s, 6, 0.15, xrand.New(2)), g)
+	many := Likelihood(&cfg, ringsAround(s, 300, 0.15, xrand.New(3)), g)
+	aFew := few.CredibleAreaDeg2(0.9)
+	aMany := many.CredibleAreaDeg2(0.9)
+	if aMany >= aFew {
+		t.Errorf("more rings did not shrink the 90%% area: %v vs %v deg²", aMany, aFew)
+	}
+}
+
+func TestPosteriorNormalized(t *testing.T) {
+	cfg := localize.DefaultConfig()
+	rng := xrand.New(4)
+	s := geom.Vec{Z: 1}
+	m := Likelihood(&cfg, ringsAround(s, 40, 0.02, rng), NewGrid(10))
+	post := m.Posterior()
+	var total float64
+	for _, p := range post {
+		if p < 0 {
+			t.Fatal("negative posterior")
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("posterior sums to %v", total)
+	}
+	// Credible regions nest: 50% ⊆ 90%.
+	r50 := len(m.CredibleRegion(0.5))
+	r90 := len(m.CredibleRegion(0.9))
+	if r50 > r90 {
+		t.Errorf("50%% region (%d px) larger than 90%% (%d px)", r50, r90)
+	}
+}
+
+func TestTemperedWidensRegions(t *testing.T) {
+	cfg := localize.DefaultConfig()
+	rng := xrand.New(5)
+	s := geom.FromSpherical(geom.Rad(25), geom.Rad(60))
+	m := Likelihood(&cfg, ringsAround(s, 100, 0.03, rng), NewGrid(20))
+	a1 := m.CredibleAreaDeg2(0.9)
+	a8 := m.Tempered(8).CredibleAreaDeg2(0.9)
+	if a8 <= a1 {
+		t.Errorf("tempering did not widen the region: %v vs %v", a8, a1)
+	}
+	// Non-positive temperature behaves as identity.
+	if got := m.Tempered(0).CredibleAreaDeg2(0.9); got != a1 {
+		t.Errorf("T<=0 changed the map: %v vs %v", got, a1)
+	}
+	// The peak does not move under tempering.
+	b1, _ := m.Best()
+	b8, _ := m.Tempered(8).Best()
+	if b1 != b8 {
+		t.Error("tempering moved the peak")
+	}
+}
+
+func TestMixtureLikelihoodDownweightsBackground(t *testing.T) {
+	cfg := localize.DefaultConfig()
+	rng := xrand.New(6)
+	s := geom.FromSpherical(geom.Rad(30), geom.Rad(-120))
+	src := ringsAround(s, 40, 0.03, rng)
+	// Background rings consistent with a different (decoy) direction.
+	decoy := geom.FromSpherical(geom.Rad(50), geom.Rad(40))
+	bkg := ringsAround(decoy, 120, 0.03, rng)
+	rings := append(append([]*recon.Ring{}, src...), bkg...)
+	probs := make([]float64, len(rings))
+	for i := range probs {
+		if i >= len(src) {
+			probs[i] = 0.95 // classifier flags the decoy population
+		}
+	}
+	g := NewGrid(16)
+	m := MixtureLikelihood(&cfg, rings, probs, g)
+	best, _ := m.Best()
+	if d := geom.Deg(geom.AngleBetween(best, s)); d > 8 {
+		t.Errorf("mixture map peaked %v° from the source (decoy won)", d)
+	}
+	// With no background weighting, the 3x larger decoy population wins.
+	zero := make([]float64, len(rings))
+	m0 := MixtureLikelihood(&cfg, rings, zero, g)
+	best0, _ := m0.Best()
+	if d := geom.Deg(geom.AngleBetween(best0, decoy)); d > 8 {
+		t.Errorf("unweighted mixture should peak at the decoy; got %v° away", d)
+	}
+	// Length mismatch panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("bkgProb length mismatch did not panic")
+		}
+	}()
+	MixtureLikelihood(&cfg, rings, probs[:3], g)
+}

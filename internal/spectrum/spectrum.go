@@ -1,0 +1,217 @@
+// Package spectrum models the photon energy spectra and light curves used by
+// the ADAPT evaluation: the Band GRB spectrum with a fixed high-energy index
+// β = −2.35 and a 30 keV minimum simulated energy (paper §IV, footnote 2),
+// and a power-law atmospheric background spectrum.
+//
+// A Spectrum is sampled through a tabulated inverse CDF built once at
+// construction, so per-photon sampling is a binary search plus one
+// interpolation regardless of the spectral form.
+package spectrum
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// Spectrum draws photon energies (MeV) from a fixed distribution.
+type Spectrum interface {
+	// Sample returns one photon energy in MeV.
+	Sample(rng *xrand.RNG) float64
+	// MeanEnergy returns the mean photon energy in MeV, used to convert a
+	// fluence (MeV/cm²) into an expected photon count per cm².
+	MeanEnergy() float64
+	// Bounds returns the support [lo, hi] in MeV.
+	Bounds() (lo, hi float64)
+}
+
+// tableSpectrum samples any positive spectral density via a tabulated
+// inverse CDF on a log-spaced energy grid.
+type tableSpectrum struct {
+	lo, hi float64
+	cdf    []float64 // cumulative probability at each grid point, cdf[n-1]=1
+	grid   []float64 // energies, log-spaced, len == len(cdf)
+	mean   float64
+}
+
+const tablePoints = 1024
+
+// newTableSpectrum builds a sampler for density(E) (unnormalized, must be
+// >= 0 and finite on [lo, hi]).
+func newTableSpectrum(density func(e float64) float64, lo, hi float64) *tableSpectrum {
+	if !(lo > 0) || !(hi > lo) {
+		panic("spectrum: bad bounds")
+	}
+	t := &tableSpectrum{lo: lo, hi: hi}
+	t.grid = make([]float64, tablePoints)
+	t.cdf = make([]float64, tablePoints)
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for i := range t.grid {
+		t.grid[i] = math.Exp(logLo + (logHi-logLo)*float64(i)/float64(tablePoints-1))
+	}
+	// Trapezoidal accumulation of the density and of E·density for the mean.
+	var total, eTotal float64
+	prevE, prevD := t.grid[0], density(t.grid[0])
+	for i := 1; i < tablePoints; i++ {
+		e, d := t.grid[i], density(t.grid[i])
+		de := e - prevE
+		total += 0.5 * (d + prevD) * de
+		eTotal += 0.5 * (d*e + prevD*prevE) * de
+		t.cdf[i] = total
+		prevE, prevD = e, d
+	}
+	if total <= 0 {
+		panic("spectrum: density integrates to zero")
+	}
+	for i := range t.cdf {
+		t.cdf[i] /= total
+	}
+	t.mean = eTotal / total
+	return t
+}
+
+func (t *tableSpectrum) Sample(rng *xrand.RNG) float64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(t.cdf, u)
+	if i <= 0 {
+		return t.grid[0]
+	}
+	if i >= len(t.cdf) {
+		return t.grid[len(t.grid)-1]
+	}
+	// Linear interpolation within the bracketing grid cell.
+	c0, c1 := t.cdf[i-1], t.cdf[i]
+	f := 0.0
+	if c1 > c0 {
+		f = (u - c0) / (c1 - c0)
+	}
+	return t.grid[i-1] + f*(t.grid[i]-t.grid[i-1])
+}
+
+func (t *tableSpectrum) MeanEnergy() float64      { return t.mean }
+func (t *tableSpectrum) Bounds() (lo, hi float64) { return t.lo, t.hi }
+
+// Band is the Band GRB spectral model. Alpha is the low-energy photon index,
+// Beta the high-energy index (the paper fixes Beta = −2.35), EPeak the νFν
+// peak energy in MeV.
+type Band struct {
+	Alpha, Beta, EPeak float64
+	tab                *tableSpectrum
+}
+
+// DefaultBand returns the evaluation spectrum used throughout this
+// reproduction: a typical short-GRB Band spectrum with α = −0.5,
+// β = −2.35, E_peak = 0.5 MeV, sampled on [30 keV, 30 MeV].
+func DefaultBand() *Band {
+	return NewBand(-0.5, -2.35, 0.5)
+}
+
+// NewBand constructs a Band spectrum over the simulation energy range.
+func NewBand(alpha, beta, epeak float64) *Band {
+	b := &Band{Alpha: alpha, Beta: beta, EPeak: epeak}
+	b.tab = newTableSpectrum(b.density, units.MinSimEnergyMeV, units.MaxSimEnergyMeV)
+	return b
+}
+
+// density is the Band photon number density dN/dE (unnormalized).
+func (b *Band) density(e float64) float64 {
+	// Characteristic energy where the two segments join smoothly.
+	e0 := b.EPeak / (2 + b.Alpha)
+	ec := (b.Alpha - b.Beta) * e0
+	if e < ec {
+		return math.Pow(e, b.Alpha) * math.Exp(-e/e0)
+	}
+	return math.Pow(ec, b.Alpha-b.Beta) * math.Exp(b.Beta-b.Alpha) * math.Pow(e, b.Beta)
+}
+
+// Sample implements Spectrum.
+func (b *Band) Sample(rng *xrand.RNG) float64 { return b.tab.Sample(rng) }
+
+// MeanEnergy implements Spectrum.
+func (b *Band) MeanEnergy() float64 { return b.tab.MeanEnergy() }
+
+// Bounds implements Spectrum.
+func (b *Band) Bounds() (lo, hi float64) { return b.tab.Bounds() }
+
+// PowerLaw is a pure power-law spectrum dN/dE ∝ E^Index on [Lo, Hi] MeV,
+// used for the atmospheric background.
+type PowerLaw struct {
+	Index, Lo, Hi float64
+	mean          float64
+}
+
+// NewPowerLaw constructs a power-law spectrum.
+func NewPowerLaw(index, lo, hi float64) *PowerLaw {
+	p := &PowerLaw{Index: index, Lo: lo, Hi: hi}
+	// Mean energy has a closed form: ∫E^(i+1)/∫E^i.
+	p.mean = momentRatio(index, lo, hi)
+	return p
+}
+
+func momentRatio(index, lo, hi float64) float64 {
+	num := powInt(index+1, lo, hi)
+	den := powInt(index, lo, hi)
+	return num / den
+}
+
+// powInt integrates E^index over [lo, hi].
+func powInt(index, lo, hi float64) float64 {
+	if index == -1 {
+		return math.Log(hi / lo)
+	}
+	g := index + 1
+	return (math.Pow(hi, g) - math.Pow(lo, g)) / g
+}
+
+// Sample implements Spectrum.
+func (p *PowerLaw) Sample(rng *xrand.RNG) float64 {
+	return rng.PowerLaw(p.Index, p.Lo, p.Hi)
+}
+
+// MeanEnergy implements Spectrum.
+func (p *PowerLaw) MeanEnergy() float64 { return p.mean }
+
+// Bounds implements Spectrum.
+func (p *PowerLaw) Bounds() (lo, hi float64) { return p.Lo, p.Hi }
+
+// LightCurve gives the normalized burst intensity profile over time; its
+// integral over [0, Duration] is 1.
+type LightCurve struct {
+	// Duration of the burst window in seconds.
+	Duration float64
+	// RiseFrac is the fraction of the duration spent in the linear rise of
+	// the FRED (fast-rise exponential-decay) profile.
+	RiseFrac float64
+}
+
+// DefaultLightCurve returns the 1-second short-GRB profile used by the
+// paper's evaluation (all experiments use 1 s bursts).
+func DefaultLightCurve() LightCurve {
+	return LightCurve{Duration: 1.0, RiseFrac: 0.1}
+}
+
+// SampleTime draws a photon arrival time in [0, Duration) from the FRED
+// profile: linear rise over RiseFrac·Duration, exponential decay after.
+func (lc LightCurve) SampleTime(rng *xrand.RNG) float64 {
+	rise := lc.RiseFrac * lc.Duration
+	decay := (lc.Duration - rise) / 3 // ~95% of the decay fits in the window
+	// Area of the triangle rise vs the truncated exponential tail.
+	tailArea := decay * (1 - math.Exp(-(lc.Duration-rise)/decay))
+	riseArea := rise / 2
+	if rng.Float64() < riseArea/(riseArea+tailArea) {
+		return rise * math.Sqrt(rng.Float64())
+	}
+	// Truncated exponential on [0, Duration-rise].
+	u := rng.Float64()
+	span := lc.Duration - rise
+	t := -decay * math.Log(1-u*(1-math.Exp(-span/decay)))
+	return rise + t
+}
+
+// PhotonsPerCm2 converts a fluence in MeV/cm² to the expected photon count
+// per cm² for spectrum s.
+func PhotonsPerCm2(fluence float64, s Spectrum) float64 {
+	return fluence / s.MeanEnergy()
+}

@@ -1,0 +1,145 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+func TestBandDensityContinuity(t *testing.T) {
+	b := DefaultBand()
+	e0 := b.EPeak / (2 + b.Alpha)
+	ec := (b.Alpha - b.Beta) * e0
+	lo := b.density(ec * 0.9999)
+	hi := b.density(ec * 1.0001)
+	if math.Abs(lo-hi)/lo > 0.01 {
+		t.Errorf("Band density discontinuous at junction: %v vs %v", lo, hi)
+	}
+	// The Band function is positive and decreasing well above the peak.
+	if b.density(5) <= 0 || b.density(10) >= b.density(5) {
+		t.Error("Band high-energy tail not positive/decreasing")
+	}
+}
+
+func TestBandSampleBounds(t *testing.T) {
+	b := DefaultBand()
+	rng := xrand.New(1)
+	lo, hi := b.Bounds()
+	if lo != units.MinSimEnergyMeV || hi != units.MaxSimEnergyMeV {
+		t.Fatalf("Bounds = %v, %v", lo, hi)
+	}
+	for i := 0; i < 20000; i++ {
+		e := b.Sample(rng)
+		if e < lo || e > hi {
+			t.Fatalf("sample out of bounds: %v", e)
+		}
+	}
+}
+
+func TestBandMeanMatchesSamples(t *testing.T) {
+	b := DefaultBand()
+	rng := xrand.New(2)
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += b.Sample(rng)
+	}
+	got := sum / float64(n)
+	want := b.MeanEnergy()
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("empirical mean %v vs tabulated %v", got, want)
+	}
+	if want < 0.05 || want > 2 {
+		t.Errorf("Band mean energy %v MeV implausible for a short GRB", want)
+	}
+}
+
+func TestBandSteeperBetaSoftens(t *testing.T) {
+	soft := NewBand(-0.5, -3.0, 0.5)
+	hard := NewBand(-0.5, -2.0, 0.5)
+	if soft.MeanEnergy() >= hard.MeanEnergy() {
+		t.Errorf("steeper beta should lower the mean: %v vs %v", soft.MeanEnergy(), hard.MeanEnergy())
+	}
+}
+
+func TestPowerLawMean(t *testing.T) {
+	p := NewPowerLaw(-1.75, 0.03, 30)
+	rng := xrand.New(3)
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		e := p.Sample(rng)
+		if e < 0.03 || e > 30 {
+			t.Fatalf("power-law sample out of bounds: %v", e)
+		}
+		sum += e
+	}
+	got := sum / float64(n)
+	if math.Abs(got-p.MeanEnergy())/p.MeanEnergy() > 0.05 {
+		t.Errorf("empirical mean %v vs closed form %v", got, p.MeanEnergy())
+	}
+}
+
+func TestPowerLawIndexMinusOne(t *testing.T) {
+	p := NewPowerLaw(-1, 1, 10)
+	// Closed-form mean for index -1: (hi-lo)/ln(hi/lo).
+	want := 9 / math.Log(10.0)
+	if math.Abs(p.MeanEnergy()-want) > 1e-9 {
+		t.Errorf("mean for index -1 = %v, want %v", p.MeanEnergy(), want)
+	}
+}
+
+func TestLightCurveSampleTimes(t *testing.T) {
+	lc := DefaultLightCurve()
+	rng := xrand.New(4)
+	n := 50000
+	early := 0
+	for i := 0; i < n; i++ {
+		ts := lc.SampleTime(rng)
+		if ts < 0 || ts >= lc.Duration {
+			t.Fatalf("sample time out of window: %v", ts)
+		}
+		if ts < 0.3 {
+			early++
+		}
+	}
+	// A FRED profile front-loads the photons.
+	if frac := float64(early) / float64(n); frac < 0.5 {
+		t.Errorf("only %.2f of photons in the first 30%% of a FRED burst", frac)
+	}
+}
+
+func TestPhotonsPerCm2(t *testing.T) {
+	b := DefaultBand()
+	got := PhotonsPerCm2(2.0, b)
+	if math.Abs(got-2.0/b.MeanEnergy()) > 1e-12 {
+		t.Errorf("PhotonsPerCm2 = %v", got)
+	}
+}
+
+func TestTableSpectrumCDFMonotone(t *testing.T) {
+	b := DefaultBand()
+	for i := 1; i < len(b.tab.cdf); i++ {
+		if b.tab.cdf[i] < b.tab.cdf[i-1] {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if math.Abs(b.tab.cdf[len(b.tab.cdf)-1]-1) > 1e-12 {
+		t.Errorf("CDF does not end at 1: %v", b.tab.cdf[len(b.tab.cdf)-1])
+	}
+}
+
+func TestNewTableSpectrumPanics(t *testing.T) {
+	for _, c := range []struct{ lo, hi float64 }{{0, 1}, {2, 1}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for bounds %v", c)
+				}
+			}()
+			newTableSpectrum(func(float64) float64 { return 1 }, c.lo, c.hi)
+		}()
+	}
+}

@@ -1,0 +1,168 @@
+// Package tune implements the hyperparameter search of the paper's §III
+// "Model Training": the paper used the Weights & Biases platform "to search
+// over different combinations of batch size, learning rate, and
+// architectural variables including the number of FC layers, the maximum
+// width of any layer, and the width of each layer relative to the maximum."
+//
+// This package provides the same search space and a random-search driver
+// (WandB's default sweep strategy) scoring candidates by validation loss
+// with early stopping, entirely offline.
+package tune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/xrand"
+)
+
+// Candidate is one point in the search space.
+type Candidate struct {
+	// LayersFC is the number of fully-connected layers (the paper settled
+	// on four for both networks).
+	LayersFC int
+	// MaxWidth is the widest FC layer.
+	MaxWidth int
+	// Shape positions the widest layer: widths ramp up to MaxWidth at the
+	// layer indexed by Peak (0-based among hidden layers) and decay
+	// geometrically on both sides with ratio Taper in (0, 1].
+	Peak  int
+	Taper float64
+	// BatchSize and LR are the training hyperparameters.
+	BatchSize int
+	LR        float64
+}
+
+// Widths expands the candidate into per-layer FC output widths, always
+// ending in a single output.
+func (c Candidate) Widths() []int {
+	n := c.LayersFC
+	if n < 2 {
+		n = 2
+	}
+	hidden := n - 1 // last layer is the 1-wide output
+	w := make([]int, 0, n)
+	for i := 0; i < hidden; i++ {
+		d := math.Abs(float64(i - c.Peak))
+		width := int(math.Round(float64(c.MaxWidth) * math.Pow(c.Taper, d)))
+		if width < 2 {
+			width = 2
+		}
+		w = append(w, width)
+	}
+	return append(w, 1)
+}
+
+// String implements fmt.Stringer.
+func (c Candidate) String() string {
+	return fmt.Sprintf("fc=%d widths=%v batch=%d lr=%.3g", c.LayersFC, c.Widths(), c.BatchSize, c.LR)
+}
+
+// Space bounds the random search, mirroring the paper's search variables.
+type Space struct {
+	LayersFC   []int     // choices for FC depth
+	MaxWidths  []int     // choices for the widest layer
+	Tapers     []float64 // width decay ratios
+	BatchSizes []int
+	LRLog10Min float64 // LR sampled log-uniformly in [10^min, 10^max]
+	LRLog10Max float64
+}
+
+// DefaultSpace returns a search space containing the paper's two chosen
+// architectures (background: 4 FC, max width 256 at the first layer,
+// decreasing; dEta: 4 FC, max width 16 in the middle).
+func DefaultSpace() Space {
+	return Space{
+		LayersFC:   []int{3, 4, 5},
+		MaxWidths:  []int{16, 32, 64, 128, 256},
+		Tapers:     []float64{0.5, 0.7, 1.0},
+		BatchSizes: []int{256, 1024, 4096},
+		LRLog10Min: -4,
+		LRLog10Max: -1.5,
+	}
+}
+
+// Sample draws a random candidate from the space.
+func (s Space) Sample(rng *xrand.RNG) Candidate {
+	depth := s.LayersFC[rng.IntN(len(s.LayersFC))]
+	return Candidate{
+		LayersFC:  depth,
+		MaxWidth:  s.MaxWidths[rng.IntN(len(s.MaxWidths))],
+		Peak:      rng.IntN(depth - 1),
+		Taper:     s.Tapers[rng.IntN(len(s.Tapers))],
+		BatchSize: s.BatchSizes[rng.IntN(len(s.BatchSizes))],
+		LR:        math.Pow(10, rng.Uniform(s.LRLog10Min, s.LRLog10Max)),
+	}
+}
+
+// BuildNet constructs a network for a candidate using the given block
+// builder (models.NewMLP or models.NewMLPSwapped have this shape).
+type BuildNet func(in int, widths []int, rng *xrand.RNG) *nn.Sequential
+
+// Options configures a search run.
+type Options struct {
+	Seed       uint64
+	Trials     int // candidates to evaluate
+	MaxEpochs  int // per-candidate training budget
+	Patience   int
+	InFeatures int
+	Loss       nn.Loss
+	Build      BuildNet
+	Logf       func(format string, args ...any)
+}
+
+// Result is one evaluated candidate.
+type Result struct {
+	Candidate Candidate
+	ValLoss   float64
+	Epochs    int
+}
+
+// Search runs random search over the space, training each candidate on
+// train and scoring on val, and returns all results ordered best-first.
+func Search(space Space, opts Options, train, val *nn.Dataset) []Result {
+	if opts.Trials <= 0 {
+		opts.Trials = 10
+	}
+	if opts.MaxEpochs <= 0 {
+		opts.MaxEpochs = 20
+	}
+	if opts.Patience <= 0 {
+		opts.Patience = 5
+	}
+	rng := xrand.New(opts.Seed)
+
+	results := make([]Result, 0, opts.Trials)
+	for trial := 0; trial < opts.Trials; trial++ {
+		cand := space.Sample(rng.Split(uint64(trial) + 1))
+		net := opts.Build(opts.InFeatures, cand.Widths(), rng.Split(uint64(trial)+1000))
+		tr := &nn.Trainer{
+			Net:       net,
+			Loss:      opts.Loss,
+			Opt:       nn.NewSGD(cand.LR, 0.9),
+			BatchSize: clampBatch(cand.BatchSize, train.Len()),
+			MaxEpochs: opts.MaxEpochs,
+			Patience:  opts.Patience,
+		}
+		hist := tr.Fit(train, val, rng.Split(uint64(trial)+2000))
+		loss := tr.Evaluate(val)
+		results = append(results, Result{Candidate: cand, ValLoss: loss, Epochs: len(hist.TrainLoss)})
+		if opts.Logf != nil {
+			opts.Logf("trial %2d: %s → val %.5f (%d epochs)", trial, cand, loss, len(hist.TrainLoss))
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].ValLoss < results[j].ValLoss })
+	return results
+}
+
+func clampBatch(b, n int) int {
+	if b > n/2 && n >= 4 {
+		b = n / 2
+	}
+	if b < 2 {
+		b = 2
+	}
+	return b
+}

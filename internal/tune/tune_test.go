@@ -1,0 +1,126 @@
+package tune
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/xrand"
+)
+
+func TestCandidateWidths(t *testing.T) {
+	// The paper's background net: 4 FC, max 256 at the first layer,
+	// gradually decreasing. Peak 0, taper 0.5 reproduces 256→128→64→1.
+	c := Candidate{LayersFC: 4, MaxWidth: 256, Peak: 0, Taper: 0.5}
+	w := c.Widths()
+	want := []int{256, 128, 64, 1}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("widths = %v, want %v", w, want)
+		}
+	}
+	// The paper's dEta net shape: max 16 in the middle, shorter at the
+	// ends. Peak 1, taper 0.5 gives 8→16→8→1.
+	c = Candidate{LayersFC: 4, MaxWidth: 16, Peak: 1, Taper: 0.5}
+	w = c.Widths()
+	want = []int{8, 16, 8, 1}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("dEta-shape widths = %v, want %v", w, want)
+		}
+	}
+	// Output layer is always width 1; hidden widths never drop below 2.
+	c = Candidate{LayersFC: 5, MaxWidth: 4, Peak: 0, Taper: 0.3}
+	w = c.Widths()
+	if w[len(w)-1] != 1 {
+		t.Error("last width not 1")
+	}
+	for _, x := range w[:len(w)-1] {
+		if x < 2 {
+			t.Errorf("hidden width %d < 2", x)
+		}
+	}
+	if c.String() == "" {
+		t.Error("empty candidate string")
+	}
+}
+
+func TestSampleStaysInSpace(t *testing.T) {
+	space := DefaultSpace()
+	rng := xrand.New(1)
+	for i := 0; i < 500; i++ {
+		c := space.Sample(rng)
+		if !containsInt(space.LayersFC, c.LayersFC) ||
+			!containsInt(space.MaxWidths, c.MaxWidth) ||
+			!containsInt(space.BatchSizes, c.BatchSize) {
+			t.Fatalf("sample outside space: %+v", c)
+		}
+		if c.Peak < 0 || c.Peak >= c.LayersFC-1 {
+			t.Fatalf("peak %d out of range for depth %d", c.Peak, c.LayersFC)
+		}
+		lg := math.Log10(c.LR)
+		if lg < space.LRLog10Min-1e-9 || lg > space.LRLog10Max+1e-9 {
+			t.Fatalf("lr %v outside range", c.LR)
+		}
+	}
+}
+
+func TestSearchFindsWorkingConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains candidates")
+	}
+	// A learnable binary task; the search must return results sorted by
+	// validation loss, with the best one distinctly better than chance.
+	rng := xrand.New(2)
+	n := 1200
+	x := nn.NewTensor(n, 3)
+	y := make([]float32, n)
+	for i := 0; i < n; i++ {
+		var s float32
+		for c := 0; c < 3; c++ {
+			v := float32(rng.Gaussian(0, 1))
+			x.Set(i, c, v)
+			s += v
+		}
+		if s > 0 {
+			y[i] = 1
+		}
+	}
+	ds := &nn.Dataset{X: x, Y: y}
+	train, val := ds.Split(0.8, rng)
+
+	space := Space{
+		LayersFC:   []int{3, 4},
+		MaxWidths:  []int{8, 32},
+		Tapers:     []float64{0.5, 1.0},
+		BatchSizes: []int{64},
+		LRLog10Min: -2.5,
+		LRLog10Max: -0.5,
+	}
+	results := Search(space, Options{
+		Seed: 3, Trials: 6, MaxEpochs: 8, Patience: 4,
+		InFeatures: 3, Loss: nn.BCEWithLogits{}, Build: models.NewMLP,
+	}, train, val)
+
+	if len(results) != 6 {
+		t.Fatalf("%d results, want 6", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].ValLoss < results[i-1].ValLoss {
+			t.Fatal("results not sorted best-first")
+		}
+	}
+	if results[0].ValLoss > 0.4 { // chance is ln2 ≈ 0.693
+		t.Errorf("best candidate val loss %v; search failed to find a learner", results[0].ValLoss)
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

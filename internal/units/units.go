@@ -1,0 +1,21 @@
+// Package units defines the physical constants and unit conventions used
+// throughout the ADAPT reproduction.
+//
+// Conventions: energies are in MeV, lengths in cm, times in seconds, angles
+// in radians. Fluence is time-integrated energy flux in MeV/cm².
+package units
+
+// ElectronMassMeV is the electron rest energy m_e c² in MeV. Compton
+// kinematics everywhere is expressed relative to this scale.
+const ElectronMassMeV = 0.510998950
+
+// KeV converts a value in keV to MeV.
+func KeV(e float64) float64 { return e * 1e-3 }
+
+// MinSimEnergyMeV is the minimum simulated photon energy. The paper fixes a
+// 30 keV floor for its evaluation bursts (§IV footnote 2).
+const MinSimEnergyMeV = 0.030
+
+// MaxSimEnergyMeV caps the simulated band; the ADAPT design targets the MeV
+// regime and the Band spectrum contributes negligibly above ~30 MeV.
+const MaxSimEnergyMeV = 30.0

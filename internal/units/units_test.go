@@ -1,0 +1,23 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstants(t *testing.T) {
+	// CODATA electron rest energy: 0.51099895 MeV.
+	if math.Abs(ElectronMassMeV-0.51099895) > 1e-6 {
+		t.Errorf("electron mass = %v MeV", ElectronMassMeV)
+	}
+	if KeV(511) != 0.511 {
+		t.Errorf("KeV(511) = %v", KeV(511))
+	}
+	// The paper's §IV footnote: 30 keV minimum simulated energy.
+	if MinSimEnergyMeV != 0.030 {
+		t.Errorf("minimum simulated energy = %v", MinSimEnergyMeV)
+	}
+	if MaxSimEnergyMeV <= MinSimEnergyMeV {
+		t.Error("degenerate simulation band")
+	}
+}

@@ -1,0 +1,234 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator for the ADAPT simulation stack.
+//
+// The simulator must be reproducible across runs and across parallel workers:
+// every trial, event, and training shuffle derives its stream from a parent
+// seed via Split, so results are independent of scheduling order. The core
+// generator is xoshiro256**, which is fast, has a 2^256-1 period, and passes
+// BigCrush; SplitMix64 is used for seeding and splitting, as recommended by
+// the xoshiro authors.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a xoshiro256** generator. The zero value is not usable; construct
+// with New or Split.
+type RNG struct {
+	s         [4]uint64
+	spare     float64 // cached second variate from the polar method
+	haveSpare bool
+}
+
+// splitMix64 advances the state and returns the next SplitMix64 output.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start in the all-zero state; SplitMix64 of any seed
+	// cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split returns a new generator whose stream is a deterministic function of
+// r's seed material and key, without perturbing r's own stream. Use it to
+// give each trial/event/worker an independent substream.
+func (r *RNG) Split(key uint64) *RNG {
+	// Mix the initial state words with the key through SplitMix64. We mix
+	// state, not output, so Split is insensitive to how much of r's stream
+	// has been consumed only via the current state snapshot — callers that
+	// want scheduling independence should Split before consuming.
+	sm := r.s[0] ^ rotl(r.s[1], 17) ^ rotl(r.s[2], 31) ^ r.s[3] ^ (key * 0xd1342543de82ef95)
+	child := &RNG{}
+	for i := range child.s {
+		child.s[i] = splitMix64(&sm)
+	}
+	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
+		child.s[0] = 1
+	}
+	return child
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in (0, 1), never exactly zero, which is
+// safe to pass to log.
+func (r *RNG) Float64Open() float64 {
+	for {
+		if v := r.Float64(); v > 0 {
+			return v
+		}
+	}
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// IntN returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) IntN(n int) int {
+	if n <= 0 {
+		panic("xrand: IntN with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded ints.
+	un := uint64(n)
+	threshold := -un % un
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), un)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Norm returns a standard normal variate (Marsaglia polar method with a
+// cached spare).
+func (r *RNG) Norm() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.haveSpare = true
+		return u * f
+	}
+}
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation.
+func (r *RNG) Gaussian(mean, sigma float64) float64 {
+	return mean + sigma*r.Norm()
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+func (r *RNG) Exp(rate float64) float64 {
+	return -math.Log(r.Float64Open()) / rate
+}
+
+// Poisson returns a Poisson variate with the given mean. For large means it
+// uses the Gaussian approximation with continuity correction, which is more
+// than adequate for event-count sampling.
+func (r *RNG) Poisson(mean float64) int {
+	switch {
+	case mean <= 0:
+		return 0
+	case mean < 30:
+		// Knuth's product method.
+		l := math.Exp(-mean)
+		k, p := 0, 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		n := int(math.Round(r.Gaussian(mean, math.Sqrt(mean))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+}
+
+// PowerLaw returns a variate from dN/dE ∝ E^index on [lo, hi]. index may be
+// any real value, including the special case index == -1.
+func (r *RNG) PowerLaw(index, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo {
+		panic("xrand: PowerLaw needs 0 < lo < hi")
+	}
+	u := r.Float64()
+	if index == -1 {
+		return lo * math.Exp(u*math.Log(hi/lo))
+	}
+	g := index + 1
+	a, b := math.Pow(lo, g), math.Pow(hi, g)
+	return math.Pow(a+u*(b-a), 1/g)
+}
+
+// UnitVectorPolarRange returns a random unit direction with polar angle theta
+// uniform in solid angle between thetaLo and thetaHi (radians, measured from
+// +Z), azimuth uniform.
+func (r *RNG) UnitVectorPolarRange(thetaLo, thetaHi float64) (x, y, z float64) {
+	cosHi := math.Cos(thetaLo) // note inversion: cos decreasing in theta
+	cosLo := math.Cos(thetaHi)
+	z = cosLo + (cosHi-cosLo)*r.Float64()
+	st := math.Sqrt(math.Max(0, 1-z*z))
+	phi := r.Uniform(0, 2*math.Pi)
+	s, c := math.Sincos(phi)
+	return st * c, st * s, z
+}
+
+// CosineLawAngle samples theta in [0, π/2] from the cosine-law distribution
+// p(θ) ∝ sin(θ)cos(θ), the angular distribution of an isotropic flux
+// crossing a plane. Used for atmospheric background arrival directions.
+func (r *RNG) CosineLawAngle() float64 {
+	return math.Asin(math.Sqrt(r.Float64()))
+}
+
+// Shuffle randomly permutes indices [0, n) reported through swap, using the
+// Fisher–Yates algorithm.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }

@@ -1,0 +1,296 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Error("different seeds produced identical first output")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Split(1)
+	c2 := root.Split(2)
+	c1again := root.Split(1)
+	if c1.Uint64() != c1again.Uint64() {
+		t.Error("Split with same key not reproducible")
+	}
+	if c1again.Uint64() == c2.Uint64() {
+		t.Error("Split children with different keys correlated on second draw")
+	}
+	// Splitting must not consume the parent stream.
+	p1 := New(7)
+	p2 := New(7)
+	_ = p2.Split(99)
+	if p1.Uint64() != p2.Uint64() {
+		t.Error("Split perturbed the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64Open(); v <= 0 || v >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", v)
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	r := New(11)
+	n := 50000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Uniform(2, 6)
+		if v < 2 || v >= 6 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-4) > 0.05 {
+		t.Errorf("Uniform(2,6) mean = %v, want ~4", mean)
+	}
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(variance-16.0/12) > 0.05 {
+		t.Errorf("Uniform(2,6) var = %v, want ~1.333", variance)
+	}
+}
+
+func TestIntN(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 7)
+	n := 70000
+	for i := 0; i < n; i++ {
+		v := r.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)-float64(n)/7) > 5*math.Sqrt(float64(n)/7) {
+			t.Errorf("IntN bucket %d count %d deviates >5 sigma", b, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntN(0) did not panic")
+		}
+	}()
+	r.IntN(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	n := 100000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v", mean)
+	}
+	if math.Abs(sd-1) > 0.02 {
+		t.Errorf("Norm sd = %v", sd)
+	}
+	// Gaussian with explicit parameters.
+	var gsum float64
+	for i := 0; i < n; i++ {
+		gsum += r.Gaussian(10, 2)
+	}
+	if got := gsum / float64(n); math.Abs(got-10) > 0.05 {
+		t.Errorf("Gaussian(10,2) mean = %v", got)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(2.5)
+		if v < 0 {
+			t.Fatalf("Exp negative: %v", v)
+		}
+		sum += v
+	}
+	if got := sum / float64(n); math.Abs(got-0.4) > 0.01 {
+		t.Errorf("Exp(2.5) mean = %v, want 0.4", got)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	r := New(19)
+	for _, mean := range []float64{0, 0.5, 3, 12, 100, 5000} {
+		n := 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := r.Poisson(mean)
+			if v < 0 {
+				t.Fatalf("Poisson negative")
+			}
+			sum += float64(v)
+		}
+		got := sum / float64(n)
+		tolerance := 5 * math.Sqrt(math.Max(mean, 1)/float64(n))
+		if math.Abs(got-mean) > tolerance {
+			t.Errorf("Poisson(%v) mean = %v (tolerance %v)", mean, got, tolerance)
+		}
+	}
+}
+
+func TestPowerLaw(t *testing.T) {
+	r := New(23)
+	for _, index := range []float64{-2.35, -1.75, -1, 0, 1.5} {
+		lo, hi := 0.03, 30.0
+		n := 20000
+		below := 0
+		for i := 0; i < n; i++ {
+			v := r.PowerLaw(index, lo, hi)
+			if v < lo || v > hi {
+				t.Fatalf("PowerLaw(%v) out of bounds: %v", index, v)
+			}
+			if v < 1 {
+				below++
+			}
+		}
+		// Analytic CDF at 1: steeper spectra concentrate low.
+		var want float64
+		if index == -1 {
+			want = math.Log(1/lo) / math.Log(hi/lo)
+		} else {
+			g := index + 1
+			want = (math.Pow(1, g) - math.Pow(lo, g)) / (math.Pow(hi, g) - math.Pow(lo, g))
+		}
+		got := float64(below) / float64(n)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("PowerLaw(%v) P(X<1) = %v, want %v", index, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PowerLaw with bad bounds did not panic")
+		}
+	}()
+	r.PowerLaw(-2, -1, 1)
+}
+
+func TestUnitVectorPolarRange(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 5000; i++ {
+		x, y, z := r.UnitVectorPolarRange(0, math.Pi/2)
+		if n := math.Sqrt(x*x + y*y + z*z); math.Abs(n-1) > 1e-12 {
+			t.Fatalf("not unit: %v", n)
+		}
+		if z < -1e-12 {
+			t.Fatalf("upper-hemisphere sample has z=%v", z)
+		}
+	}
+	// Solid-angle uniformity: mean z over the full sphere is 0.
+	var sum float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		_, _, z := r.UnitVectorPolarRange(0, math.Pi)
+		sum += z
+	}
+	if math.Abs(sum/float64(n)) > 0.01 {
+		t.Errorf("full-sphere mean z = %v", sum/float64(n))
+	}
+}
+
+func TestCosineLawAngle(t *testing.T) {
+	r := New(31)
+	n := 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.CosineLawAngle()
+		if v < 0 || v > math.Pi/2 {
+			t.Fatalf("CosineLawAngle out of range: %v", v)
+		}
+		sum += v
+	}
+	// E[θ] for p ∝ sinθcosθ on [0, π/2] is π/4... actually
+	// E[θ] = ∫θ·2sinθcosθ dθ = ∫θ sin(2θ) dθ = π/4.
+	if got := sum / float64(n); math.Abs(got-math.Pi/4) > 0.01 {
+		t.Errorf("CosineLawAngle mean = %v, want %v", got, math.Pi/4)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%50) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleUniformity(t *testing.T) {
+	// Position counts of element 0 across many shuffles of [0..3].
+	r := New(37)
+	counts := make([]int, 4)
+	n := 40000
+	for i := 0; i < n; i++ {
+		s := []int{0, 1, 2, 3}
+		r.Shuffle(4, func(a, b int) { s[a], s[b] = s[b], s[a] })
+		for pos, v := range s {
+			if v == 0 {
+				counts[pos]++
+			}
+		}
+	}
+	for pos, c := range counts {
+		if math.Abs(float64(c)-float64(n)/4) > 5*math.Sqrt(float64(n)/4) {
+			t.Errorf("element 0 at position %d: %d times, deviates >5 sigma", pos, c)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(41)
+	n := 50000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if got := float64(hits) / float64(n); math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", got)
+	}
+}
