@@ -1,0 +1,44 @@
+# Developer entry points, mirroring the CI gates (.github/workflows/ci.yml).
+# `make build test` matches the tier-1 verify command in ROADMAP.md.
+
+GO ?= go
+
+.PHONY: all build test race bench cover fmt vet check clean
+
+all: build test
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## test: run the full test suite (tier-1 verify: make build test)
+test:
+	$(GO) test ./...
+
+## race: run the full test suite under the race detector (CI gate)
+race:
+	$(GO) test -race -timeout 40m ./...
+
+## bench: one iteration of every benchmark (CI smoke); set BENCHTIME for real runs
+BENCHTIME ?= 1x
+bench:
+	ADAPT_SCALE=ci $(GO) test -bench=. -benchtime=$(BENCHTIME) -run '^$$' ./...
+
+## cover: test with coverage summary
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+## fmt: list files needing gofmt (fails if any)
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "$$out"; exit 1; fi
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## check: everything CI checks
+check: build fmt vet race
+
+clean:
+	rm -f coverage.out

@@ -40,6 +40,8 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/nn/quant"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/recon"
 	"repro/internal/xrand"
@@ -63,6 +65,20 @@ type Models = models.Bundle
 // sky).
 type Direction = geom.Vec
 
+// Metrics is a runtime metrics registry: per-stage latency histograms and
+// counters, dumpable as text or JSON. Attach one to an Instrument to get
+// the paper's Tables I/II stage decomposition as a live report.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// SetDefaultParallelism caps the process-wide default worker count used by
+// every parallel stage (localization grid search, NN inference sharding,
+// campaign fan-out) when no explicit Workers value is set. n <= 0 restores
+// the GOMAXPROCS default. Results are bitwise-identical for any value.
+func SetDefaultParallelism(n int) { par.SetDefaultWorkers(n) }
+
 // Instrument bundles the detector, environment, and pipeline configuration.
 type Instrument struct {
 	// Detector is the instrument geometry and measurement model.
@@ -76,6 +92,13 @@ type Instrument struct {
 	// MaxNNIters bounds the ML loop (paper default: 5). The pipeline may be
 	// halted earlier for real-time budget reasons by lowering this.
 	MaxNNIters int
+	// Workers caps pipeline parallelism: 0 means the process default
+	// (SetDefaultParallelism / GOMAXPROCS), 1 forces the serial path.
+	// Results are bitwise-identical for any value.
+	Workers int
+	// Metrics, when non-nil, collects per-stage latency histograms and
+	// counters across every localization this instrument runs.
+	Metrics *Metrics
 }
 
 // DefaultInstrument returns the ADAPT configuration used throughout the
@@ -131,6 +154,8 @@ func (inst *Instrument) LocalizeEvents(events []*Event, m *Models, seed uint64) 
 		opts.MaxNNIters = inst.MaxNNIters
 	}
 	opts.Bundle = m
+	opts.Workers = inst.Workers
+	opts.Metrics = inst.Metrics
 	return pipeline.Run(opts, events, xrand.New(seed))
 }
 
@@ -268,6 +293,8 @@ func (inst *Instrument) NewOnboard(m *Models, meanBackgroundRate float64) *Onboa
 	if inst.MaxNNIters > 0 {
 		cfg.MaxNNIters = inst.MaxNNIters
 	}
+	cfg.Workers = inst.Workers
+	cfg.Metrics = inst.Metrics
 	return &Onboard{sys: core.NewSystem(cfg)}
 }
 
@@ -284,6 +311,8 @@ func (inst *Instrument) NewOnboardWithSkyMaps(m *Models, meanBackgroundRate floa
 	if inst.MaxNNIters > 0 {
 		cfg.MaxNNIters = inst.MaxNNIters
 	}
+	cfg.Workers = inst.Workers
+	cfg.Metrics = inst.Metrics
 	cfg.SkyMapBands = bands
 	cfg.SkyMapTemperature = temperature
 	return &Onboard{sys: core.NewSystem(cfg)}

@@ -9,11 +9,18 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"testing"
 
+	"repro/internal/background"
+	"repro/internal/detector"
 	"repro/internal/expt"
+	"repro/internal/localize"
+	"repro/internal/pipeline"
+	"repro/internal/recon"
+	"repro/internal/xrand"
 )
 
 // benchScale resolves the benchmark workload size.
@@ -23,6 +30,62 @@ func benchScale() expt.Scale {
 	}
 	s, _ := expt.ScaleByName("ci")
 	return s
+}
+
+// benchScene builds the standard benchmark scene: one 1 MeV/cm² normally
+// incident burst plus a 1-second background window, reconstructed into
+// Compton rings (the paper's Tables I/II workload).
+func benchScene() ([]*detector.Event, []*recon.Ring) {
+	det := detector.DefaultConfig()
+	bg := background.DefaultModel()
+	rng := xrand.New(0xBE7C)
+	burst := detector.Burst{Fluence: 1.0, PolarDeg: 0, AzimuthDeg: 45}
+	events := detector.SimulateBurst(&det, burst, rng)
+	events = append(events, bg.Simulate(&det, 1.0, rng)...)
+	rcfg := recon.DefaultConfig()
+	var rings []*recon.Ring
+	for _, ev := range events {
+		if r, ok := recon.Reconstruct(&rcfg, ev); ok {
+			rings = append(rings, r)
+		}
+	}
+	return events, rings
+}
+
+// BenchmarkLocalizeStage measures the localization hot path (approximation
+// grid search + seed refinement) on the standard benchmark scene at several
+// worker counts. With ≥4 cores the parallel grid search should beat
+// workers=1 by ≥1.5×; results are bitwise-identical at every worker count
+// (see localize.TestParallelBitwiseIdentical).
+func BenchmarkLocalizeStage(b *testing.B) {
+	_, rings := benchScene()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := localize.DefaultConfig()
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				localize.Localize(&cfg, rings, xrand.New(9))
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineRunWorkers measures the full no-ML pipeline
+// (reconstruction + localization) over the benchmark scene's raw events at
+// several worker counts.
+func BenchmarkPipelineRunWorkers(b *testing.B) {
+	events, _ := benchScene()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := pipeline.DefaultOptions()
+			opts.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pipeline.Run(opts, events, xrand.New(9))
+			}
+		})
+	}
 }
 
 // BenchmarkFig4 regenerates the motivation study: no-ML pipeline accuracy

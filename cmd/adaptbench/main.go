@@ -16,9 +16,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/expt"
+	"repro/internal/par"
 	"repro/internal/plot"
 )
 
@@ -47,7 +49,22 @@ func main() {
 	only := flag.String("only", "", "run one experiment: fig4, fig7, fig8, fig9, fig10, fig11, table1, table2, table3, ablations, apt, pileup, quant, coverage")
 	jsonPath := flag.String("json", "", "also write the experiment data as JSON to this file")
 	plots := flag.Bool("plots", false, "render ASCII charts of figure series (with -only fig…)")
+	parallelism := flag.Int("parallelism", 0, "default worker count for parallel pipeline stages (0 = GOMAXPROCS, 1 = serial; Tables I/II pin their own)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	flag.Parse()
+
+	par.SetDefaultWorkers(*parallelism)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	sc := expt.CurrentScale()
 	if *scaleName != "" {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 
 	"repro/adapt"
 	"repro/internal/campaign"
@@ -38,11 +39,30 @@ func main() {
 	modelPath := flag.String("models", "", "trained model bundle (empty = no-ML pipeline)")
 	alertsPath := flag.String("alerts", "", "write per-burst outcomes as JSON lines to this file")
 	quiet := flag.Float64("quiet", 2, "quiet seconds around each burst")
+	parallelism := flag.Int("parallelism", 0, "worker count for the per-trial fan-out (0 = GOMAXPROCS, 1 = serial; outcomes identical either way)")
+	report := flag.Bool("report", false, "print the per-stage latency report accumulated across all trials")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	adapt.SetDefaultParallelism(*parallelism)
+	metrics := adapt.NewMetrics()
 	cfg := campaign.DefaultConfig(*seed)
 	cfg.Bursts = *bursts
 	cfg.QuietSecondsPerBurst = *quiet
+	cfg.Workers = *parallelism
+	cfg.Metrics = metrics
 	if *modelPath != "" {
 		m, err := adapt.LoadModels(*modelPath)
 		if err != nil {
@@ -53,6 +73,9 @@ func main() {
 
 	res := campaign.Run(cfg, os.Stdout)
 	fmt.Printf("estimated 90%%-efficiency sensitivity: %.2f MeV/cm²\n", res.SensitivityFluence())
+	if *report {
+		metrics.WriteText(os.Stdout)
+	}
 
 	if *alertsPath != "" {
 		f, err := os.Create(*alertsPath)

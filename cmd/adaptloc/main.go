@@ -5,6 +5,8 @@
 // Usage:
 //
 //	adaptloc -fluence 1.0 -polar 40 -models models.gob
+//	adaptloc -parallelism 4 -repeat 20 -report        # stage-timing report
+//	adaptloc -cpuprofile cpu.pprof                    # profile the hot path
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 
 	"repro/adapt"
 	"repro/internal/evio"
@@ -31,9 +34,30 @@ func main() {
 	modelPath := flag.String("models", "", "trained model bundle (empty = no-ML pipeline)")
 	eventsPath := flag.String("events", "", "read events from an evio file (written by adaptsim -binary) instead of simulating")
 	skymap := flag.Bool("skymap", false, "compute the posterior sky map: credible areas plus an ASCII rendering")
+	parallelism := flag.Int("parallelism", 0, "worker count for the parallel pipeline stages (0 = GOMAXPROCS, 1 = serial)")
+	repeat := flag.Int("repeat", 1, "run the pipeline this many times (same events; use with -report for stable stage statistics)")
+	report := flag.Bool("report", false, "print the per-stage latency report (mean/p50/p90/p99 per stage) after the run")
+	metricsJSON := flag.String("metrics-json", "", "also write the stage metrics as JSON to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	adapt.SetDefaultParallelism(*parallelism)
 	inst := adapt.DefaultInstrument()
+	inst.Workers = *parallelism
+	metrics := adapt.NewMetrics()
+	inst.Metrics = metrics
 	var m *adapt.Models
 	if *modelPath != "" {
 		var err error
@@ -71,7 +95,13 @@ func main() {
 		truth = &t
 	}
 
+	if *repeat < 1 {
+		*repeat = 1
+	}
 	res := inst.LocalizeEvents(events, m, *seed)
+	for i := 1; i < *repeat; i++ {
+		inst.LocalizeEvents(events, m, *seed)
+	}
 	if !res.Loc.OK {
 		log.Fatal("localization failed: no usable rings")
 	}
@@ -95,6 +125,23 @@ func main() {
 		res.Timing.DEtaNN.Seconds()*1e3,
 		res.Timing.ApproxRefine.Seconds()*1e3,
 		res.Timing.Total.Seconds()*1e3)
+
+	if *report {
+		metrics.WriteText(os.Stdout)
+	}
+	if *metricsJSON != "" {
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := metrics.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote stage metrics to %s", *metricsJSON)
+	}
 
 	if *skymap {
 		var rings []*recon.Ring

@@ -8,6 +8,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -17,6 +18,8 @@ import (
 	"repro/internal/detector"
 	"repro/internal/geom"
 	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -65,6 +68,16 @@ type Config struct {
 	Population Population
 	// Bundle supplies the networks (nil = no-ML pipeline).
 	Bundle *models.Bundle
+	// Workers caps the per-trial fan-out: each burst's quiet window is an
+	// independent simulation + detection + localization, so trials shard
+	// across the pool. 0 means the process default, 1 serial. Outcomes are
+	// identical for any value (fixed per-trial RNG substreams, reduced in
+	// trial order). When trials fan out, the pipeline inside each trial
+	// runs serially so the two levels don't multiply.
+	Workers int
+	// Metrics, when non-nil, receives the per-trial latency histogram
+	// ("trial") and the pipeline stage metrics of every processed burst.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a laptop-scale campaign.
@@ -131,6 +144,14 @@ func (r *Result) LocalizationErrors(lo, hi float64) []float64 {
 // window and handed to the on-board system; detection means the trigger
 // fired within the burst's true window.
 func Run(cfg Config, w io.Writer) *Result {
+	res, _ := RunContext(context.Background(), cfg, w)
+	return res
+}
+
+// RunContext is Run with trial fan-out under a cancellable context.
+// Cancellation stops scheduling new trials and returns the context error
+// alongside the (partial, undercounted) result.
+func RunContext(ctx context.Context, cfg Config, w io.Writer) (*Result, error) {
 	det := detector.DefaultConfig()
 	bg := background.DefaultModel()
 	root := xrand.New(cfg.Seed)
@@ -139,9 +160,32 @@ func Run(cfg Config, w io.Writer) *Result {
 	calRNG := root.Split(0xCA1)
 	meanRate := float64(len(bg.Simulate(&det, 1.0, calRNG)))
 
-	res := &Result{}
-	for i := 0; i < cfg.Bursts; i++ {
-		rng := root.Split(uint64(i) + 1)
+	// Split the per-trial RNG substreams up front, serially: Split reads
+	// the root generator's state, and the trial loop below runs on the
+	// worker pool.
+	rngs := make([]*xrand.RNG, cfg.Bursts)
+	for i := range rngs {
+		rngs[i] = root.Split(uint64(i) + 1)
+	}
+
+	pool := par.NewPool(cfg.Workers)
+	// When trials shard across workers, each trial's pipeline runs
+	// serially — the trial level already saturates the pool, and nesting
+	// would oversubscribe the machine.
+	innerWorkers := 0
+	if pool.Workers() > 1 {
+		innerWorkers = 1
+	}
+
+	type trial struct {
+		outcome     BurstOutcome
+		falseAlerts int
+	}
+	trials := make([]trial, cfg.Bursts)
+	err := pool.ForEach(ctx, cfg.Bursts, func(i int) {
+		stop := cfg.Metrics.StartStage("trial")
+		defer stop()
+		rng := rngs[i]
 		burst := cfg.Population.Sample(rng)
 
 		exposure := cfg.QuietSecondsPerBurst + 1.0
@@ -151,32 +195,41 @@ func Run(cfg Config, w io.Writer) *Result {
 			ev.ArrivalTime += t0
 			events = append(events, ev)
 		}
-		res.QuietSeconds += cfg.QuietSecondsPerBurst
 
 		sysCfg := core.DefaultConfig(meanRate)
 		sysCfg.Bundle = cfg.Bundle
+		sysCfg.Workers = innerWorkers
+		sysCfg.Metrics = cfg.Metrics
 		alerts := core.NewSystem(sysCfg).ProcessExposure(events, rng)
 
-		outcome := BurstOutcome{Burst: burst}
+		trials[i].outcome = BurstOutcome{Burst: burst}
 		for _, a := range alerts {
 			if a.TriggerTime >= t0-0.3 && a.TriggerTime <= t0+1.0 {
-				outcome.Detected = true
+				trials[i].outcome.Detected = true
 				if a.Result.Loc.OK {
-					outcome.Localized = true
-					outcome.ErrorDeg = a.Result.Loc.ErrorDeg(burst.SourceDirection())
-					outcome.EstimateDeg = a.Result.ErrorRadiusDeg
+					trials[i].outcome.Localized = true
+					trials[i].outcome.ErrorDeg = a.Result.Loc.ErrorDeg(burst.SourceDirection())
+					trials[i].outcome.EstimateDeg = a.Result.ErrorRadiusDeg
 				}
 			} else {
-				res.FalseAlerts++
+				trials[i].falseAlerts++
 			}
 		}
-		res.Outcomes = append(res.Outcomes, outcome)
+	})
+
+	// Reduce in trial order: the aggregate is identical to the serial
+	// loop's regardless of how trials interleaved on the pool.
+	res := &Result{}
+	for i := range trials {
+		res.QuietSeconds += cfg.QuietSecondsPerBurst
+		res.FalseAlerts += trials[i].falseAlerts
+		res.Outcomes = append(res.Outcomes, trials[i].outcome)
 	}
 
-	if w != nil {
+	if w != nil && err == nil {
 		res.Report(w)
 	}
-	return res
+	return res, err
 }
 
 // Report prints the campaign summary: efficiency and accuracy per fluence

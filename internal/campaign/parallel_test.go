@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCampaignParallelMatchesSerial pins the per-trial fan-out contract:
+// sharding trials across workers must reproduce the serial campaign
+// exactly — same outcomes in the same order, same false-alert and
+// quiet-time accounting.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation in -short mode")
+	}
+	run := func(workers int) *Result {
+		cfg := DefaultConfig(99)
+		cfg.Bursts = 6
+		cfg.QuietSecondsPerBurst = 1
+		cfg.Workers = workers
+		return Run(cfg, nil)
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if !reflect.DeepEqual(got.Outcomes, serial.Outcomes) {
+			t.Errorf("workers %d: outcomes diverge from serial\n got: %+v\nwant: %+v",
+				workers, got.Outcomes, serial.Outcomes)
+		}
+		if got.FalseAlerts != serial.FalseAlerts {
+			t.Errorf("workers %d: false alerts %d, serial %d", workers, got.FalseAlerts, serial.FalseAlerts)
+		}
+		if got.QuietSeconds != serial.QuietSeconds {
+			t.Errorf("workers %d: quiet seconds %v, serial %v", workers, got.QuietSeconds, serial.QuietSeconds)
+		}
+	}
+}
+
+// TestCampaignMetricsAndCancellation exercises the obs wiring and the
+// cancellable entry point.
+func TestCampaignMetricsAndCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation in -short mode")
+	}
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig(5)
+	cfg.Bursts = 3
+	cfg.QuietSecondsPerBurst = 1
+	cfg.Metrics = reg
+	res, err := RunContext(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if len(res.Outcomes) != 3 {
+		t.Fatalf("got %d outcomes, want 3", len(res.Outcomes))
+	}
+	if n := reg.Stage("trial").Count(); n != 3 {
+		t.Errorf("trial histogram has %d samples, want 3", n)
+	}
+	// The pipeline's stage metrics flow through core into the same
+	// registry whenever a burst triggered localization.
+	if runs := reg.Counter("runs").Load(); runs < 1 {
+		t.Errorf("pipeline runs counter = %d, want >= 1", runs)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, cfg, nil); err != context.Canceled {
+		t.Errorf("cancelled campaign err = %v, want context.Canceled", err)
+	}
+}

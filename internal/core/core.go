@@ -19,6 +19,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/localize"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/recon"
 	"repro/internal/sky"
@@ -102,6 +103,13 @@ type Config struct {
 	// alert maps (see expt.CoverageStudy for how it is fitted); ≤1 means
 	// the statistical-only map.
 	SkyMapTemperature float64
+	// Workers caps pipeline parallelism per localized burst (0 = process
+	// default, 1 = serial). Campaign drivers that fan out whole trials set
+	// 1 here so the two levels of parallelism don't multiply.
+	Workers int
+	// Metrics, when non-nil, receives the pipeline's per-stage latency
+	// histograms and counters for every localized burst.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the flight configuration for a given background
@@ -180,6 +188,8 @@ func (s *System) ProcessExposure(events []*detector.Event, rng *xrand.RNG) []Ale
 		opts.Loc = s.cfg.Loc
 		opts.Bundle = s.cfg.Bundle
 		opts.MaxNNIters = s.cfg.MaxNNIters
+		opts.Workers = s.cfg.Workers
+		opts.Metrics = s.cfg.Metrics
 		res := pipeline.Run(opts, window, rng.Split(uint64(lo)+1))
 
 		// Significance of the triggering window for the alert record.

@@ -7,10 +7,12 @@
 package features
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/nn"
+	"repro/internal/par"
 	"repro/internal/recon"
 )
 
@@ -50,16 +52,25 @@ func Extract(r *recon.Ring, polarDeg float64, withPolar bool, dst []float32) {
 }
 
 // Matrix builds the feature tensor for a set of rings with a shared polar
-// guess.
+// guess, serially.
 func Matrix(rings []*recon.Ring, polarDeg float64, withPolar bool) *nn.Tensor {
+	return MatrixWith(par.NewPool(1), rings, polarDeg, withPolar)
+}
+
+// MatrixWith is Matrix with row extraction sharded over the given worker
+// pool. Each row is an independent function of its ring, so the result is
+// identical to the serial build for any pool size.
+func MatrixWith(p *par.Pool, rings []*recon.Ring, polarDeg float64, withPolar bool) *nn.Tensor {
 	cols := NumFeaturesNoPolar
 	if withPolar {
 		cols = NumFeatures
 	}
 	x := nn.NewTensor(len(rings), cols)
-	for i, r := range rings {
-		Extract(r, polarDeg, withPolar, x.Row(i))
-	}
+	p.ForRange(context.Background(), len(rings), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			Extract(rings[i], polarDeg, withPolar, x.Row(i))
+		}
+	})
 	return x
 }
 
@@ -103,15 +114,23 @@ func FitNormalizer(x *nn.Tensor) *Normalizer {
 
 // Apply standardizes x in place.
 func (n *Normalizer) Apply(x *nn.Tensor) {
+	n.ApplyWith(par.NewPool(1), x)
+}
+
+// ApplyWith standardizes x in place with the rows sharded over the given
+// worker pool.
+func (n *Normalizer) ApplyWith(p *par.Pool, x *nn.Tensor) {
 	if x.Cols != len(n.Mean) {
 		panic(fmt.Sprintf("features: normalizer fitted for %d cols, got %d", len(n.Mean), x.Cols))
 	}
-	for r := 0; r < x.Rows; r++ {
-		row := x.Row(r)
-		for c := range row {
-			row[c] = (row[c] - n.Mean[c]) / n.Std[c]
+	p.ForRange(context.Background(), x.Rows, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := x.Row(r)
+			for c := range row {
+				row[c] = (row[c] - n.Mean[c]) / n.Std[c]
+			}
 		}
-	}
+	})
 }
 
 // ApplyVec standardizes a single feature vector in place.

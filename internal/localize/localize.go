@@ -15,10 +15,12 @@
 package localize
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/par"
 	"repro/internal/recon"
 	"repro/internal/xrand"
 )
@@ -50,6 +52,12 @@ type Config struct {
 	// SkyOnly restricts candidate directions to the upper hemisphere
 	// (Earth blocks ADAPT's view from below, §III).
 	SkyOnly bool
+	// Workers caps the parallelism of the approximation grid search and
+	// seed refinement: 0 means the process default (par.DefaultWorkers),
+	// 1 forces the serial path. Any value produces bitwise-identical
+	// results for a given seed — candidates are scored into fixed index
+	// slots and reduced in index order.
+	Workers int
 }
 
 // DefaultConfig returns the solver settings used by the experiments.
@@ -121,6 +129,11 @@ func Approximate(cfg *Config, rings []*recon.Ring, rng *xrand.RNG, maxSeeds int)
 		sample = append(sample, rings[i])
 	}
 
+	// Collect the candidate grid first (the RNG stream must stay serial),
+	// then score it on the worker pool: each candidate's joint likelihood
+	// over all rings is independent, and this candidate × ring loop is the
+	// localization hot spot. Scores land in fixed index slots, so the
+	// parallel path is bitwise-identical to the serial one.
 	type scored struct {
 		dir geom.Vec
 		ll  float64
@@ -133,9 +146,14 @@ func Approximate(cfg *Config, rings []*recon.Ring, rng *xrand.RNG, maxSeeds int)
 			if cfg.SkyOnly && cand.Z < -0.05 {
 				continue
 			}
-			cands = append(cands, scored{cand, LogLikelihood(cfg, rings, cand)})
+			cands = append(cands, scored{dir: cand})
 		}
 	}
+	par.NewPool(cfg.Workers).ForRange(context.Background(), len(cands), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cands[i].ll = LogLikelihood(cfg, rings, cands[i].dir)
+		}
+	})
 	sort.Slice(cands, func(i, j int) bool { return cands[i].ll > cands[j].ll })
 
 	// Keep the best candidates that are mutually separated, so the seeds
@@ -238,10 +256,16 @@ func Localize(cfg *Config, rings []*recon.Ring, rng *xrand.RNG) Result {
 	if len(seeds) == 0 {
 		return Result{}
 	}
+	// Refine every seed concurrently (each reads the shared rings and
+	// mutates nothing), then pick the winner in seed order so ties break
+	// exactly as the serial loop did.
+	refined := make([]Result, len(seeds))
+	par.NewPool(cfg.Workers).ForEach(context.Background(), len(seeds), func(i int) {
+		refined[i] = Refine(cfg, rings, seeds[i])
+	})
 	best := math.Inf(-1)
 	var bestRes Result
-	for _, s0 := range seeds {
-		res := Refine(cfg, rings, s0)
+	for _, res := range refined {
 		if !res.OK {
 			continue
 		}

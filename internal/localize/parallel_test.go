@@ -1,0 +1,69 @@
+package localize
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// TestParallelBitwiseIdentical pins the determinism contract of the
+// parallel grid search: for a fixed seed, any worker count must produce a
+// result bitwise identical to the serial path — same direction floats,
+// same iteration count, same gated-ring count. Candidate scores land in
+// fixed index slots and the reduction runs in index order, so scheduling
+// cannot leak into the answer.
+func TestParallelBitwiseIdentical(t *testing.T) {
+	s := geom.Vec{X: 0.3, Y: -0.2, Z: 0.93}.Unit()
+	run := func(workers int, seed uint64) Result {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		rings := syntheticRings(s, 70, 0.02, 90, xrand.New(seed))
+		return Localize(&cfg, rings, xrand.New(seed+1))
+	}
+	for _, seed := range []uint64{3, 17, 101} {
+		serial := run(1, seed)
+		if !serial.OK {
+			t.Fatalf("seed %d: serial localization failed", seed)
+		}
+		for _, workers := range []int{2, 3, 4, 8, 16} {
+			got := run(workers, seed)
+			if got.Dir != serial.Dir {
+				t.Errorf("seed %d workers %d: Dir %+v != serial %+v",
+					seed, workers, got.Dir, serial.Dir)
+			}
+			if got.RingsUsed != serial.RingsUsed || got.Iterations != serial.Iterations ||
+				got.Converged != serial.Converged || got.OK != serial.OK {
+				t.Errorf("seed %d workers %d: result %+v != serial %+v",
+					seed, workers, got, serial)
+			}
+		}
+	}
+}
+
+// TestApproximateParallelBitwiseIdentical checks the approximation stage's
+// seeds alone, where the parallel candidate scoring lives.
+func TestApproximateParallelBitwiseIdentical(t *testing.T) {
+	s := geom.Vec{X: -0.1, Y: 0.4, Z: 0.9}.Unit()
+	seedsFor := func(workers int) []geom.Vec {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		rings := syntheticRings(s, 50, 0.02, 50, xrand.New(7))
+		return Approximate(&cfg, rings, xrand.New(8), 3)
+	}
+	serial := seedsFor(1)
+	if len(serial) == 0 {
+		t.Fatal("no seeds from serial approximation")
+	}
+	for _, workers := range []int{2, 4, 9} {
+		got := seedsFor(workers)
+		if len(got) != len(serial) {
+			t.Fatalf("workers %d: %d seeds, serial had %d", workers, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Errorf("workers %d: seed %d = %+v, serial %+v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}

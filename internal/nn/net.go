@@ -75,13 +75,24 @@ func (s *Sequential) Predict(x *Tensor) *Tensor { return s.Forward(x, false) }
 // PredictProbs runs inference and applies a sigmoid to a single-output
 // network, returning one probability per row.
 func (s *Sequential) PredictProbs(x *Tensor) []float32 {
+	out := make([]float32, x.Rows)
+	s.PredictProbsInto(x, out)
+	return out
+}
+
+// PredictProbsInto is PredictProbs writing into out, which must have
+// exactly x.Rows slots. Sharded inference paths use it to write each
+// shard's probabilities straight into its slice of the result, avoiding a
+// per-shard allocation and copy.
+func (s *Sequential) PredictProbsInto(x *Tensor, out []float32) {
 	y := s.Predict(x)
 	if y.Cols != 1 {
 		panic("nn: PredictProbs requires a single-output network")
 	}
-	out := make([]float32, y.Rows)
+	if len(out) != y.Rows {
+		panic("nn: PredictProbsInto output length must equal x.Rows")
+	}
 	for i := range out {
 		out[i] = Sigmoid(y.Data[i])
 	}
-	return out
 }

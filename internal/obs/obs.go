@@ -1,0 +1,410 @@
+// Package obs is a lightweight observability layer for the pipeline's hot
+// path: atomic counters, stage timers, and latency histograms, collected in
+// a Registry that dumps as text or JSON. It turns the paper's Tables I/II
+// per-stage latency decomposition into a first-class runtime report instead
+// of a one-off experiment.
+//
+// Design constraints, in order:
+//
+//   - the record path must be cheap and allocation-free (a few atomic ops),
+//     because it sits inside the per-burst latency budget it measures;
+//   - everything is safe for concurrent use, since stages now run on the
+//     internal/par worker pool;
+//   - a nil *Registry is a valid "metrics off" sink: every method no-ops,
+//     so instrumented code needs no conditionals.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic event counter. The zero
+// value is ready to use; nil counters ignore Add and report zero.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram bucket layout: numBuckets exponential buckets spanning
+// [minBucket, minBucket·growth^(numBuckets-1)], covering 1µs–~107s of
+// latency with two buckets per octave. Observations outside the range
+// clamp into the end buckets.
+const (
+	numBuckets = 54
+	minBucket  = time.Microsecond
+)
+
+var bucketBounds = func() [numBuckets]time.Duration {
+	var b [numBuckets]time.Duration
+	v := float64(minBucket)
+	for i := range b {
+		b[i] = time.Duration(v)
+		v *= math.Sqrt2
+	}
+	return b
+}()
+
+// Histogram records a latency distribution in fixed log-spaced buckets with
+// atomic counts — concurrent Observe calls never lock. The zero value is
+// ready to use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	// min holds min+1 nanoseconds so the zero value means "no samples";
+	// max holds nanoseconds directly (0 is correct for no samples).
+	min atomic.Int64
+	max atomic.Int64
+}
+
+// bucketIndex returns the smallest bucket whose upper bound is >= d.
+func bucketIndex(d time.Duration) int {
+	lo, hi := 0, numBuckets-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bucketBounds[mid] >= d {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= int64(d)+1 {
+			break
+		}
+		if h.min.CompareAndSwap(cur, int64(d)+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= int64(d) {
+			break
+		}
+		if h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all recorded samples.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the average recorded latency (0 with no samples).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Min returns the smallest recorded sample (0 with no samples).
+func (h *Histogram) Min() time.Duration {
+	if h == nil {
+		return 0
+	}
+	v := h.min.Load()
+	if v == 0 {
+		return 0
+	}
+	return time.Duration(v - 1)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Percentile returns an upper bound on the p-quantile (p in [0, 1]) of the
+// recorded samples: the upper bound of the first bucket at which the
+// cumulative count reaches p·total. The estimate is conservative by at most
+// one bucket width (a factor of √2).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	need := int64(math.Ceil(p * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= need {
+			// Clamp the reported bound to the observed max so a single
+			// sample does not report a bucket edge far above it.
+			ub := bucketBounds[i]
+			if mx := h.Max(); mx < ub {
+				ub = mx
+			}
+			return ub
+		}
+	}
+	return h.Max()
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	MinMs float64 `json:"min_ms"`
+	MaxMs float64 `json:"max_ms"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	SumMs float64 `json:"sum_ms"`
+	// MeanMs = SumMs/Count, precomputed for report readers.
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// Snapshot captures the histogram's summary statistics.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 }
+	return HistogramSnapshot{
+		Count:  h.Count(),
+		MinMs:  ms(h.Min()),
+		MaxMs:  ms(h.Max()),
+		P50Ms:  ms(h.Percentile(0.50)),
+		P90Ms:  ms(h.Percentile(0.90)),
+		P99Ms:  ms(h.Percentile(0.99)),
+		SumMs:  ms(h.Sum()),
+		MeanMs: ms(h.Mean()),
+	}
+}
+
+// Registry is a named collection of counters and stage histograms. Lookup
+// creates on first use and is mutex-guarded; the returned Counter/Histogram
+// record lock-free, so the hot path pays the mutex only once per name.
+// All methods are safe on a nil *Registry (metrics disabled).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	stages   map[string]*Histogram
+	// order preserves first-registration order so reports list stages in
+	// pipeline order (Tables I/II read top to bottom), not alphabetically.
+	counterOrder, stageOrder []string
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		stages:   make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a valid no-op counter) when the registry is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+		r.counterOrder = append(r.counterOrder, name)
+	}
+	return c
+}
+
+// Stage returns the named stage latency histogram, creating it on first
+// use. Returns nil (a valid no-op histogram) when the registry is nil.
+func (r *Registry) Stage(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.stages[name]
+	if h == nil {
+		h = &Histogram{}
+		r.stages[name] = h
+		r.stageOrder = append(r.stageOrder, name)
+	}
+	return h
+}
+
+// StartStage begins timing the named stage and returns a stop function that
+// records the elapsed time when called. Usage:
+//
+//	defer reg.StartStage("reconstruction")()
+//
+// On a nil registry the returned function is a no-op.
+func (r *Registry) StartStage(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	h := r.Stage(name)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start)) }
+}
+
+// ObserveStage records a single precomputed stage duration.
+func (r *Registry) ObserveStage(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Stage(name).Observe(d)
+}
+
+// snapshotLocked copies the name lists and pointers under the lock.
+func (r *Registry) snapshot() (cNames []string, cs []*Counter, sNames []string, ss []*Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cNames = append(cNames, r.counterOrder...)
+	for _, n := range cNames {
+		cs = append(cs, r.counters[n])
+	}
+	sNames = append(sNames, r.stageOrder...)
+	for _, n := range sNames {
+		ss = append(ss, r.stages[n])
+	}
+	return
+}
+
+// WriteText writes a human-readable report: stage timing table (mean /
+// p50 / p90 / p99 / max per stage, in registration order) followed by
+// counters.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	cNames, cs, sNames, ss := r.snapshot()
+	if len(sNames) > 0 {
+		fmt.Fprintf(w, "stage timing report\n")
+		fmt.Fprintf(w, "  %-22s %8s %10s %10s %10s %10s %10s\n",
+			"stage", "count", "mean(ms)", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)")
+		for i, name := range sNames {
+			s := ss[i].Snapshot()
+			fmt.Fprintf(w, "  %-22s %8d %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+				name, s.Count, s.MeanMs, s.P50Ms, s.P90Ms, s.P99Ms, s.MaxMs)
+		}
+	}
+	if len(cNames) > 0 {
+		fmt.Fprintf(w, "counters\n")
+		for i, name := range cNames {
+			fmt.Fprintf(w, "  %-30s %d\n", name, cs[i].Load())
+		}
+	}
+}
+
+// registrySnapshot is the JSON form of a registry.
+type registrySnapshot struct {
+	Stages   map[string]HistogramSnapshot `json:"stages"`
+	Counters map[string]int64             `json:"counters"`
+}
+
+// MarshalJSON implements json.Marshaler with deterministic key order
+// (encoding/json sorts map keys).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	snap := registrySnapshot{
+		Stages:   map[string]HistogramSnapshot{},
+		Counters: map[string]int64{},
+	}
+	if r != nil {
+		cNames, cs, sNames, ss := r.snapshot()
+		for i, n := range cNames {
+			snap.Counters[n] = cs[i].Load()
+		}
+		for i, n := range sNames {
+			snap.Stages[n] = ss[i].Snapshot()
+		}
+	}
+	return json.Marshal(snap)
+}
+
+// WriteJSON writes the registry as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// StageNames returns the registered stage names in registration order.
+func (r *Registry) StageNames() []string {
+	if r == nil {
+		return nil
+	}
+	_, _, names, _ := r.snapshot()
+	return names
+}
+
+// CounterNames returns the registered counter names sorted alphabetically
+// (counters carry no inherent order in reports that consume them by name).
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	names, _, _, _ := r.snapshot()
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	// Run under -race in CI: concurrent Add must be safe and lose nothing.
+	var c Counter
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*perG {
+		t.Errorf("count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestNilSinksNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(5)
+	r.Stage("y").Observe(time.Second)
+	r.ObserveStage("z", time.Second)
+	r.StartStage("w")()
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if buf.Len() != 0 {
+		t.Errorf("nil registry WriteText produced output: %q", buf.String())
+	}
+	if r.Counter("x").Load() != 0 || r.Stage("y").Count() != 0 {
+		t.Error("nil registry recorded data")
+	}
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Errorf("nil registry WriteJSON: %v", err)
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	if got := bucketIndex(0); got != 0 {
+		t.Errorf("bucketIndex(0) = %d, want 0", got)
+	}
+	prev := -1
+	for d := time.Nanosecond; d < 200*time.Second; d *= 3 {
+		i := bucketIndex(d)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %v: %d < %d", d, i, prev)
+		}
+		if bucketBounds[i] < d && i != numBuckets-1 {
+			t.Fatalf("bucketIndex(%v) = %d with bound %v < sample", d, i, bucketBounds[i])
+		}
+		prev = i
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	// 100 samples: 1ms ×90, 100ms ×9, 1s ×1.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	h.Observe(time.Second)
+
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	// Bucket bounds are √2-spaced, so an estimate is correct when it lands
+	// within one bucket (factor √2) above the true quantile.
+	checks := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, time.Millisecond},
+		{0.90, time.Millisecond},
+		{0.95, 100 * time.Millisecond},
+		{0.99, 100 * time.Millisecond},
+		{1.00, time.Second},
+	}
+	for _, c := range checks {
+		got := h.Percentile(c.p)
+		lo, hi := c.want, time.Duration(float64(c.want)*math.Sqrt2*1.0001)
+		if got < lo || got > hi {
+			t.Errorf("P%.0f = %v, want in [%v, %v]", c.p*100, got, lo, hi)
+		}
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Errorf("Min = %v, want 1ms", got)
+	}
+	if got := h.Max(); got != time.Second {
+		t.Errorf("Max = %v, want 1s", got)
+	}
+	wantMean := (90*time.Millisecond + 9*100*time.Millisecond + time.Second) / 100
+	if got := h.Mean(); got != wantMean {
+		t.Errorf("Mean = %v, want %v", got, wantMean)
+	}
+}
+
+func TestHistogramSingleSampleClampsToMax(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	// All percentiles of a single sample are the sample itself, not the
+	// bucket's upper edge.
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Percentile(p); got != 3*time.Millisecond {
+			t.Errorf("P%v = %v, want 3ms", p, got)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	// Under -race: concurrent Observe on one histogram, then exact count
+	// and sum invariants.
+	var h Histogram
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g+1) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*perG {
+		t.Errorf("count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	var wantSum time.Duration
+	for g := 0; g < goroutines; g++ {
+		wantSum += time.Duration(g+1) * time.Millisecond * perG
+	}
+	if h.Sum() != wantSum {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Min() != time.Millisecond || h.Max() != goroutines*time.Millisecond {
+		t.Errorf("min/max = %v/%v, want 1ms/%dms", h.Min(), h.Max(), goroutines)
+	}
+}
+
+func TestRegistryReport(t *testing.T) {
+	r := NewRegistry()
+	r.Stage("reconstruction").Observe(2 * time.Millisecond)
+	r.Stage("bkg_nn").Observe(5 * time.Millisecond)
+	r.ObserveStage("reconstruction", 4*time.Millisecond)
+	r.Counter("rings").Add(597)
+	r.Counter("runs").Inc()
+
+	// Same name returns the same instrument.
+	if r.Stage("reconstruction").Count() != 2 {
+		t.Errorf("reconstruction count = %d, want 2", r.Stage("reconstruction").Count())
+	}
+	// Stage order is registration order, for pipeline-order reports.
+	if names := r.StageNames(); len(names) != 2 || names[0] != "reconstruction" || names[1] != "bkg_nn" {
+		t.Errorf("StageNames = %v", names)
+	}
+	if names := r.CounterNames(); len(names) != 2 || names[0] != "rings" || names[1] != "runs" {
+		t.Errorf("CounterNames = %v", names)
+	}
+
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	text := buf.String()
+	for _, want := range []string{"reconstruction", "bkg_nn", "rings", "597", "p99(ms)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Stages   map[string]HistogramSnapshot `json:"stages"`
+		Counters map[string]int64             `json:"counters"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["rings"] != 597 {
+		t.Errorf("JSON rings = %d, want 597", snap.Counters["rings"])
+	}
+	if s := snap.Stages["reconstruction"]; s.Count != 2 || s.MeanMs != 3 {
+		t.Errorf("JSON reconstruction = %+v, want count 2 mean 3ms", s)
+	}
+}
+
+func TestStartStage(t *testing.T) {
+	r := NewRegistry()
+	stop := r.StartStage("s")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	if got := r.Stage("s").Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if got := r.Stage("s").Max(); got < time.Millisecond {
+		t.Errorf("recorded %v, want >= 1ms", got)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	// Lookup-and-record from many goroutines, same and distinct names.
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("shared").Inc()
+				r.Stage("shared").Observe(time.Duration(i) * time.Microsecond)
+				r.Counter(string(rune('a' + g))).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8*200 {
+		t.Errorf("shared counter = %d, want %d", got, 8*200)
+	}
+	if got := r.Stage("shared").Count(); got != 8*200 {
+		t.Errorf("shared stage count = %d, want %d", got, 8*200)
+	}
+}

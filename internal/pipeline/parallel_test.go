@@ -1,0 +1,113 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/xrand"
+)
+
+// TestRunBitwiseDeterministicAcrossWorkers pins the full-pipeline
+// determinism contract on the ML path: reconstruction, the NN loop
+// (feature extraction, sharded inference, re-localization), and the dEta
+// rewrite must give bitwise-identical results for any worker count.
+func TestRunBitwiseDeterministicAcrossWorkers(t *testing.T) {
+	bundle := tinyBundle(t)
+	events, _ := simulateExposure(1.5, 30, 42)
+
+	run := func(workers int) Result {
+		opts := DefaultOptions()
+		opts.Bundle = bundle
+		opts.Workers = workers
+		return Run(opts, events, xrand.New(43))
+	}
+	serial := run(1)
+	if !serial.Loc.OK {
+		t.Fatal("serial run failed to localize")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if got.Loc.Dir != serial.Loc.Dir {
+			t.Errorf("workers %d: Dir %+v != serial %+v", workers, got.Loc.Dir, serial.Loc.Dir)
+		}
+		if got.Rings != serial.Rings || got.Kept != serial.Kept ||
+			got.NNIterations != serial.NNIterations ||
+			got.FlaggedGRB != serial.FlaggedGRB || got.FlaggedBkg != serial.FlaggedBkg {
+			t.Errorf("workers %d: counts (rings %d kept %d iters %d flagged %d/%d) != serial (%d %d %d %d/%d)",
+				workers, got.Rings, got.Kept, got.NNIterations, got.FlaggedGRB, got.FlaggedBkg,
+				serial.Rings, serial.Kept, serial.NNIterations, serial.FlaggedGRB, serial.FlaggedBkg)
+		}
+		if got.ErrorRadiusDeg != serial.ErrorRadiusDeg {
+			t.Errorf("workers %d: ErrorRadiusDeg %v != serial %v",
+				workers, got.ErrorRadiusDeg, serial.ErrorRadiusDeg)
+		}
+		if len(got.ActiveRings) != len(serial.ActiveRings) {
+			t.Errorf("workers %d: %d active rings, serial %d",
+				workers, len(got.ActiveRings), len(serial.ActiveRings))
+		}
+	}
+}
+
+// TestRunRecordsMetrics checks the obs wiring: one Run populates every
+// pipeline stage histogram with exactly one sample, in pipeline order, and
+// the counters reflect the run.
+func TestRunRecordsMetrics(t *testing.T) {
+	bundle := tinyBundle(t)
+	events, _ := simulateExposure(1.0, 20, 14)
+
+	reg := obs.NewRegistry()
+	opts := DefaultOptions()
+	opts.Bundle = bundle
+	opts.Metrics = reg
+	res := Run(opts, events, xrand.New(15))
+
+	names := reg.StageNames()
+	if len(names) != len(StageNames) {
+		t.Fatalf("registry has stages %v, want %v", names, StageNames)
+	}
+	for i, want := range StageNames {
+		if names[i] != want {
+			t.Fatalf("stage order %v, want %v", names, StageNames)
+		}
+		if n := reg.Stage(want).Count(); n != 1 {
+			t.Errorf("stage %q has %d samples, want 1", want, n)
+		}
+	}
+	if got := reg.Counter("runs").Load(); got != 1 {
+		t.Errorf("runs counter = %d, want 1", got)
+	}
+	if got := reg.Counter("events").Load(); got != int64(len(events)) {
+		t.Errorf("events counter = %d, want %d", got, len(events))
+	}
+	if got := reg.Counter("rings_reconstructed").Load(); got != int64(res.Rings) {
+		t.Errorf("rings_reconstructed = %d, want %d", got, res.Rings)
+	}
+	if got := reg.Counter("nn_iterations").Load(); got != int64(res.NNIterations) {
+		t.Errorf("nn_iterations = %d, want %d", got, res.NNIterations)
+	}
+
+	// A second run accumulates into the same histograms.
+	Run(opts, events, xrand.New(16))
+	if n := reg.Stage(StageTotal).Count(); n != 2 {
+		t.Errorf("total stage has %d samples after two runs, want 2", n)
+	}
+
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	if !strings.Contains(buf.String(), StageBkgNN) {
+		t.Errorf("text report missing %q:\n%s", StageBkgNN, buf.String())
+	}
+}
+
+// TestRunNilMetricsIsFree ensures the no-metrics path still works (nil
+// registry sinks every record call).
+func TestRunNilMetricsIsFree(t *testing.T) {
+	events, _ := simulateExposure(1.0, 20, 14)
+	opts := DefaultOptions()
+	opts.Metrics = nil
+	if res := Run(opts, events, xrand.New(15)); !res.Loc.OK {
+		t.Error("run with nil metrics failed")
+	}
+}

@@ -13,10 +13,9 @@
 package pipeline
 
 import (
+	"context"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/detector"
@@ -25,6 +24,8 @@ import (
 	"repro/internal/localize"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/recon"
 	"repro/internal/xrand"
 )
@@ -41,6 +42,16 @@ type FP32Classifier struct{ Net *nn.Sequential }
 
 // Probs implements BkgClassifier.
 func (c FP32Classifier) Probs(x *nn.Tensor) []float32 { return c.Net.PredictProbs(x) }
+
+// ProbsInto implements the probsInto fast path.
+func (c FP32Classifier) ProbsInto(x *nn.Tensor, out []float32) { c.Net.PredictProbsInto(x, out) }
+
+// probsInto is an optional BkgClassifier extension: classifiers that can
+// write probabilities into a caller-owned buffer avoid one allocation and
+// copy per inference shard.
+type probsInto interface {
+	ProbsInto(x *nn.Tensor, out []float32)
+}
 
 // Options configures a pipeline run. Zero-valued sub-configs mean package
 // defaults.
@@ -77,9 +88,15 @@ type Options struct {
 	// DisableBkgNN and DisableDEtaNN turn off one of the bundle's networks
 	// while keeping the other, for ablation studies.
 	DisableBkgNN, DisableDEtaNN bool
-	// Workers caps parallelism for reconstruction and NN inference;
-	// 0 means GOMAXPROCS.
+	// Workers caps parallelism for every stage of the run — reconstruction,
+	// the localization grid search, feature extraction, and sharded NN
+	// inference. 0 means the process default (par.DefaultWorkers); 1 forces
+	// the serial path. Results are bitwise-identical for any value.
 	Workers int
+	// Metrics, when non-nil, receives the per-stage latency histograms
+	// (StageNames) and run counters of every Run call — the Tables I/II
+	// decomposition as a live report. A nil registry costs nothing.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the production configuration.
@@ -103,6 +120,40 @@ type Timing struct {
 	BkgNN          time.Duration
 	ApproxRefine   time.Duration
 	Total          time.Duration
+}
+
+// Stage-metric names recorded into Options.Metrics, one histogram per
+// Timing field.
+const (
+	StageReconstruction = "reconstruction"
+	StageSetup          = "setup"
+	StageBkgNN          = "bkg_nn"
+	StageDEtaNN         = "deta_nn"
+	StageApproxRefine   = "approx_refine"
+	StageTotal          = "total"
+)
+
+// StageNames lists the pipeline stage metrics in pipeline (Tables I/II)
+// order. Run pre-registers them so reports read top-to-bottom in this
+// order regardless of which stages a particular run exercised.
+var StageNames = []string{
+	StageReconstruction, StageSetup, StageBkgNN, StageDEtaNN,
+	StageApproxRefine, StageTotal,
+}
+
+// record publishes one run's Timing into a metrics registry. The NN-loop
+// stages accumulate across iterations within a run, matching the paper's
+// tables, so each histogram receives exactly one sample per Run call.
+func (t *Timing) record(m *obs.Registry) {
+	if m == nil {
+		return
+	}
+	m.ObserveStage(StageReconstruction, t.Reconstruction)
+	m.ObserveStage(StageSetup, t.Setup)
+	m.ObserveStage(StageBkgNN, t.BkgNN)
+	m.ObserveStage(StageDEtaNN, t.DEtaNN)
+	m.ObserveStage(StageApproxRefine, t.ApproxRefine)
+	m.ObserveStage(StageTotal, t.Total)
 }
 
 // Result reports one pipeline run.
@@ -146,14 +197,39 @@ type IterationRecord struct {
 	MovedDeg float64
 }
 
-// Run executes the pipeline over one exposure's events.
+// Run executes the pipeline over one exposure's events. Every stage runs
+// on one bounded worker pool (Options.Workers); the result is bitwise
+// deterministic in (opts, events, rng seed) for any worker count.
 func Run(opts Options, events []*detector.Event, rng *xrand.RNG) Result {
 	start := time.Now()
 	var res Result
 
+	pool := par.NewPool(opts.Workers)
+	// The localization solver inherits the run's parallelism bound unless
+	// the caller pinned its own.
+	locCfg := opts.Loc
+	if locCfg.Workers == 0 {
+		locCfg.Workers = pool.Workers()
+	}
+
+	m := opts.Metrics
+	if m != nil {
+		for _, s := range StageNames {
+			m.Stage(s) // pre-register so reports keep pipeline order
+		}
+	}
+	defer func() {
+		res.Timing.record(m)
+		m.Counter("runs").Inc()
+		m.Counter("events").Add(int64(len(events)))
+		m.Counter("rings_reconstructed").Add(int64(res.Rings))
+		m.Counter("rings_kept").Add(int64(res.Kept))
+		m.Counter("nn_iterations").Add(int64(res.NNIterations))
+	}()
+
 	// ---- Stage: reconstruction (parallel over events) ----
 	t0 := time.Now()
-	rings := reconstructAll(&opts, events)
+	rings := reconstructAll(&opts, events, pool)
 	res.Timing.Reconstruction = time.Since(t0)
 	res.Rings = len(rings)
 
@@ -188,7 +264,7 @@ func Run(opts Options, events []*detector.Event, rng *xrand.RNG) Result {
 
 	// ---- Initial localization (approx + refine) ----
 	t0 = time.Now()
-	loc := localize.Localize(&opts.Loc, rings, rng)
+	loc := localize.Localize(&locCfg, rings, rng)
 	res.Timing.ApproxRefine += time.Since(t0)
 	if !loc.OK {
 		res.Timing.Total = time.Since(start)
@@ -213,9 +289,9 @@ func Run(opts Options, events []*detector.Event, rng *xrand.RNG) Result {
 
 			t0 = time.Now()
 			polar := polarDeg(prev)
-			x := features.Matrix(rings, polar, opts.Bundle.WithPolar)
-			opts.Bundle.BkgNorm.Apply(x)
-			probs := parallelProbs(cls, x, opts.Workers)
+			x := features.MatrixWith(pool, rings, polar, opts.Bundle.WithPolar)
+			opts.Bundle.BkgNorm.ApplyWith(pool, x)
+			probs := parallelProbs(cls, x, pool)
 			thr := opts.Bundle.Thr.For(polar)
 			res.FlaggedGRB, res.FlaggedBkg = 0, 0
 			for i := range rings {
@@ -236,7 +312,7 @@ func Run(opts Options, events []*detector.Event, rng *xrand.RNG) Result {
 					active = append(active, r)
 				}
 			}
-			if len(active) < opts.Loc.MinRings {
+			if len(active) < locCfg.MinRings {
 				break // classifier rejected nearly everything; keep prev
 			}
 
@@ -248,12 +324,12 @@ func Run(opts Options, events []*detector.Event, rng *xrand.RNG) Result {
 			// applying the model once — while the likelihood comparison
 			// keeps a jumpy re-approximation from discarding a good mode.
 			t0 = time.Now()
-			refined := localize.Refine(&opts.Loc, active, prev)
-			fresh := localize.Localize(&opts.Loc, active, rng)
+			refined := localize.Refine(&locCfg, active, prev)
+			fresh := localize.Localize(&locCfg, active, rng)
 			next := refined
 			if fresh.OK && (!refined.OK ||
-				localize.LogLikelihood(&opts.Loc, active, fresh.Dir) >
-					localize.LogLikelihood(&opts.Loc, active, refined.Dir)) {
+				localize.LogLikelihood(&locCfg, active, fresh.Dir) >
+					localize.LogLikelihood(&locCfg, active, refined.Dir)) {
 				next = fresh
 			}
 			res.Timing.ApproxRefine += time.Since(t0)
@@ -280,14 +356,14 @@ func Run(opts Options, events []*detector.Event, rng *xrand.RNG) Result {
 		// ---- dEta network rewrites surviving ring widths ----
 		t0 = time.Now()
 		if len(active) > 0 && !opts.DisableDEtaNN {
-			ApplyDEta(opts.Bundle, active, polarDeg(prev), opts.DEtaFloor, opts.DEtaWidenRatio)
+			ApplyDEtaWith(pool, opts.Bundle, active, polarDeg(prev), opts.DEtaFloor, opts.DEtaWidenRatio)
 		}
 		res.Timing.DEtaNN = time.Since(t0)
 
 		// ---- Final localization seeded at the last estimate ----
 		t0 = time.Now()
-		if len(active) >= opts.Loc.MinRings {
-			if final := localize.Refine(&opts.Loc, active, prev); final.OK {
+		if len(active) >= locCfg.MinRings {
+			if final := localize.Refine(&locCfg, active, prev); final.OK {
 				loc = final
 			}
 			res.Kept = len(active)
@@ -301,57 +377,32 @@ func Run(opts Options, events []*detector.Event, rng *xrand.RNG) Result {
 
 	res.Loc = loc
 	res.ActiveRings = rings
-	if opts.Bundle != nil && len(active) >= opts.Loc.MinRings {
+	if opts.Bundle != nil && len(active) >= locCfg.MinRings {
 		res.ActiveRings = active
 	}
 	if loc.OK {
-		res.ErrorRadiusDeg = localize.ErrorRadiusDeg(&opts.Loc, res.ActiveRings, loc.Dir)
+		res.ErrorRadiusDeg = localize.ErrorRadiusDeg(&locCfg, res.ActiveRings, loc.Dir)
 	}
 	res.Timing.Total = time.Since(start)
 	return res
 }
 
-// reconstructAll runs event reconstruction on a worker pool.
-func reconstructAll(opts *Options, events []*detector.Event) []*recon.Ring {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(events) {
-		workers = len(events)
-	}
-	if workers <= 1 {
-		var rings []*recon.Ring
-		for _, ev := range events {
-			if r, ok := recon.Reconstruct(&opts.Recon, ev); ok {
-				rings = append(rings, r)
-			}
-		}
-		return rings
-	}
+// minShardRows is the smallest inference batch worth sharding: below it,
+// goroutine handoff costs more than the matmul it saves.
+const minShardRows = 64
+
+// reconstructAll runs event reconstruction on the worker pool. Each event's
+// ring lands in its fixed slot, then survivors are compacted in event
+// order, so the ring list is identical for any worker count.
+func reconstructAll(opts *Options, events []*detector.Event, p *par.Pool) []*recon.Ring {
 	out := make([]*recon.Ring, len(events))
-	var wg sync.WaitGroup
-	chunk := (len(events) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(events) {
-			hi = len(events)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				if r, ok := recon.Reconstruct(&opts.Recon, events[i]); ok {
-					out[i] = r
-				}
+	p.ForRange(context.Background(), len(events), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if r, ok := recon.Reconstruct(&opts.Recon, events[i]); ok {
+				out[i] = r
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 	rings := make([]*recon.Ring, 0, len(events)/4)
 	for _, r := range out {
 		if r != nil {
@@ -361,33 +412,50 @@ func reconstructAll(opts *Options, events []*detector.Event) []*recon.Ring {
 	return rings
 }
 
-// parallelProbs shards classifier inference over row ranges.
-func parallelProbs(cls BkgClassifier, x *nn.Tensor, workers int) []float32 {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers <= 1 || x.Rows < 64 {
-		return cls.Probs(x)
-	}
+// parallelProbs shards classifier inference over row ranges of the feature
+// matrix, writing each shard's probabilities into its fixed slice of the
+// result. Classifiers implementing the probsInto fast path skip the
+// per-shard allocation.
+func parallelProbs(cls BkgClassifier, x *nn.Tensor, p *par.Pool) []float32 {
 	out := make([]float32, x.Rows)
-	var wg sync.WaitGroup
-	chunk := (x.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > x.Rows {
-			hi = x.Rows
+	if p.Workers() <= 1 || x.Rows < minShardRows {
+		if pi, ok := cls.(probsInto); ok {
+			pi.ProbsInto(x, out)
+		} else {
+			copy(out, cls.Probs(x))
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			copy(out[lo:hi], cls.Probs(x.SliceRows(lo, hi)))
-		}(lo, hi)
+		return out
 	}
-	wg.Wait()
+	p.ForRange(context.Background(), x.Rows, func(_, lo, hi int) {
+		shard := x.SliceRows(lo, hi)
+		if pi, ok := cls.(probsInto); ok {
+			pi.ProbsInto(shard, out[lo:hi])
+		} else {
+			copy(out[lo:hi], cls.Probs(shard))
+		}
+	})
+	return out
+}
+
+// parallelPredict1 shards single-output regression inference over row
+// ranges, returning one prediction per row of x.
+func parallelPredict1(net *nn.Sequential, x *nn.Tensor, p *par.Pool) []float32 {
+	out := make([]float32, x.Rows)
+	if p.Workers() <= 1 || x.Rows < minShardRows {
+		pred := net.Predict(x)
+		if pred.Cols != 1 {
+			panic("pipeline: parallelPredict1 requires a single-output network")
+		}
+		copy(out, pred.Data)
+		return out
+	}
+	p.ForRange(context.Background(), x.Rows, func(_, lo, hi int) {
+		pred := net.Predict(x.SliceRows(lo, hi))
+		if pred.Cols != 1 {
+			panic("pipeline: parallelPredict1 requires a single-output network")
+		}
+		copy(out[lo:hi], pred.Data)
+	})
 	return out
 }
 
@@ -408,6 +476,12 @@ func expf32(x float32) float32 { return float32(math.Exp(float64(x))) }
 // estimate in degrees; floor bounds the widths from below (≤0 for the
 // default); widenRatio ≤ 0 means the default 3.
 func ApplyDEta(bundle *models.Bundle, rings []*recon.Ring, polarGuess, floor, widenRatio float64) {
+	ApplyDEtaWith(nil, bundle, rings, polarGuess, floor, widenRatio)
+}
+
+// ApplyDEtaWith is ApplyDEta with inference sharded over the given worker
+// pool (nil means the process-default pool).
+func ApplyDEtaWith(p *par.Pool, bundle *models.Bundle, rings []*recon.Ring, polarGuess, floor, widenRatio float64) {
 	if len(rings) == 0 {
 		return
 	}
@@ -417,7 +491,7 @@ func ApplyDEta(bundle *models.Bundle, rings []*recon.Ring, polarGuess, floor, wi
 	if widenRatio <= 0 {
 		widenRatio = 3
 	}
-	nnWidth, med := dEtaPredictions(bundle, rings, polarGuess)
+	nnWidth, med := dEtaPredictions(p, bundle, rings, polarGuess)
 	for i, r := range rings {
 		if nnWidth[i] > widenRatio*med*r.DEta {
 			r.DEta = nnWidth[i]
@@ -440,7 +514,7 @@ func ApplyDEtaCalibrated(bundle *models.Bundle, rings []*recon.Ring, polarGuess 
 		return
 	}
 	floor := DefaultOptions().DEtaFloor
-	nnWidth, med := dEtaPredictions(bundle, rings, polarGuess)
+	nnWidth, med := dEtaPredictions(nil, bundle, rings, polarGuess)
 	for i, r := range rings {
 		d := med * r.DEta
 		if nnWidth[i] > d {
@@ -456,10 +530,12 @@ func ApplyDEtaCalibrated(bundle *models.Bundle, rings []*recon.Ring, polarGuess 
 // BackgroundProbs evaluates the bundle's background classifier on rings at
 // the given polar-angle guess, returning one probability per ring. Used by
 // sky-map products that weight rings by their background likelihood.
+// Inference is sharded over the process-default worker pool.
 func BackgroundProbs(bundle *models.Bundle, rings []*recon.Ring, polarGuess float64) []float64 {
-	x := features.Matrix(rings, polarGuess, bundle.WithPolar)
-	bundle.BkgNorm.Apply(x)
-	probs := bundle.Bkg.PredictProbs(x)
+	pool := par.NewPool(0)
+	x := features.MatrixWith(pool, rings, polarGuess, bundle.WithPolar)
+	bundle.BkgNorm.ApplyWith(pool, x)
+	probs := parallelProbs(FP32Classifier{Net: bundle.Bkg}, x, pool)
 	out := make([]float64, len(probs))
 	for i, p := range probs {
 		out[i] = float64(p)
@@ -468,11 +544,12 @@ func BackgroundProbs(bundle *models.Bundle, rings []*recon.Ring, polarGuess floa
 }
 
 // dEtaPredictions returns the network's per-ring width predictions and the
-// median prediction/analytic ratio (≥1).
-func dEtaPredictions(bundle *models.Bundle, rings []*recon.Ring, polarGuess float64) ([]float64, float64) {
-	x := features.Matrix(rings, polarGuess, bundle.WithPolar)
-	bundle.DEtaNorm.Apply(x)
-	pred := bundle.DEta.Predict(x)
+// median prediction/analytic ratio (≥1), with feature extraction and
+// inference sharded over p (nil means the process-default pool).
+func dEtaPredictions(p *par.Pool, bundle *models.Bundle, rings []*recon.Ring, polarGuess float64) ([]float64, float64) {
+	x := features.MatrixWith(p, rings, polarGuess, bundle.WithPolar)
+	bundle.DEtaNorm.ApplyWith(p, x)
+	pred := parallelPredict1(bundle.DEta, x, p)
 	scale := bundle.DEtaScale
 	if scale <= 0 {
 		scale = 1
@@ -480,7 +557,7 @@ func dEtaPredictions(bundle *models.Bundle, rings []*recon.Ring, polarGuess floa
 	ratios := make([]float64, len(rings))
 	nnWidth := make([]float64, len(rings))
 	for i, r := range rings {
-		nnWidth[i] = scale * float64(expf32(pred.Data[i]))
+		nnWidth[i] = scale * float64(expf32(pred[i]))
 		ratios[i] = nnWidth[i] / r.DEta
 	}
 	med := medianOf(ratios)
