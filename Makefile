@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover fmt vet check clean
+.PHONY: all build test race bench cover fmt vet serve-smoke check clean
 
 all: build test
 
@@ -36,6 +36,10 @@ fmt:
 ## vet: static analysis
 vet:
 	$(GO) vet ./...
+
+## serve-smoke: end-to-end adaptserve smoke test (CI serve-smoke job)
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 ## check: everything CI checks
 check: build fmt vet race

@@ -147,6 +147,23 @@ func (inst *Instrument) Localize(obs *Observation, m *Models) Result {
 // LocalizeEvents is Localize for a caller-assembled event list; seed
 // controls the solver's random sampling.
 func (inst *Instrument) LocalizeEvents(events []*Event, m *Models, seed uint64) Result {
+	return inst.LocalizeEventsWithClassifier(events, m, nil, seed)
+}
+
+// BkgClassifier is the pipeline's background-classifier contract: anything
+// producing background probabilities for normalized feature rows. The
+// bundle's FP32 network, the INT8 quantized network, and the serving
+// layer's cross-request micro-batcher all satisfy it.
+type BkgClassifier = pipeline.BkgClassifier
+
+// LocalizeEventsWithClassifier is LocalizeEvents with the bundle's FP32
+// background network replaced by cls (the bundle's thresholds and feature
+// normalizers still apply); a nil cls runs the bundle's own network. The
+// serving layer (internal/serve) uses it to route NN inference through a
+// batcher shared across concurrent requests. Because inference is
+// row-independent, the result is bitwise-identical to LocalizeEvents for
+// any cls that evaluates the same network.
+func (inst *Instrument) LocalizeEventsWithClassifier(events []*Event, m *Models, cls BkgClassifier, seed uint64) Result {
 	opts := pipeline.DefaultOptions()
 	opts.Recon = inst.Recon
 	opts.Loc = inst.Loc
@@ -154,6 +171,7 @@ func (inst *Instrument) LocalizeEvents(events []*Event, m *Models, seed uint64) 
 		opts.MaxNNIters = inst.MaxNNIters
 	}
 	opts.Bundle = m
+	opts.BkgOverride = cls
 	opts.Workers = inst.Workers
 	opts.Metrics = inst.Metrics
 	return pipeline.Run(opts, events, xrand.New(seed))

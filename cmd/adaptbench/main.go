@@ -13,12 +13,14 @@ package main
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"log"
 	"os"
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/expt"
 	"repro/internal/par"
 	"repro/internal/plot"
@@ -51,7 +53,12 @@ func main() {
 	plots := flag.Bool("plots", false, "render ASCII charts of figure series (with -only fig…)")
 	parallelism := flag.Int("parallelism", 0, "default worker count for parallel pipeline stages (0 = GOMAXPROCS, 1 = serial; Tables I/II pin their own)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("adaptbench"))
+		return
+	}
 
 	par.SetDefaultWorkers(*parallelism)
 	if *cpuprofile != "" {

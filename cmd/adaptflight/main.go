@@ -19,6 +19,7 @@ import (
 	"runtime/pprof"
 
 	"repro/adapt"
+	"repro/internal/buildinfo"
 	"repro/internal/campaign"
 )
 
@@ -42,7 +43,12 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker count for the per-trial fan-out (0 = GOMAXPROCS, 1 = serial; outcomes identical either way)")
 	report := flag.Bool("report", false, "print the per-stage latency report accumulated across all trials")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("adaptflight"))
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

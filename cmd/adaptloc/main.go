@@ -17,6 +17,7 @@ import (
 	"runtime/pprof"
 
 	"repro/adapt"
+	"repro/internal/buildinfo"
 	"repro/internal/evio"
 	"repro/internal/geom"
 	"repro/internal/plot"
@@ -39,7 +40,12 @@ func main() {
 	report := flag.Bool("report", false, "print the per-stage latency report (mean/p50/p90/p99 per stage) after the run")
 	metricsJSON := flag.String("metrics-json", "", "also write the stage metrics as JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("adaptloc"))
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

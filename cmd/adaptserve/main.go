@@ -1,0 +1,170 @@
+// Command adaptserve runs the localization service: an HTTP server that
+// multiplexes concurrent localization/classification requests through the
+// parallel pipeline with micro-batched NN inference, bounded admission
+// (429 backpressure), hot-reloadable models, and Prometheus metrics.
+//
+// Usage:
+//
+//	adaptserve -addr :8080 -models models.gob
+//	curl -X POST --data-binary @events.evio \
+//	     -H 'Content-Type: application/x-adapt-evio' \
+//	     http://localhost:8080/v1/localize
+//	curl http://localhost:8080/metrics
+//
+// SIGTERM/SIGINT drains gracefully: readiness flips to 503, in-flight
+// requests finish (bounded by -drain-timeout), then the process exits 0.
+//
+// The built-in load generator replays a simulated burst at a target rate
+// and reports latency percentiles from the same obs histograms:
+//
+//	adaptserve -loadgen -qps 50 -duration 10s            # self-contained
+//	adaptserve -loadgen -target http://host:8080 -qps 50 # against a server
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/adapt"
+	"repro/internal/buildinfo"
+	"repro/internal/evio"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaptserve: ")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	modelPath := flag.String("models", "", "trained model bundle to serve (empty = no-ML pipeline; /admin/reload can load later)")
+	parallelism := flag.Int("parallelism", 0, "worker count for each request's pipeline stages (0 = GOMAXPROCS, 1 = serial)")
+	concurrency := flag.Int("concurrency", 0, "max simultaneously computing requests (0 = parallelism default)")
+	queue := flag.Int("queue", 0, "max requests waiting beyond -concurrency before 429 (0 = 4x concurrency)")
+	batchRows := flag.Int("batch-rows", 0, "NN micro-batch size trigger in feature rows (0 = default)")
+	batchWindow := flag.Duration("batch-window", 0, "NN micro-batch deadline trigger (0 = default 2ms)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline when ?deadline_ms absent (0 = 30s)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max time to drain in-flight requests on SIGTERM")
+	version := flag.Bool("version", false, "print version and exit")
+
+	loadgen := flag.Bool("loadgen", false, "run the load generator instead of (or against) a server")
+	target := flag.String("target", "", "loadgen: base URL of a running adaptserve (empty = start one in-process)")
+	qps := flag.Float64("qps", 20, "loadgen: target request rate")
+	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
+	lgConcurrency := flag.Int("loadgen-concurrency", 8, "loadgen: request workers")
+	fluence := flag.Float64("fluence", 1.0, "loadgen: simulated burst fluence in MeV/cm²")
+	polar := flag.Float64("polar", 30, "loadgen: simulated burst polar angle in degrees")
+	seed := flag.Uint64("seed", 1, "loadgen: simulation seed")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Line("adaptserve"))
+		return
+	}
+
+	adapt.SetDefaultParallelism(*parallelism)
+	inst := adapt.DefaultInstrument()
+	inst.Workers = *parallelism
+
+	cfg := serve.Config{
+		Instrument:      &inst,
+		ModelPath:       *modelPath,
+		MaxConcurrent:   *concurrency,
+		QueueDepth:      *queue,
+		BatchRows:       *batchRows,
+		BatchWindow:     *batchWindow,
+		DefaultDeadline: *deadline,
+	}
+	if *modelPath != "" {
+		m, err := adapt.LoadModels(*modelPath)
+		if err != nil {
+			log.Fatalf("load models: %v", err)
+		}
+		cfg.Bundle = m
+		log.Printf("loaded models from %s", *modelPath)
+	}
+
+	if *loadgen {
+		runLoadgen(cfg, &inst, *target, *addr, *qps, *duration, *lgConcurrency, *fluence, *polar, *seed)
+		return
+	}
+
+	srv := serve.New(cfg)
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("listening on %s", l.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	case sig := <-sigc:
+		log.Printf("%s: draining (timeout %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Fatalf("drain: %v", err)
+		}
+		<-done
+		log.Printf("drained cleanly")
+	}
+}
+
+// runLoadgen replays one simulated burst at the target (an in-process
+// server when target is empty) and prints the latency report.
+func runLoadgen(cfg serve.Config, inst *adapt.Instrument, target, addr string, qps float64, duration time.Duration, workers int, fluence, polar float64, seed uint64) {
+	obsv := inst.Observe(adapt.Burst{Fluence: fluence, PolarDeg: polar, AzimuthDeg: 30}, seed)
+	var body bytes.Buffer
+	if err := evio.WriteAll(&body, obsv.Events); err != nil {
+		log.Fatalf("encode events: %v", err)
+	}
+	log.Printf("payload: %d events, %d bytes (fluence %.2f, polar %.0f°, seed %d)",
+		len(obsv.Events), body.Len(), fluence, polar, seed)
+
+	var srv *serve.Server
+	if target == "" {
+		srv = serve.New(cfg)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("listen: %v", err)
+		}
+		go srv.Serve(l)
+		target = "http://" + l.Addr().String()
+		log.Printf("started in-process server at %s", target)
+	}
+
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		TargetURL:   target + "/v1/localize",
+		Body:        body.Bytes(),
+		QPS:         qps,
+		Duration:    duration,
+		Concurrency: workers,
+	})
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	}
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	rep.WriteText(os.Stdout)
+	if srv != nil {
+		fmt.Println("server-side stage report:")
+		srv.Metrics().WriteText(os.Stdout)
+	}
+}

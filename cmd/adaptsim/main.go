@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/adapt"
+	"repro/internal/buildinfo"
 	"repro/internal/evio"
 	"repro/internal/recon"
 )
@@ -47,7 +48,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	rings := flag.Bool("rings", false, "emit reconstructed Compton rings instead of raw events")
 	binOut := flag.String("binary", "", "write events in the evio binary format to this file instead of JSON to stdout")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("adaptsim"))
+		return
+	}
 
 	inst := adapt.DefaultInstrument()
 	obs := inst.Observe(adapt.Burst{Fluence: *fluence, PolarDeg: *polar, AzimuthDeg: *azimuth}, *seed)

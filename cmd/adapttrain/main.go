@@ -11,10 +11,12 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 
 	"repro/adapt"
+	"repro/internal/buildinfo"
 	"repro/internal/datagen"
 	"repro/internal/features"
 	"repro/internal/models"
@@ -33,7 +35,12 @@ func main() {
 	noPolar := flag.Bool("no-polar", false, "train the Fig. 7 ablation variant without the polar-angle input")
 	quiet := flag.Bool("q", false, "suppress per-epoch progress")
 	tuneN := flag.Int("tune", 0, "run a random hyperparameter search with this many candidates before training (0 = off)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("adapttrain"))
+		return
+	}
 
 	if *tuneN > 0 {
 		runTuner(*seed, *bursts, *tuneN, !*noPolar)

@@ -1,0 +1,77 @@
+// Package buildinfo reports the build's version, VCS commit, and Go
+// toolchain, read from the information the Go linker embeds in every
+// binary (runtime/debug.ReadBuildInfo). Every cmd/ binary exposes it
+// behind a -version flag, and adaptserve labels its /metrics build-info
+// gauge with it, so a deployed binary can always say what it is.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the identity of the running binary.
+type Info struct {
+	// Version is the main module's version ("(devel)" for a plain
+	// `go build` outside a tagged module download).
+	Version string `json:"version"`
+	// Commit is the VCS revision the binary was built from, suffixed with
+	// "-dirty" when the working tree had local modifications; empty when
+	// the build carried no VCS stamp (e.g. `go build` of a non-VCS tree).
+	Commit string `json:"commit,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// read extracts an Info from debug build info; bi may be nil (no build
+// metadata compiled in, e.g. some test binaries).
+func read(bi *debug.BuildInfo, ok bool) Info {
+	info := Info{Version: "(devel)", GoVersion: runtime.Version()}
+	if !ok || bi == nil {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" && dirty {
+		rev += "-dirty"
+	}
+	info.Commit = rev
+	return info
+}
+
+// Get returns the running binary's build identity.
+func Get() Info {
+	return read(debug.ReadBuildInfo())
+}
+
+// String renders the identity on one line, e.g.
+// "(devel) commit 1a2b3c4d5e6f go1.22.0".
+func (i Info) String() string {
+	if i.Commit == "" {
+		return fmt.Sprintf("%s %s", i.Version, i.GoVersion)
+	}
+	return fmt.Sprintf("%s commit %s %s", i.Version, i.Commit, i.GoVersion)
+}
+
+// Line renders "prog version ..." for a binary's -version flag.
+func Line(prog string) string {
+	return prog + " " + Get().String()
+}

@@ -1,0 +1,59 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestGetAlwaysPopulated(t *testing.T) {
+	info := Get()
+	if info.Version == "" {
+		t.Error("empty Version")
+	}
+	if info.GoVersion == "" {
+		t.Error("empty GoVersion")
+	}
+	if !strings.Contains(info.String(), info.GoVersion) {
+		t.Errorf("String() = %q missing go version %q", info.String(), info.GoVersion)
+	}
+}
+
+func TestReadNilBuildInfo(t *testing.T) {
+	info := read(nil, false)
+	if info.Version != "(devel)" {
+		t.Errorf("Version = %q, want (devel)", info.Version)
+	}
+	if info.Commit != "" {
+		t.Errorf("Commit = %q, want empty", info.Commit)
+	}
+	if info.GoVersion == "" {
+		t.Error("GoVersion must fall back to runtime.Version")
+	}
+}
+
+func TestReadVCSStamp(t *testing.T) {
+	bi := &debug.BuildInfo{
+		GoVersion: "go1.22.0",
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123456789abcdef01234567"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}
+	info := read(bi, true)
+	if want := "0123456789ab-dirty"; info.Commit != want {
+		t.Errorf("Commit = %q, want %q", info.Commit, want)
+	}
+	if info.GoVersion != "go1.22.0" {
+		t.Errorf("GoVersion = %q", info.GoVersion)
+	}
+	if got := info.String(); !strings.Contains(got, "commit 0123456789ab-dirty") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestLine(t *testing.T) {
+	if got := Line("adaptserve"); !strings.HasPrefix(got, "adaptserve ") {
+		t.Errorf("Line() = %q", got)
+	}
+}

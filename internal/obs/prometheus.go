@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Buckets returns the histogram's bucket upper bounds and the cumulative
+// sample count at or below each bound, trimmed after the last non-empty
+// bucket (the remaining cumulative counts all equal Count). Both slices are
+// empty for a histogram with no samples.
+func (h *Histogram) Buckets() (bounds []time.Duration, cumulative []int64) {
+	if h == nil || h.count.Load() == 0 {
+		return nil, nil
+	}
+	last := 0
+	var counts [numBuckets]int64
+	for i := 0; i < numBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			last = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		bounds = append(bounds, bucketBounds[i])
+		cumulative = append(cumulative, cum)
+	}
+	return bounds, cumulative
+}
+
+// promName maps a registry metric name to a valid Prometheus metric-name
+// fragment: every character outside [a-zA-Z0-9_] becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float in the exposition format (shortest round-trip
+// representation; Prometheus accepts Go's 'g' forms).
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4):
+//
+//   - every counter becomes its own counter family `<ns>_<name>_total`;
+//   - every stage histogram becomes a series of the single histogram family
+//     `<ns>_stage_duration_seconds` labeled {stage="<name>"}, with
+//     cumulative buckets trimmed after the last occupied bound plus the
+//     mandatory +Inf bucket, and `_sum`/`_count` series.
+//
+// ns is the metric namespace ("adapt" when empty). Unlike WriteText, which
+// keeps registration (pipeline) order for human readers, names here are
+// sorted so the exposition is deterministic for scrapers and tests. A nil
+// or empty registry writes nothing — a valid (empty) exposition.
+func (r *Registry) WritePrometheus(w io.Writer, ns string) {
+	if r == nil {
+		return
+	}
+	if ns == "" {
+		ns = "adapt"
+	}
+	ns = promName(ns)
+	cNames, cs, sNames, ss := r.snapshot()
+
+	cIdx := sortedIndex(cNames)
+	for _, i := range cIdx {
+		name := fmt.Sprintf("%s_%s_total", ns, promName(cNames[i]))
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, cs[i].Load())
+	}
+
+	if len(sNames) == 0 {
+		return
+	}
+	fam := ns + "_stage_duration_seconds"
+	fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+	for _, i := range sortedIndex(sNames) {
+		h := ss[i]
+		stage := promName(sNames[i])
+		bounds, cum := h.Buckets()
+		for j, ub := range bounds {
+			fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n",
+				fam, stage, promFloat(ub.Seconds()), cum[j])
+		}
+		fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", fam, stage, h.Count())
+		fmt.Fprintf(w, "%s_sum{stage=%q} %s\n", fam, stage, promFloat(h.Sum().Seconds()))
+		fmt.Fprintf(w, "%s_count{stage=%q} %d\n", fam, stage, h.Count())
+	}
+}
+
+// sortedIndex returns indices into names ordered by name.
+func sortedIndex(names []string) []int {
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return names[idx[a]] < names[idx[b]] })
+	return idx
+}

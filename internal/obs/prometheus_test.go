@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	var sb strings.Builder
+	var nilReg *Registry
+	nilReg.WritePrometheus(&sb, "")
+	if sb.Len() != 0 {
+		t.Errorf("nil registry wrote %q", sb.String())
+	}
+	NewRegistry().WritePrometheus(&sb, "adapt")
+	if sb.Len() != 0 {
+		t.Errorf("empty registry wrote %q", sb.String())
+	}
+}
+
+// promLines parses "name{labels} value" / "name value" sample lines,
+// skipping comments.
+func promLines(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+func TestWritePrometheusSortedAndValid(t *testing.T) {
+	r := NewRegistry()
+	// Register deliberately out of alphabetical order, with a name needing
+	// sanitization.
+	r.Counter("zeta").Add(3)
+	r.Counter("alpha-count").Add(1)
+	r.Stage("total").Observe(2 * time.Millisecond)
+	r.Stage("bkg_nn").Observe(5 * time.Microsecond)
+	r.Stage("bkg_nn").Observe(80 * time.Microsecond)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb, "")
+	text := sb.String()
+
+	// Two runs produce identical bytes.
+	var sb2 strings.Builder
+	r.WritePrometheus(&sb2, "")
+	if text != sb2.String() {
+		t.Error("exposition is not deterministic across calls")
+	}
+
+	// Counter families appear sorted, with sanitized names.
+	iAlpha := strings.Index(text, "adapt_alpha_count_total")
+	iZeta := strings.Index(text, "adapt_zeta_total")
+	if iAlpha < 0 || iZeta < 0 || iAlpha > iZeta {
+		t.Errorf("counters missing or unsorted:\n%s", text)
+	}
+	// Stage series appear sorted by stage label.
+	iBkg := strings.Index(text, `stage="bkg_nn"`)
+	iTot := strings.Index(text, `stage="total"`)
+	if iBkg < 0 || iTot < 0 || iBkg > iTot {
+		t.Errorf("stages missing or unsorted:\n%s", text)
+	}
+
+	samples := promLines(t, text)
+	if v := samples["adapt_zeta_total"]; v != 3 {
+		t.Errorf("zeta = %v, want 3", v)
+	}
+	// +Inf bucket must equal count for every stage.
+	if inf, cnt := samples[`adapt_stage_duration_seconds_bucket{stage="bkg_nn",le="+Inf"}`],
+		samples[`adapt_stage_duration_seconds_count{stage="bkg_nn"}`]; inf != cnt || cnt != 2 {
+		t.Errorf("bkg_nn +Inf bucket %v vs count %v, want 2", inf, cnt)
+	}
+}
+
+func TestPrometheusRoundTripsAgainstJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs").Add(7)
+	for _, d := range []time.Duration{
+		3 * time.Microsecond, 40 * time.Microsecond, 40 * time.Microsecond,
+		900 * time.Microsecond, 12 * time.Millisecond, 2 * time.Second,
+	} {
+		r.Stage("total").Observe(d)
+	}
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb, "adapt")
+	samples := promLines(t, sb.String())
+
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Stages   map[string]HistogramSnapshot `json:"stages"`
+		Counters map[string]int64             `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := samples["adapt_runs_total"]; got != float64(snap.Counters["runs"]) {
+		t.Errorf("counter mismatch: prom %v, json %d", got, snap.Counters["runs"])
+	}
+	js := snap.Stages["total"]
+	if got := samples[`adapt_stage_duration_seconds_count{stage="total"}`]; got != float64(js.Count) {
+		t.Errorf("count mismatch: prom %v, json %d", got, js.Count)
+	}
+	promSumMs := samples[`adapt_stage_duration_seconds_sum{stage="total"}`] * 1e3
+	if math.Abs(promSumMs-js.SumMs) > 1e-9*math.Abs(js.SumMs) {
+		t.Errorf("sum mismatch: prom %v ms, json %v ms", promSumMs, js.SumMs)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h *Histogram
+	if b, c := h.Buckets(); b != nil || c != nil {
+		t.Error("nil histogram must have no buckets")
+	}
+	h = &Histogram{}
+	if b, c := h.Buckets(); b != nil || c != nil {
+		t.Error("empty histogram must have no buckets")
+	}
+	h.Observe(time.Microsecond)
+	h.Observe(10 * time.Microsecond)
+	bounds, cum := h.Buckets()
+	if len(bounds) == 0 || len(bounds) != len(cum) {
+		t.Fatalf("bounds/cum length mismatch: %d vs %d", len(bounds), len(cum))
+	}
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		t.Error("bounds not ascending")
+	}
+	if cum[len(cum)-1] != h.Count() {
+		t.Errorf("last cumulative %d != count %d", cum[len(cum)-1], h.Count())
+	}
+	if bounds[len(bounds)-1] < 10*time.Microsecond {
+		t.Errorf("trimmed past the last occupied bucket: last bound %v", bounds[len(bounds)-1])
+	}
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errOverload is returned by admission.acquire when the waiting room is
+// full — the explicit backpressure signal the HTTP layer maps to
+// 429 Too Many Requests with a Retry-After hint.
+var errOverload = errors.New("serve: admission queue full")
+
+// admission is a bounded two-stage queue in front of the pipeline: at most
+// `slots` requests compute concurrently, at most `queue` more wait for a
+// slot, and everything beyond that is rejected immediately rather than
+// buffered without bound. Waiters honor their request context, so a
+// per-request deadline expires in the queue instead of wedging it.
+type admission struct {
+	slots chan struct{}
+	// inflight counts holders plus waiters; admission is refused when it
+	// would exceed cap(slots)+queue.
+	inflight atomic.Int64
+	limit    int64
+}
+
+func newAdmission(slots, queue int) *admission {
+	if slots <= 0 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, slots),
+		limit: int64(slots + queue),
+	}
+}
+
+// acquire blocks until a compute slot is free, the waiting room is full
+// (errOverload), or ctx expires (ctx.Err()). Every successful acquire must
+// be paired with release.
+func (a *admission) acquire(ctx context.Context) error {
+	if a.inflight.Add(1) > a.limit {
+		a.inflight.Add(-1)
+		return errOverload
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		a.inflight.Add(-1)
+		return ctx.Err()
+	}
+}
+
+// release frees the compute slot taken by acquire.
+func (a *admission) release() {
+	<-a.slots
+	a.inflight.Add(-1)
+}
+
+// queued reports how many requests are currently admitted or waiting.
+func (a *admission) queued() int64 { return a.inflight.Load() }

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/xrand"
+)
+
+// testNet builds a small untrained (but fixed-weight) single-output net.
+func testNet() *nn.Sequential {
+	return models.NewBackgroundNet(14, xrand.New(42))
+}
+
+// randTensor fills a rows×14 feature matrix deterministically.
+func randTensor(rows int, seed uint64) *nn.Tensor {
+	rng := xrand.New(seed)
+	x := nn.NewTensor(rows, 14)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.Float64()*2 - 1)
+	}
+	return x
+}
+
+// TestBatcherBitwiseIdentical checks the core batching invariant: outputs
+// are bitwise-identical to unbatched inference, for every caller in a
+// coalesced batch.
+func TestBatcherBitwiseIdentical(t *testing.T) {
+	net := testNet()
+	reg := obs.NewRegistry()
+	// Large window so the size trigger (exactly two submissions) flushes.
+	b := NewBatcher(net, 64, time.Second, reg)
+
+	x1, x2 := randTensor(32, 1), randTensor(32, 2)
+	want1, want2 := net.PredictProbs(x1), net.PredictProbs(x2)
+
+	var wg sync.WaitGroup
+	got1, got2 := make([]float32, 32), make([]float32, 32)
+	wg.Add(2)
+	go func() { defer wg.Done(); b.ProbsInto(x1, got1) }()
+	go func() { defer wg.Done(); b.ProbsInto(x2, got2) }()
+	wg.Wait()
+
+	for i := range want1 {
+		if got1[i] != want1[i] {
+			t.Fatalf("caller 1 row %d: batched %v != direct %v", i, got1[i], want1[i])
+		}
+	}
+	for i := range want2 {
+		if got2[i] != want2[i] {
+			t.Fatalf("caller 2 row %d: batched %v != direct %v", i, got2[i], want2[i])
+		}
+	}
+	if reg.Counter("serve_nn_coalesced").Load() == 0 {
+		t.Error("submissions were not coalesced")
+	}
+}
+
+// TestBatcherWindowFlush checks the deadline trigger: a lone submission
+// below the size trigger still completes within ~the window.
+func TestBatcherWindowFlush(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBatcher(testNet(), 1024, 5*time.Millisecond, reg)
+	x := randTensor(8, 3)
+	out := make([]float32, 8)
+	t0 := time.Now()
+	b.ProbsInto(x, out) // must not hang waiting for more rows
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("window flush took %v", elapsed)
+	}
+	if reg.Counter("serve_nn_flush_window").Load() != 1 {
+		t.Errorf("flush_window = %d, want 1", reg.Counter("serve_nn_flush_window").Load())
+	}
+	want := testNet().PredictProbs(x)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("row %d: %v != %v", i, out[i], want[i])
+		}
+	}
+}
+
+// TestBatcherOversizeDirect checks submissions at/above the size trigger
+// bypass the queue.
+func TestBatcherOversizeDirect(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBatcher(testNet(), 16, time.Second, reg)
+	x := randTensor(64, 4)
+	out := make([]float32, 64)
+	b.ProbsInto(x, out)
+	if reg.Counter("serve_nn_direct").Load() != 1 {
+		t.Errorf("direct = %d, want 1", reg.Counter("serve_nn_direct").Load())
+	}
+}
+
+// TestBatcherClose checks Close flushes pending work and later submissions
+// still compute (the hot-reload handoff contract).
+func TestBatcherClose(t *testing.T) {
+	b := NewBatcher(testNet(), 1024, time.Hour, nil) // window never fires
+	x := randTensor(4, 5)
+	out := make([]float32, 4)
+	done := make(chan struct{})
+	go func() { b.ProbsInto(x, out); close(done) }()
+	// Wait until the submission is pending, then close.
+	for {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not flush the pending submission")
+	}
+	// Post-close submissions run directly.
+	out2 := make([]float32, 4)
+	b.ProbsInto(x, out2)
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatalf("row %d: pre-close %v != post-close %v", i, out[i], out2[i])
+		}
+	}
+}
+
+// TestBatcherZeroRows must be a no-op.
+func TestBatcherZeroRows(t *testing.T) {
+	b := NewBatcher(testNet(), 16, time.Millisecond, nil)
+	b.ProbsInto(nn.NewTensor(0, 14), nil)
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LoadConfig drives RunLoad, the built-in load generator (adaptserve
+// -loadgen). It replays one request body at a target rate so service
+// throughput claims are reproducible: same body, same QPS, same report.
+type LoadConfig struct {
+	// TargetURL is the full endpoint URL, e.g.
+	// "http://127.0.0.1:8080/v1/localize".
+	TargetURL string
+	// Body is the request payload, sent verbatim on every request.
+	Body []byte
+	// ContentType of Body (default ContentTypeEvio).
+	ContentType string
+	// QPS is the open-loop request rate (default 20).
+	QPS float64
+	// Duration bounds the run (default 5s).
+	Duration time.Duration
+	// Concurrency is the worker count; requests beyond it are dropped at
+	// the generator (counted as Skipped) rather than queued without bound,
+	// keeping the offered rate honest under a slow server (default 8).
+	Concurrency int
+	// Client overrides the HTTP client (default: 30s timeout).
+	Client *http.Client
+	// Metrics receives the latency histogram ("loadgen_latency") and
+	// outcome counters; nil creates a fresh registry.
+	Metrics *obs.Registry
+}
+
+// LoadReport summarizes one load-generator run. Latency percentiles come
+// from the same obs histogram machinery the server itself reports with.
+type LoadReport struct {
+	Sent     int64
+	OK       int64
+	Rejected int64 // 429 backpressure responses
+	Failed   int64 // transport errors and non-200/429 statuses
+	Skipped  int64 // ticks dropped because all workers were busy
+	Elapsed  time.Duration
+	// AchievedQPS is completed requests (all outcomes) per second.
+	AchievedQPS float64
+	// Latency summarizes per-request wall time (obs √2-bucket histogram).
+	Latency obs.HistogramSnapshot
+	// Metrics is the registry the run recorded into.
+	Metrics *obs.Registry
+}
+
+// RunLoad fires cfg.Body at cfg.TargetURL at cfg.QPS until cfg.Duration (or
+// ctx cancellation) and reports outcome counts plus latency percentiles.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.TargetURL == "" {
+		return nil, fmt.Errorf("serve: loadgen needs a target URL")
+	}
+	if cfg.QPS <= 0 {
+		cfg.QPS = 20
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.ContentType == "" {
+		cfg.ContentType = ContentTypeEvio
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	rep := &LoadReport{Metrics: reg}
+	hist := reg.Stage("loadgen_latency")
+	var sent, ok2xx, rejected, failed, skipped atomic.Int64
+
+	jobs := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					cfg.TargetURL, bytes.NewReader(cfg.Body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", cfg.ContentType)
+				sent.Add(1)
+				resp, err := client.Do(req)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				hist.Observe(time.Since(t0))
+				switch {
+				case resp.StatusCode >= 200 && resp.StatusCode < 300:
+					ok2xx.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	ticker := time.NewTicker(interval)
+	deadline := time.NewTimer(cfg.Duration)
+loop:
+	for {
+		select {
+		case <-ticker.C:
+			select {
+			case jobs <- struct{}{}:
+			default:
+				skipped.Add(1) // every worker busy: offered load exceeded
+			}
+		case <-deadline.C:
+			break loop
+		case <-ctx.Done():
+			break loop
+		}
+	}
+	ticker.Stop()
+	deadline.Stop()
+	close(jobs)
+	wg.Wait()
+
+	rep.Sent = sent.Load()
+	rep.OK = ok2xx.Load()
+	rep.Rejected = rejected.Load()
+	rep.Failed = failed.Load()
+	rep.Skipped = skipped.Load()
+	rep.Elapsed = time.Since(start)
+	if rep.Elapsed > 0 {
+		rep.AchievedQPS = float64(rep.OK+rep.Rejected+rep.Failed) / rep.Elapsed.Seconds()
+	}
+	rep.Latency = hist.Snapshot()
+	return rep, ctx.Err()
+}
+
+// WriteText renders the report for terminals and CI logs.
+func (r *LoadReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %d sent in %.1fs (%.1f req/s achieved)\n",
+		r.Sent, r.Elapsed.Seconds(), r.AchievedQPS)
+	fmt.Fprintf(w, "  ok %d, rejected(429) %d, failed %d, skipped %d\n",
+		r.OK, r.Rejected, r.Failed, r.Skipped)
+	fmt.Fprintf(w, "  latency ms: p50 %.2f, p90 %.2f, p99 %.2f, max %.2f (n=%d)\n",
+		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.MaxMs, r.Latency.Count)
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/geom"
+	"repro/internal/pipeline"
+)
+
+// Content types accepted by the event-bearing endpoints.
+const (
+	// ContentTypeEvio is the evio binary framing (internal/evio), the
+	// compact form a telemetry or replay client should prefer.
+	ContentTypeEvio = "application/x-adapt-evio"
+	// ContentTypeJSON is the JSON request schema below.
+	ContentTypeJSON = "application/json"
+)
+
+// HitJSON is one detector hit in the JSON request schema. Units match
+// detector.Hit: centimeters and MeV.
+type HitJSON struct {
+	PosCm     [3]float64 `json:"pos_cm"`
+	EMeV      float64    `json:"e_mev"`
+	SigmaCm   [3]float64 `json:"sigma_cm"`
+	SigmaEMeV float64    `json:"sigma_e_mev"`
+	Layer     int        `json:"layer"`
+}
+
+// EventJSON is one detected photon in the JSON request schema.
+type EventJSON struct {
+	Hits     []HitJSON `json:"hits"`
+	ArrivalS float64   `json:"arrival_s,omitempty"`
+}
+
+// LocalizeRequest is the JSON body of POST /v1/localize (an evio body
+// carries the events instead; seed then comes from the ?seed query
+// parameter).
+type LocalizeRequest struct {
+	// Seed drives the solver's random sampling; 0 means 1, the default
+	// used by adapt.Instrument.Localize.
+	Seed   uint64      `json:"seed,omitempty"`
+	Events []EventJSON `json:"events"`
+}
+
+// ClassifyRequest is the JSON body of POST /v1/classify.
+type ClassifyRequest struct {
+	// PolarDeg is the source polar-angle guess fed to the classifier's
+	// polar input and threshold bin.
+	PolarDeg float64     `json:"polar_deg"`
+	Events   []EventJSON `json:"events"`
+}
+
+// Vec3 is a unit direction in instrument coordinates.
+type Vec3 struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	Z float64 `json:"z"`
+}
+
+// TimingMs is the per-stage latency decomposition of one pipeline run, in
+// milliseconds (the paper's Tables I/II stages).
+type TimingMs struct {
+	Reconstruction float64 `json:"reconstruction"`
+	Setup          float64 `json:"setup"`
+	BkgNN          float64 `json:"bkg_nn"`
+	DEtaNN         float64 `json:"deta_nn"`
+	ApproxRefine   float64 `json:"approx_refine"`
+	Total          float64 `json:"total"`
+}
+
+// LocalizeResponse is the JSON body returned by POST /v1/localize.
+type LocalizeResponse struct {
+	// OK mirrors the solver: false means too few usable rings.
+	OK bool `json:"ok"`
+	// Dir is the inferred unit source direction (present when OK).
+	Dir *Vec3 `json:"dir,omitempty"`
+	// PolarDeg/AzimuthDeg are Dir in spherical instrument coordinates.
+	PolarDeg   float64 `json:"polar_deg,omitempty"`
+	AzimuthDeg float64 `json:"azimuth_deg,omitempty"`
+	// ErrorRadiusDeg is the pipeline's self-reported 1σ radius.
+	ErrorRadiusDeg float64 `json:"error_radius_deg,omitempty"`
+	Rings          int     `json:"rings"`
+	Kept           int     `json:"kept"`
+	NNIterations   int     `json:"nn_iterations,omitempty"`
+	// ML reports whether a model bundle was in the loop.
+	ML bool `json:"ml"`
+	// TimingMs is the run's own stage decomposition; QueueMs is how long
+	// the request waited for admission before the run started.
+	TimingMs TimingMs `json:"timing_ms"`
+	QueueMs  float64  `json:"queue_ms"`
+}
+
+// ClassifyResponse is the JSON body returned by POST /v1/classify.
+type ClassifyResponse struct {
+	Rings    int     `json:"rings"`
+	PolarDeg float64 `json:"polar_deg"`
+	// Threshold is the per-polar-bin decision threshold applied.
+	Threshold float64 `json:"threshold"`
+	// Probs[i] is ring i's background probability, in reconstruction
+	// (event) order over the rings that survived quality filters.
+	Probs []float64 `json:"probs"`
+	// Background[i] = Probs[i] > Threshold.
+	Background []bool  `json:"background"`
+	QueueMs    float64 `json:"queue_ms"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// toEvents converts the JSON schema to detector events, validating hit
+// counts against the same bound the evio format enforces.
+func toEvents(in []EventJSON) ([]*detector.Event, error) {
+	out := make([]*detector.Event, len(in))
+	for i := range in {
+		e := &in[i]
+		if len(e.Hits) > 65535 {
+			return nil, fmt.Errorf("event %d: %d hits exceeds format limit", i, len(e.Hits))
+		}
+		ev := &detector.Event{
+			ArrivalTime: e.ArrivalS,
+			Hits:        make([]detector.Hit, len(e.Hits)),
+		}
+		for j := range e.Hits {
+			h := &e.Hits[j]
+			ev.Hits[j] = detector.Hit{
+				Pos:    geom.Vec{X: h.PosCm[0], Y: h.PosCm[1], Z: h.PosCm[2]},
+				E:      h.EMeV,
+				SigmaX: h.SigmaCm[0],
+				SigmaY: h.SigmaCm[1],
+				SigmaZ: h.SigmaCm[2],
+				SigmaE: h.SigmaEMeV,
+				Layer:  h.Layer,
+			}
+		}
+		out[i] = ev
+	}
+	return out, nil
+}
+
+// localizeResponse renders a pipeline result, with queue wait in ms.
+func localizeResponse(res pipeline.Result, ml bool, queueMs float64) *LocalizeResponse {
+	ms := func(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1e3 }
+	resp := &LocalizeResponse{
+		OK:           res.Loc.OK,
+		Rings:        res.Rings,
+		Kept:         res.Kept,
+		NNIterations: res.NNIterations,
+		ML:           ml,
+		QueueMs:      queueMs,
+		TimingMs: TimingMs{
+			Reconstruction: ms(res.Timing.Reconstruction),
+			Setup:          ms(res.Timing.Setup),
+			BkgNN:          ms(res.Timing.BkgNN),
+			DEtaNN:         ms(res.Timing.DEtaNN),
+			ApproxRefine:   ms(res.Timing.ApproxRefine),
+			Total:          ms(res.Timing.Total),
+		},
+	}
+	if res.Loc.OK {
+		d := res.Loc.Dir
+		resp.Dir = &Vec3{X: d.X, Y: d.Y, Z: d.Z}
+		resp.PolarDeg = geom.Deg(geom.Polar(d))
+		resp.AzimuthDeg = geom.Deg(geom.Azimuth(d))
+		resp.ErrorRadiusDeg = res.ErrorRadiusDeg
+	}
+	return resp
+}

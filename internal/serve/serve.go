@@ -1,0 +1,440 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/adapt"
+	"repro/internal/buildinfo"
+	"repro/internal/detector"
+	"repro/internal/evio"
+	"repro/internal/features"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/recon"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Instrument is the detector/pipeline configuration; nil means
+	// adapt.DefaultInstrument(). Its Metrics field is overwritten with the
+	// server's registry.
+	Instrument *adapt.Instrument
+	// Bundle is the initial model pair; nil starts the no-ML pipeline
+	// (POST /admin/reload can install models later).
+	Bundle *models.Bundle
+	// ModelPath is the default path for /admin/reload, and provenance for
+	// the initial bundle.
+	ModelPath string
+	// MaxConcurrent bounds simultaneously computing requests (0 means the
+	// process parallelism default, par.DefaultWorkers).
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for a compute slot beyond
+	// MaxConcurrent; anything past that is rejected with 429 (0 means
+	// 4×MaxConcurrent; negative means no waiting room).
+	QueueDepth int
+	// BatchRows and BatchWindow configure the NN micro-batcher's size and
+	// deadline triggers (0 means DefaultBatchRows / DefaultBatchWindow).
+	BatchRows   int
+	BatchWindow time.Duration
+	// MaxBodyBytes caps request bodies (0 means 64 MiB).
+	MaxBodyBytes int64
+	// DefaultDeadline applies to requests that carry no ?deadline_ms (0
+	// means 30s).
+	DefaultDeadline time.Duration
+	// Metrics receives the server's and the pipeline's metrics; nil
+	// creates a fresh registry (exposed at /metrics either way).
+	Metrics *obs.Registry
+}
+
+// Server is the adaptserve HTTP service: localization and classification
+// over the parallel pipeline with micro-batched NN inference, bounded
+// admission, hot-reloadable models, and Prometheus metrics.
+type Server struct {
+	cfg      Config
+	inst     adapt.Instrument
+	metrics  *obs.Registry
+	store    *modelStore
+	adm      *admission
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = par.DefaultWorkers()
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 4 * cfg.MaxConcurrent
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 30 * time.Second
+	}
+
+	s := &Server{cfg: cfg, metrics: cfg.Metrics}
+	if cfg.Instrument != nil {
+		s.inst = *cfg.Instrument
+	} else {
+		s.inst = adapt.DefaultInstrument()
+	}
+	s.inst.Metrics = s.metrics
+
+	s.store = newModelStore(func(net *nn.Sequential) *Batcher {
+		return NewBatcher(net, cfg.BatchRows, cfg.BatchWindow, s.metrics)
+	}, s.metrics)
+	if cfg.Bundle != nil {
+		s.store.install(cfg.Bundle, cfg.ModelPath)
+	}
+	s.adm = newAdmission(cfg.MaxConcurrent, cfg.QueueDepth)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/localize", s.handleLocalize)
+	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/admin/reload", s.handleReload)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/version", s.handleVersion)
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Handler exposes the route table (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Serve accepts connections on l until Shutdown. A closed-by-Shutdown
+// listener is a clean exit (nil error).
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server: readiness flips to 503 (load balancers stop
+// sending), in-flight requests run to completion (bounded by ctx), and the
+// live batcher flushes. It implements the SIGTERM handling contract of
+// cmd/adaptserve.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.httpSrv.Shutdown(ctx)
+	if b := s.store.current().batcher; b != nil {
+		b.Close()
+	}
+	return err
+}
+
+// ---- request plumbing ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// requestCtx applies the request deadline (?deadline_ms, else the
+// configured default).
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if v := r.URL.Query().Get("deadline_ms"); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			d = time.Duration(ms) * time.Millisecond
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// retryAfterSeconds estimates how soon an overloaded client should retry:
+// the queue's current depth times the p50 request latency, spread over the
+// compute slots, clamped to [1, 30] seconds.
+func (s *Server) retryAfterSeconds() int {
+	p50 := s.metrics.Stage("serve_localize").Percentile(0.5)
+	if p50 <= 0 {
+		return 1
+	}
+	est := p50.Seconds() * float64(s.adm.queued()) / float64(s.cfg.MaxConcurrent)
+	sec := int(math.Ceil(est))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}
+
+// admit runs the admission protocol and maps failures onto HTTP. The
+// returned release is nil when the request was refused (and the response
+// already written).
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, endpoint string) (release func(), queueWait time.Duration) {
+	t0 := time.Now()
+	err := s.adm.acquire(ctx)
+	queueWait = time.Since(t0)
+	s.metrics.ObserveStage("serve_queue_wait", queueWait)
+	switch {
+	case err == nil:
+		// Admitted, but the deadline may have expired while last in line.
+		if ctx.Err() != nil {
+			s.adm.release()
+			s.metrics.Counter("serve_" + endpoint + "_deadline").Inc()
+			writeError(w, http.StatusServiceUnavailable, "deadline expired while queued")
+			return nil, queueWait
+		}
+		return s.adm.release, queueWait
+	case errors.Is(err, errOverload):
+		s.metrics.Counter("serve_" + endpoint + "_rejected").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, "admission queue full")
+		return nil, queueWait
+	default: // context expired or client went away while queued
+		s.metrics.Counter("serve_" + endpoint + "_deadline").Inc()
+		writeError(w, http.StatusServiceUnavailable, "deadline expired while queued: %v", err)
+		return nil, queueWait
+	}
+}
+
+// decodeEvents reads the request body as either evio binary or the JSON
+// schema, returning the events plus the decoded JSON shell (nil for evio).
+func (s *Server) decodeEvents(w http.ResponseWriter, r *http.Request, shell any, events *[]EventJSON) ([]*detector.Event, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "json") {
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(shell); err != nil {
+			writeError(w, http.StatusBadRequest, "decode json: %v", err)
+			return nil, false
+		}
+		evs, err := toEvents(*events)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return nil, false
+		}
+		return evs, true
+	}
+	evs, err := evio.NewReader(body).ReadAll()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decode evio: %v", err)
+		return nil, false
+	}
+	return evs, true
+}
+
+// ---- endpoints ----
+
+func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	stop := s.metrics.StartStage("serve_localize")
+	defer stop()
+	s.metrics.Counter("serve_localize_requests").Inc()
+
+	var req LocalizeRequest
+	events, ok := s.decodeEvents(w, r, &req, &req.Events)
+	if !ok {
+		s.metrics.Counter("serve_localize_bad_request").Inc()
+		return
+	}
+	if len(events) == 0 {
+		s.metrics.Counter("serve_localize_bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "no events in request")
+		return
+	}
+	seed := req.Seed
+	if v := r.URL.Query().Get("seed"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			seed = n
+		}
+	}
+	if seed == 0 {
+		seed = 1 // the adapt.Instrument.Localize default
+	}
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	release, wait := s.admit(ctx, w, "localize")
+	if release == nil {
+		return
+	}
+	defer release()
+
+	set := s.store.current()
+	res := s.inst.LocalizeEventsWithClassifier(events, set.bundle, set.classifier(), seed)
+	s.metrics.Counter("serve_localize_ok").Inc()
+	writeJSON(w, http.StatusOK, localizeResponse(res, set.bundle != nil, wait.Seconds()*1e3))
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	stop := s.metrics.StartStage("serve_classify")
+	defer stop()
+	s.metrics.Counter("serve_classify_requests").Inc()
+
+	var req ClassifyRequest
+	events, ok := s.decodeEvents(w, r, &req, &req.Events)
+	if !ok {
+		s.metrics.Counter("serve_classify_bad_request").Inc()
+		return
+	}
+	polar := req.PolarDeg
+	if v := r.URL.Query().Get("polar"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			polar = f
+		}
+	}
+
+	set := s.store.current()
+	if set.bundle == nil {
+		writeError(w, http.StatusServiceUnavailable, "no models loaded; POST /admin/reload first")
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	release, wait := s.admit(ctx, w, "classify")
+	if release == nil {
+		return
+	}
+	defer release()
+
+	pool := par.NewPool(s.inst.Workers)
+	slots := make([]*recon.Ring, len(events))
+	pool.ForRange(context.Background(), len(events), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if ring, okr := recon.Reconstruct(&s.inst.Recon, events[i]); okr {
+				slots[i] = ring
+			}
+		}
+	})
+	rings := make([]*recon.Ring, 0, len(events))
+	for _, ring := range slots {
+		if ring != nil {
+			rings = append(rings, ring)
+		}
+	}
+
+	resp := &ClassifyResponse{
+		Rings:      len(rings),
+		PolarDeg:   polar,
+		Threshold:  float64(set.bundle.Thr.For(polar)),
+		Probs:      []float64{},
+		Background: []bool{},
+		QueueMs:    wait.Seconds() * 1e3,
+	}
+	if len(rings) > 0 {
+		x := features.MatrixWith(pool, rings, polar, set.bundle.WithPolar)
+		set.bundle.BkgNorm.ApplyWith(pool, x)
+		probs := set.batcher.Probs(x)
+		resp.Probs = make([]float64, len(probs))
+		resp.Background = make([]bool, len(probs))
+		for i, p := range probs {
+			resp.Probs[i] = float64(p)
+			resp.Background[i] = p > float32(resp.Threshold)
+		}
+	}
+	s.metrics.Counter("serve_classify_ok").Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req struct {
+		Path string `json:"path"`
+	}
+	if r.Body != nil {
+		body := http.MaxBytesReader(w, r.Body, 1<<20)
+		// An empty body is fine (use the configured path); malformed JSON
+		// is not.
+		if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, "decode json: %v", err)
+			return
+		}
+	}
+	path := req.Path
+	if path == "" {
+		path = s.cfg.ModelPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, "no model path: pass {\"path\": ...} or start with -models")
+		return
+	}
+	if err := s.store.reload(path); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	set := s.store.current()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"path":       set.path,
+		"with_polar": set.bundle.WithPolar,
+		"loaded_at":  set.loaded.UTC().Format(time.RFC3339Nano),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bi := buildinfo.Get()
+	fmt.Fprintf(w, "# TYPE adapt_build_info gauge\nadapt_build_info{version=%q,commit=%q,go_version=%q} 1\n",
+		bi.Version, bi.Commit, bi.GoVersion)
+	ml := 0
+	if s.store.current().bundle != nil {
+		ml = 1
+	}
+	fmt.Fprintf(w, "# TYPE adapt_models_loaded gauge\nadapt_models_loaded %d\n", ml)
+	s.metrics.WritePrometheus(w, "adapt")
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, buildinfo.Get())
+}

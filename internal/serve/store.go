@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/adapt"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/obs"
+)
+
+// modelSet is one immutable generation of serving models: a bundle plus the
+// micro-batcher bound to its background network. Requests capture the
+// current generation at admission and keep it for their whole run, so a hot
+// reload never mixes one generation's network with another's thresholds.
+type modelSet struct {
+	bundle  *models.Bundle
+	batcher *Batcher
+	// path records where the bundle came from, for /admin/reload replies.
+	path string
+	// loaded is when this generation was installed.
+	loaded time.Time
+}
+
+// classifier returns the batcher as the pipeline's background classifier,
+// or a nil interface for the no-ML generation (a typed-nil would defeat the
+// pipeline's `override == nil` fallback).
+func (m *modelSet) classifier() adapt.BkgClassifier {
+	if m == nil || m.bundle == nil {
+		return nil
+	}
+	return m.batcher
+}
+
+// modelStore is the server's model registry: an atomically swappable
+// modelSet. Swap installs a new generation without blocking readers;
+// the superseded generation's batcher is closed (flushing its pending
+// batch) but keeps serving direct inference to requests that captured it.
+type modelStore struct {
+	cur        atomic.Pointer[modelSet]
+	newBatcher func(net *nn.Sequential) *Batcher
+	metrics    *obs.Registry
+	// reloadMu serializes reloads so two concurrent /admin/reload calls
+	// cannot interleave load-then-swap.
+	reloadMu sync.Mutex
+}
+
+func newModelStore(newBatcher func(*nn.Sequential) *Batcher, metrics *obs.Registry) *modelStore {
+	s := &modelStore{newBatcher: newBatcher, metrics: metrics}
+	s.cur.Store(&modelSet{})
+	return s
+}
+
+// current returns the live generation (never nil).
+func (s *modelStore) current() *modelSet { return s.cur.Load() }
+
+// install makes bundle the live generation. A nil bundle switches the
+// service to the no-ML pipeline.
+func (s *modelStore) install(bundle *models.Bundle, path string) {
+	set := &modelSet{bundle: bundle, path: path, loaded: time.Now()}
+	if bundle != nil {
+		set.batcher = s.newBatcher(bundle.Bkg)
+	}
+	old := s.cur.Swap(set)
+	if old != nil && old.batcher != nil {
+		old.batcher.Close()
+	}
+	s.metrics.Counter("serve_model_reloads").Inc()
+}
+
+// reload loads a bundle from path and installs it.
+func (s *modelStore) reload(path string) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	bundle, err := adapt.LoadModels(path)
+	if err != nil {
+		return fmt.Errorf("load models from %s: %w", path, err)
+	}
+	s.install(bundle, path)
+	return nil
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Service smoke test, mirrored by the CI serve-smoke job (`make serve-smoke`):
+# build adaptserve, boot it on a random port, check /healthz and /readyz,
+# POST one evio localization request, scrape /metrics, then SIGTERM and
+# assert a clean drain (exit 0, "drained cleanly" in the log).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$workdir/adaptserve" ./cmd/adaptserve
+go build -o "$workdir/adaptsim" ./cmd/adaptsim
+"$workdir/adaptserve" -version
+
+echo "== generate a request payload"
+"$workdir/adaptsim" -fluence 1.0 -polar 30 -seed 7 -binary "$workdir/events.evio" >/dev/null
+
+echo "== start adaptserve on a random port"
+"$workdir/adaptserve" -addr 127.0.0.1:0 >"$workdir/serve.log" 2>&1 &
+srv_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^adaptserve: listening on \(.*\)$/\1/p' "$workdir/serve.log" | head -1)"
+    [ -n "$addr" ] && break
+    kill -0 "$srv_pid" 2>/dev/null || { echo "server died:"; cat "$workdir/serve.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never reported its address"; cat "$workdir/serve.log"; exit 1; }
+base="http://$addr"
+echo "   listening at $base"
+
+echo "== health and readiness"
+curl -fsS "$base/healthz" | grep -q ok
+curl -fsS "$base/readyz" | grep -q ready
+
+echo "== one localization request"
+resp="$(curl -fsS -X POST -H 'Content-Type: application/x-adapt-evio' \
+    --data-binary @"$workdir/events.evio" "$base/v1/localize?seed=7")"
+echo "   $resp"
+echo "$resp" | grep -q '"ok":true'
+echo "$resp" | grep -q '"timing_ms"'
+
+echo "== metrics exposition"
+metrics="$(curl -fsS "$base/metrics")"
+echo "$metrics" | grep -q '^adapt_build_info'
+echo "$metrics" | grep -q 'adapt_serve_localize_ok_total 1'
+echo "$metrics" | grep -q 'adapt_stage_duration_seconds_count{stage="serve_localize"} 1'
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$srv_pid"
+rc=0
+wait "$srv_pid" || rc=$?
+[ "$rc" -eq 0 ] || { echo "server exited $rc:"; cat "$workdir/serve.log"; exit 1; }
+grep -q "drained cleanly" "$workdir/serve.log" || { echo "no clean-drain log line:"; cat "$workdir/serve.log"; exit 1; }
+
+echo "serve smoke: OK"
