@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover fmt vet serve-smoke check clean
+.PHONY: all build test race bench cover fmt vet serve-smoke stream-smoke fuzz-smoke check clean
 
 all: build test
 
@@ -40,6 +40,16 @@ vet:
 ## serve-smoke: end-to-end adaptserve smoke test (CI serve-smoke job)
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+## stream-smoke: record→crash→replay adaptstream smoke test (CI stream-smoke job)
+stream-smoke:
+	./scripts/stream_smoke.sh
+
+## fuzz-smoke: short native-fuzz runs of the untrusted-input decoders (CI)
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) -run '^$$' ./internal/evio
+	$(GO) test -fuzz=FuzzRecover -fuzztime=$(FUZZTIME) -run '^$$' ./internal/flightlog
 
 ## check: everything CI checks
 check: build fmt vet race

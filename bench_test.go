@@ -16,10 +16,13 @@ import (
 
 	"repro/internal/background"
 	"repro/internal/detector"
+	"repro/internal/evio"
 	"repro/internal/expt"
+	"repro/internal/flightlog"
 	"repro/internal/localize"
 	"repro/internal/pipeline"
 	"repro/internal/recon"
+	"repro/internal/stream"
 	"repro/internal/xrand"
 )
 
@@ -85,6 +88,73 @@ func BenchmarkPipelineRunWorkers(b *testing.B) {
 				pipeline.Run(opts, events, xrand.New(9))
 			}
 		})
+	}
+}
+
+// BenchmarkJournalAppend measures flight-journal append throughput under
+// each durability policy with a representative payload (one evio-encoded
+// event, ~80 bytes). SyncAlways pays one fsync per record and is orders of
+// magnitude slower — the price of per-record durability.
+func BenchmarkJournalAppend(b *testing.B) {
+	det := detector.DefaultConfig()
+	bg := background.DefaultModel()
+	events := bg.Simulate(&det, 0.01, xrand.New(3))
+	if len(events) == 0 {
+		b.Fatal("no benchmark events")
+	}
+	payload, err := evio.Marshal(events[:1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []flightlog.SyncPolicy{flightlog.SyncNone, flightlog.SyncInterval, flightlog.SyncAlways} {
+		b.Run(pol.String(), func(b *testing.B) {
+			j, err := flightlog.Open(flightlog.Options{Dir: b.TempDir(), Sync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamTrigger measures the streaming trigger's per-event cost on
+// a quiet stream (the steady-state flight workload: rate estimation, ring
+// maintenance, and the sliding-window test, with no burst firing).
+func BenchmarkStreamTrigger(b *testing.B) {
+	cfg := stream.DefaultConfig(1000)
+	events := make([]*detector.Event, 10000)
+	for i := range events {
+		events[i] = &detector.Event{ArrivalTime: float64(i) / 1000}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	var p *stream.Processor
+	for i := 0; i < b.N; i++ {
+		if n == 0 {
+			p = stream.New(cfg)
+		}
+		p.Ingest(events[n])
+		n++
+		if n == len(events) {
+			p.Close()
+			for range p.Alerts() {
+			}
+			n = 0
+		}
+	}
+	if n != 0 {
+		p.Close()
+		for range p.Alerts() {
+		}
 	}
 }
 

@@ -1,0 +1,265 @@
+// Command adaptstream runs the real-time streaming trigger pipeline
+// (internal/stream) over a live simulated exposure, a recorded evio event
+// file, or a durable flight journal, and emits one JSON alert record per
+// detected burst.
+//
+// Three modes, by input source:
+//
+//	adaptstream -exposure 3 -burst-at 1.2 -fluence 2 -journal ./fl   # live sim, recorded
+//	adaptstream -input events.evio -alerts alerts.jsonl              # recorded evio file
+//	adaptstream -replay ./fl -alerts replayed.jsonl                  # journal replay
+//
+// Replaying a journal reproduces the recording session's alert sequence
+// bitwise: all trigger state advances on event time, never wall clock.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/adapt"
+	"repro/internal/background"
+	"repro/internal/buildinfo"
+	"repro/internal/detector"
+	"repro/internal/evio"
+	"repro/internal/flightlog"
+	"repro/internal/obs"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaptstream: ")
+
+	// Input selection (exactly one source).
+	replayDir := flag.String("replay", "", "replay a flight journal from this directory instead of live input")
+	input := flag.String("input", "", "read events from this evio file instead of simulating")
+
+	// Live-simulation parameters.
+	exposure := flag.Float64("exposure", 3.0, "simulated exposure length in seconds")
+	burstAt := flag.String("burst-at", "1.2", "comma-separated burst start times in seconds (empty = background only)")
+	fluence := flag.Float64("fluence", 2.0, "fluence of each injected burst in MeV/cm²")
+	polar := flag.Float64("polar", 20, "burst polar angle in degrees")
+	azimuth := flag.Float64("azimuth", 130, "burst azimuth in degrees")
+	seed := flag.Uint64("seed", 1, "simulation and localization seed")
+
+	// Trigger configuration.
+	bkgRate := flag.Float64("bkg-rate", 0, "calibrated background rate in events/s (0 = calibrate from a seeded 1 s background simulation)")
+	sigma := flag.Float64("sigma", 8, "trigger significance threshold in Poisson sigma")
+	window := flag.Float64("window", 0.1, "trigger sliding-window width in seconds")
+	modelPath := flag.String("model", "", "model bundle for the ML pipeline (empty = analytic pipeline)")
+	lossy := flag.Bool("lossy", false, "use the non-blocking detector-feed path (drops events under overload) instead of lossless ingestion")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines for localization (0 = GOMAXPROCS)")
+
+	// Recording and output.
+	journalDir := flag.String("journal", "", "record admitted events to a flight journal in this directory")
+	fsync := flag.String("fsync", "interval", "journal durability: always, interval, or none")
+	alertsPath := flag.String("alerts", "", "write alert records as JSON lines to this file (default stdout)")
+	report := flag.Bool("report", false, "print the metrics report to stderr when done")
+	metricsJSON := flag.String("metrics-json", "", "write the metrics registry as JSON to this file")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Line("adaptstream"))
+		return
+	}
+	if *replayDir != "" && *input != "" {
+		log.Fatal("-replay and -input are mutually exclusive")
+	}
+	if *replayDir != "" && *journalDir != "" {
+		log.Fatal("-journal cannot be combined with -replay (the journal is the input)")
+	}
+	if *parallelism > 0 {
+		adapt.SetDefaultParallelism(*parallelism)
+	}
+
+	var bundle *adapt.Models
+	if *modelPath != "" {
+		m, err := adapt.LoadModels(*modelPath)
+		if err != nil {
+			log.Fatalf("load models: %v", err)
+		}
+		bundle = m
+	}
+
+	det := detector.DefaultConfig()
+	bg := background.DefaultModel()
+	rate := *bkgRate
+	if rate <= 0 {
+		// Same calibration convention as the campaign runner: count one
+		// seeded second of quiet sky.
+		rate = float64(len(bg.Simulate(&det, 1.0, xrand.New(*seed).Split(0xCA1))))
+		fmt.Fprintf(os.Stderr, "adaptstream: calibrated background rate %.0f events/s\n", rate)
+	}
+
+	reg := obs.NewRegistry()
+	cfg := stream.DefaultConfig(rate)
+	cfg.Bundle = bundle
+	cfg.Seed = *seed
+	cfg.Metrics = reg
+	cfg.SigmaThreshold = *sigma
+	cfg.WindowSec = *window
+	cfg.Workers = *parallelism
+	cfg.AlertBuffer = 1024
+
+	var journal *flightlog.Journal
+	if *journalDir != "" {
+		pol, err := syncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		journal, err = flightlog.Open(flightlog.Options{Dir: *journalDir, Sync: pol})
+		if err != nil {
+			log.Fatalf("open journal: %v", err)
+		}
+		cfg.Journal = journal
+	}
+
+	out := os.Stdout
+	if *alertsPath != "" {
+		f, err := os.Create(*alertsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	p := stream.New(cfg)
+	enc := json.NewEncoder(out)
+	drained := make(chan int)
+	go func() {
+		n := 0
+		for a := range p.Alerts() {
+			if err := enc.Encode(a.Record()); err != nil {
+				log.Fatal(err)
+			}
+			n++
+		}
+		drained <- n
+	}()
+
+	var fed int
+	switch {
+	case *replayDir != "":
+		n, err := stream.ReplayJournal(*replayDir, p) // closes p
+		if err != nil {
+			log.Fatalf("replay: %v", err)
+		}
+		fed = n
+	case *input != "":
+		events, err := readEvio(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fed = feed(p, events, *lossy)
+	default:
+		events := simulate(&det, bg, *exposure, *burstAt, *fluence, *polar, *azimuth, *seed)
+		fed = feed(p, events, *lossy)
+	}
+	nAlerts := <-drained
+
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Fatalf("close journal: %v", err)
+		}
+		st := journal.Stats()
+		fmt.Fprintf(os.Stderr, "adaptstream: journal: %d records in %d segment(s), %d bytes\n",
+			st.Appended, st.Segments, st.TotalBytes)
+	}
+	fmt.Fprintf(os.Stderr, "adaptstream: %d events in, %d alert(s) out\n", fed, nAlerts)
+
+	if *report {
+		reg.WriteText(os.Stderr)
+	}
+	if *metricsJSON != "" {
+		blob, err := json.MarshalIndent(reg, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*metricsJSON, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func syncPolicy(name string) (flightlog.SyncPolicy, error) {
+	switch name {
+	case "always":
+		return flightlog.SyncAlways, nil
+	case "interval":
+		return flightlog.SyncInterval, nil
+	case "none":
+		return flightlog.SyncNone, nil
+	}
+	return 0, fmt.Errorf("unknown -fsync policy %q (want always, interval, or none)", name)
+}
+
+// feed pushes events into the processor in arrival order and closes it.
+// The lossy path mirrors a saturating detector feed: events that find the
+// ingest queue full are shed and counted, never queued unboundedly.
+func feed(p *stream.Processor, events []*detector.Event, lossy bool) int {
+	n := 0
+	for _, ev := range events {
+		if lossy {
+			if p.Offer(ev) {
+				n++
+			}
+		} else {
+			p.Ingest(ev)
+			n++
+		}
+	}
+	p.Close()
+	return n
+}
+
+func readEvio(path string) ([]*detector.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := evio.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].ArrivalTime < events[j].ArrivalTime
+	})
+	return events, nil
+}
+
+// simulate builds a live exposure: background over the full span with one
+// simulated burst injected at each requested start time.
+func simulate(det *detector.Config, bg background.Model, exposure float64, burstAt string, fluence, polar, azimuth float64, seed uint64) []*detector.Event {
+	rng := xrand.New(seed)
+	events := bg.Simulate(det, exposure, rng)
+	for _, tok := range strings.Split(burstAt, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		t0, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			log.Fatalf("bad -burst-at entry %q: %v", tok, err)
+		}
+		b := detector.Burst{Fluence: fluence, PolarDeg: polar, AzimuthDeg: azimuth}
+		for _, ev := range detector.SimulateBurst(det, b, rng) {
+			ev.ArrivalTime += t0
+			events = append(events, ev)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].ArrivalTime < events[j].ArrivalTime
+	})
+	return events
+}

@@ -12,10 +12,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"repro/internal/background"
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/evio"
+	"repro/internal/flightlog"
 	"repro/internal/geom"
 	"repro/internal/models"
 	"repro/internal/obs"
@@ -78,6 +81,11 @@ type Config struct {
 	// Metrics, when non-nil, receives the per-trial latency histogram
 	// ("trial") and the pipeline stage metrics of every processed burst.
 	Metrics *obs.Registry
+	// Journal, when non-nil, records each trial's simulated exposure as one
+	// evio blob — an archival flight journal of the whole campaign. Trials
+	// complete in pool order, so record order varies run to run; each
+	// record is internally sorted by arrival time.
+	Journal *flightlog.Journal
 }
 
 // DefaultConfig returns a laptop-scale campaign.
@@ -194,6 +202,18 @@ func RunContext(ctx context.Context, cfg Config, w io.Writer) (*Result, error) {
 		for _, ev := range detector.SimulateBurst(&det, burst, rng) {
 			ev.ArrivalTime += t0
 			events = append(events, ev)
+		}
+
+		if cfg.Journal != nil {
+			sorted := append([]*detector.Event(nil), events...)
+			sort.Slice(sorted, func(a, b int) bool { return sorted[a].ArrivalTime < sorted[b].ArrivalTime })
+			if blob, jerr := evio.Marshal(sorted); jerr == nil {
+				if jerr = cfg.Journal.Append(blob); jerr != nil {
+					cfg.Metrics.Counter("campaign_journal_errors").Inc()
+				}
+			} else {
+				cfg.Metrics.Counter("campaign_journal_errors").Inc()
+			}
 		}
 
 		sysCfg := core.DefaultConfig(meanRate)

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"repro/internal/detector"
+	"repro/internal/evio"
+	"repro/internal/flightlog"
 	"repro/internal/xrand"
 )
 
@@ -69,6 +71,50 @@ func TestCampaignRun(t *testing.T) {
 	}
 	if s := res.SensitivityFluence(); math.IsNaN(s) || s < cfg.Population.FluenceMin || s > cfg.Population.FluenceMax {
 		t.Errorf("sensitivity estimate %v out of range", s)
+	}
+}
+
+// TestCampaignJournalRecords runs a tiny campaign with a flight journal
+// attached and checks that every trial's exposure was archived as one
+// decodable evio blob.
+func TestCampaignJournalRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	j, err := flightlog.Open(flightlog.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(5)
+	cfg.Bursts = 4
+	cfg.QuietSecondsPerBurst = 1
+	cfg.Journal = j
+	Run(cfg, nil)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trials := 0
+	err = flightlog.Replay(j.Dir(), func(payload []byte) error {
+		events, err := evio.Unmarshal(payload)
+		if err != nil {
+			return err
+		}
+		if len(events) == 0 {
+			t.Error("journaled trial holds no events")
+		}
+		for i := 1; i < len(events); i++ {
+			if events[i].ArrivalTime < events[i-1].ArrivalTime {
+				t.Fatal("journaled trial not sorted by arrival time")
+			}
+		}
+		trials++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trials != cfg.Bursts {
+		t.Fatalf("journal holds %d trials, want %d", trials, cfg.Bursts)
 	}
 }
 

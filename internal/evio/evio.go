@@ -17,6 +17,7 @@ package evio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -243,4 +244,22 @@ func WriteAll(w io.Writer, events []*detector.Event) error {
 		}
 	}
 	return ew.Close()
+}
+
+// Marshal encodes events as one self-contained evio stream in memory —
+// the payload form the flight journal records (one blob per admitted
+// event or exposure). The encoding is deterministic: equal event lists
+// produce equal bytes.
+func Marshal(events []*detector.Event) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, events); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a stream produced by Marshal (or any evio stream held
+// in memory).
+func Unmarshal(data []byte) ([]*detector.Event, error) {
+	return NewReader(bytes.NewReader(data)).ReadAll()
 }

@@ -51,6 +51,13 @@ func FuzzReader(f *testing.F) {
 	// Header claiming 0xFFFF hits with no hit payload.
 	f.Add(append(append([]byte{}, empty.Bytes()...),
 		0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0))
+	// Multi-segment stream: two complete streams back to back, as a naive
+	// concatenation of journal segments would produce. The second header's
+	// magic lands where an event header is expected; the reader must
+	// reject it without panicking rather than resynchronize silently.
+	f.Add(append(append([]byte{}, valid.Bytes()...), valid.Bytes()...))
+	// Multi-segment with an empty first segment (header-only prefix).
+	f.Add(append(append([]byte{}, empty.Bytes()...), valid.Bytes()...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		events, err := NewReader(bytes.NewReader(data)).ReadAll()

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGaugeSetAddLoad(t *testing.T) {
+	var g Gauge
+	if got := g.Load(); got != 0 {
+		t.Fatalf("zero gauge = %g, want 0", got)
+	}
+	g.Set(3.5)
+	if got := g.Load(); got != 3.5 {
+		t.Fatalf("after Set(3.5) = %g", got)
+	}
+	g.Add(-1.25)
+	if got := g.Load(); got != 2.25 {
+		t.Fatalf("after Add(-1.25) = %g", got)
+	}
+	g.Set(-7)
+	if got := g.Load(); got != -7 {
+		t.Fatalf("gauges must go negative: got %g", got)
+	}
+}
+
+func TestGaugeNil(t *testing.T) {
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if got := g.Load(); got != 0 {
+		t.Fatalf("nil gauge = %g, want 0", got)
+	}
+	var r *Registry
+	r.Gauge("x").Set(5)
+	if r.Gauge("x").Load() != 0 {
+		t.Error("nil registry gauge recorded data")
+	}
+	if names := r.GaugeNames(); names != nil {
+		t.Errorf("nil registry GaugeNames = %v", names)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	// Run under -race in CI: the CAS loop must lose no increments.
+	var g Gauge
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != goroutines*perG*0.5 {
+		t.Errorf("gauge = %g, want %g", got, float64(goroutines*perG)*0.5)
+	}
+}
+
+func TestGaugeTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("ring_occupancy").Set(42)
+	r.Gauge("bkg_rate_hz").Set(1234.5)
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	text := buf.String()
+	for _, want := range []string{"gauges", "ring_occupancy", "42", "bkg_rate_hz", "1234.5"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGaugeJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("depth").Set(7.5)
+	r.Counter("seen").Add(3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Gauges   map[string]float64 `json:"gauges"`
+		Counters map[string]int64   `json:"counters"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, buf.String())
+	}
+	if got := snap.Gauges["depth"]; got != 7.5 {
+		t.Errorf("JSON depth = %g, want 7.5", got)
+	}
+	if got := snap.Counters["seen"]; got != 3 {
+		t.Errorf("JSON seen = %d, want 3", got)
+	}
+}
+
+func TestGaugePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("ring occupancy").Set(9) // name needs sanitizing
+	r.Gauge("a_rate").Set(0.25)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf, "adapt")
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE adapt_a_rate gauge\nadapt_a_rate 0.25\n",
+		"# TYPE adapt_ring_occupancy gauge\nadapt_ring_occupancy 9\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Gauges are sorted: a_rate precedes ring_occupancy.
+	if strings.Index(text, "adapt_a_rate") > strings.Index(text, "adapt_ring_occupancy") {
+		t.Errorf("gauge families not sorted:\n%s", text)
+	}
+	if !strings.Contains(text, "adapt_a_rate 0.25") {
+		t.Errorf("gauge value missing:\n%s", text)
+	}
+}
+
+func TestGaugeNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("zz")
+	r.Gauge("aa")
+	if names := r.GaugeNames(); len(names) != 2 || names[0] != "aa" || names[1] != "zz" {
+		t.Errorf("GaugeNames = %v", names)
+	}
+	// Same name returns the same gauge.
+	r.Gauge("aa").Set(1)
+	if r.Gauge("aa").Load() != 1 {
+		t.Error("Gauge lookup did not return the same instance")
+	}
+}

@@ -49,6 +49,44 @@ func (c *Counter) Load() int64 {
 	return c.v.Load()
 }
 
+// Gauge is an instantaneous float64 level — ring-buffer occupancy, an
+// estimated background rate — that can move both ways, unlike a Counter.
+// The zero value is ready to use; nil gauges ignore Set/Add and load zero.
+// The value is stored as float64 bits in an atomic word, so Set is a single
+// store and concurrent readers never observe a torn value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add increments the gauge by delta (negative deltas decrement).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current gauge value.
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram bucket layout: numBuckets exponential buckets spanning
 // [minBucket, minBucket·growth^(numBuckets-1)], covering 1µs–~107s of
 // latency with two buckets per octave. Observations outside the range
@@ -244,16 +282,18 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	stages   map[string]*Histogram
 	// order preserves first-registration order so reports list stages in
 	// pipeline order (Tables I/II read top to bottom), not alphabetically.
-	counterOrder, stageOrder []string
+	counterOrder, gaugeOrder, stageOrder []string
 }
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		stages:   make(map[string]*Histogram),
 	}
 }
@@ -273,6 +313,23 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counterOrder = append(r.counterOrder, name)
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil (a
+// valid no-op gauge) when the registry is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.gaugeOrder = append(r.gaugeOrder, name)
+	}
+	return g
 }
 
 // Stage returns the named stage latency histogram, creating it on first
@@ -330,6 +387,17 @@ func (r *Registry) snapshot() (cNames []string, cs []*Counter, sNames []string, 
 	return
 }
 
+// snapshotGauges copies the gauge names and pointers under the lock.
+func (r *Registry) snapshotGauges() (names []string, gs []*Gauge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names = append(names, r.gaugeOrder...)
+	for _, n := range names {
+		gs = append(gs, r.gauges[n])
+	}
+	return
+}
+
 // WriteText writes a human-readable report: stage timing table (mean /
 // p50 / p90 / p99 / max per stage, in registration order) followed by
 // counters.
@@ -348,6 +416,12 @@ func (r *Registry) WriteText(w io.Writer) {
 				name, s.Count, s.MeanMs, s.P50Ms, s.P90Ms, s.P99Ms, s.MaxMs)
 		}
 	}
+	if gNames, gs := r.snapshotGauges(); len(gNames) > 0 {
+		fmt.Fprintf(w, "gauges\n")
+		for i, name := range gNames {
+			fmt.Fprintf(w, "  %-30s %g\n", name, gs[i].Load())
+		}
+	}
 	if len(cNames) > 0 {
 		fmt.Fprintf(w, "counters\n")
 		for i, name := range cNames {
@@ -359,6 +433,7 @@ func (r *Registry) WriteText(w io.Writer) {
 // registrySnapshot is the JSON form of a registry.
 type registrySnapshot struct {
 	Stages   map[string]HistogramSnapshot `json:"stages"`
+	Gauges   map[string]float64           `json:"gauges"`
 	Counters map[string]int64             `json:"counters"`
 }
 
@@ -367,6 +442,7 @@ type registrySnapshot struct {
 func (r *Registry) MarshalJSON() ([]byte, error) {
 	snap := registrySnapshot{
 		Stages:   map[string]HistogramSnapshot{},
+		Gauges:   map[string]float64{},
 		Counters: map[string]int64{},
 	}
 	if r != nil {
@@ -376,6 +452,10 @@ func (r *Registry) MarshalJSON() ([]byte, error) {
 		}
 		for i, n := range sNames {
 			snap.Stages[n] = ss[i].Snapshot()
+		}
+		gNames, gs := r.snapshotGauges()
+		for i, n := range gNames {
+			snap.Gauges[n] = gs[i].Load()
 		}
 	}
 	return json.Marshal(snap)
@@ -404,6 +484,17 @@ func (r *Registry) CounterNames() []string {
 		return nil
 	}
 	names, _, _, _ := r.snapshot()
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}
+
+// GaugeNames returns the registered gauge names sorted alphabetically.
+func (r *Registry) GaugeNames() []string {
+	if r == nil {
+		return nil
+	}
+	names, _ := r.snapshotGauges()
 	out := append([]string(nil), names...)
 	sort.Strings(out)
 	return out

@@ -65,6 +65,7 @@ func promFloat(f float64) string {
 // format (version 0.0.4):
 //
 //   - every counter becomes its own counter family `<ns>_<name>_total`;
+//   - every gauge becomes its own gauge family `<ns>_<name>`;
 //   - every stage histogram becomes a series of the single histogram family
 //     `<ns>_stage_duration_seconds` labeled {stage="<name>"}, with
 //     cumulative buckets trimmed after the last occupied bound plus the
@@ -89,6 +90,13 @@ func (r *Registry) WritePrometheus(w io.Writer, ns string) {
 		name := fmt.Sprintf("%s_%s_total", ns, promName(cNames[i]))
 		fmt.Fprintf(w, "# TYPE %s counter\n", name)
 		fmt.Fprintf(w, "%s %d\n", name, cs[i].Load())
+	}
+
+	gNames, gs := r.snapshotGauges()
+	for _, i := range sortedIndex(gNames) {
+		name := fmt.Sprintf("%s_%s", ns, promName(gNames[i]))
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %s\n", name, promFloat(gs[i].Load()))
 	}
 
 	if len(sNames) == 0 {

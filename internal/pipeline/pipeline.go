@@ -387,6 +387,21 @@ func Run(opts Options, events []*detector.Event, rng *xrand.RNG) Result {
 	return res
 }
 
+// RunWindow executes the pipeline over the events whose arrival times fall
+// in [t0, t1) — the entry point the streaming trigger uses to hand a burst
+// window to localization without materializing a filtered copy per caller.
+// Events need not be sorted; relative order within the window is preserved,
+// so a given (opts, events, t0, t1, rng) is exactly as deterministic as Run.
+func RunWindow(opts Options, events []*detector.Event, t0, t1 float64, rng *xrand.RNG) Result {
+	window := make([]*detector.Event, 0, len(events))
+	for _, ev := range events {
+		if ev.ArrivalTime >= t0 && ev.ArrivalTime < t1 {
+			window = append(window, ev)
+		}
+	}
+	return Run(opts, window, rng)
+}
+
 // minShardRows is the smallest inference batch worth sharding: below it,
 // goroutine handoff costs more than the matmul it saves.
 const minShardRows = 64

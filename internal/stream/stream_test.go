@@ -1,0 +1,373 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/background"
+	"repro/internal/detector"
+	"repro/internal/flightlog"
+	"repro/internal/obs"
+	"repro/internal/xrand"
+)
+
+// tick makes a hit-less event at time t: the trigger sees it, the
+// reconstruction rejects it, so trigger logic can be tested without
+// paying for simulation or localization.
+func tick(t float64) *detector.Event { return &detector.Event{ArrivalTime: t} }
+
+// steadyTicks emits hit-less events at a constant rate over [t0, t1).
+func steadyTicks(t0, t1, rate float64) []*detector.Event {
+	var out []*detector.Event
+	for t := t0; t < t1; t += 1 / rate {
+		out = append(out, tick(t))
+	}
+	return out
+}
+
+func TestRateEstimatorConverges(t *testing.T) {
+	e := &rateEstimator{binSec: 0.1, alpha: 0.1, rate: 100}
+	for _, ev := range steadyTicks(0, 20, 1000) {
+		e.advance(ev.ArrivalTime, false)
+	}
+	if math.Abs(e.rate-1000) > 50 {
+		t.Errorf("rate = %.1f, want ~1000", e.rate)
+	}
+}
+
+func TestRateEstimatorFrozenBins(t *testing.T) {
+	e := &rateEstimator{binSec: 0.1, alpha: 0.1, rate: 1000}
+	for _, ev := range steadyTicks(0, 5, 5000) { // 5× burst, frozen
+		e.advance(ev.ArrivalTime, true)
+	}
+	if e.rate != 1000 {
+		t.Errorf("frozen estimator moved: %.1f", e.rate)
+	}
+}
+
+func TestRateEstimatorDecaysOverGaps(t *testing.T) {
+	e := &rateEstimator{binSec: 0.1, alpha: 0.1, rate: 1000}
+	e.advance(0, false)
+	e.advance(100, false) // 1000 empty bins
+	if e.rate > 1 {
+		t.Errorf("rate after long gap = %g, want ~0", e.rate)
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := newRing(4)
+	for i := 0; i < 10; i++ {
+		r.push(tick(float64(i)))
+	}
+	if r.n != 4 || r.oldest() != 6 {
+		t.Fatalf("ring n=%d oldest=%d, want 4, 6", r.n, r.oldest())
+	}
+	snap := r.snapshot()
+	if len(snap) != 4 || snap[0].ArrivalTime != 6 || snap[3].ArrivalTime != 9 {
+		t.Fatalf("snapshot = %v", times(snap))
+	}
+}
+
+func times(evs []*detector.Event) []float64 {
+	out := make([]float64, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.ArrivalTime
+	}
+	return out
+}
+
+// feedAndDrain runs events through a new processor (blocking ingest) and
+// returns every alert.
+func feedAndDrain(cfg Config, events []*detector.Event) []Alert {
+	p := New(cfg)
+	done := make(chan []Alert)
+	go func() {
+		var out []Alert
+		for a := range p.Alerts() {
+			out = append(out, a)
+		}
+		done <- out
+	}()
+	for _, ev := range events {
+		p.Ingest(ev)
+	}
+	p.Close()
+	return <-done
+}
+
+func TestQuietStreamNoAlerts(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	alerts := feedAndDrain(cfg, steadyTicks(0, 5, 1000))
+	if len(alerts) != 0 {
+		t.Fatalf("quiet stream produced %d alerts", len(alerts))
+	}
+}
+
+func TestTriggerFiresOnRateExcess(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.Metrics = obs.NewRegistry()
+	events := steadyTicks(0, 3, 1000)
+	// A 10× excess for 100 ms starting at t=1.5.
+	events = append(events, steadyTicks(1.5, 1.6, 10000)...)
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].ArrivalTime < events[j].ArrivalTime
+	})
+	alerts := feedAndDrain(cfg, events)
+	if len(alerts) != 1 {
+		t.Fatalf("%d alerts, want 1", len(alerts))
+	}
+	a := alerts[0]
+	if a.TriggerTime < 1.4 || a.TriggerTime > 1.65 {
+		t.Errorf("trigger at %.3f s, want ~1.5", a.TriggerTime)
+	}
+	if a.Significance < cfg.SigmaThreshold {
+		t.Errorf("significance %.1f below threshold", a.Significance)
+	}
+	if got := cfg.Metrics.Counter(CtrTriggers).Load(); got != 1 {
+		t.Errorf("trigger counter = %d", got)
+	}
+	if got := cfg.Metrics.Counter(CtrIngested).Load(); got != int64(len(events)) {
+		t.Errorf("ingested counter = %d, want %d", got, len(events))
+	}
+	if occ := cfg.Metrics.Gauge(GaugeOccupancy).Load(); occ == 0 {
+		t.Error("ring-occupancy gauge never set")
+	}
+	if rate := cfg.Metrics.Gauge(GaugeRate).Load(); math.Abs(rate-1000) > 200 {
+		t.Errorf("rate gauge = %.0f, want ~1000", rate)
+	}
+}
+
+func TestAlertChannelOverflowCounts(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.AlertBuffer = 1
+	cfg.Metrics = obs.NewRegistry()
+	var events []*detector.Event
+	events = append(events, steadyTicks(0, 2, 1000)...)
+	// Three well-separated bursts; nobody drains the alert channel.
+	for _, t0 := range []float64{2, 6, 10} {
+		events = append(events, steadyTicks(t0, t0+0.1, 20000)...)
+		events = append(events, steadyTicks(t0+0.1, t0+4, 1000)...)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].ArrivalTime < events[j].ArrivalTime
+	})
+	p := New(cfg)
+	for _, ev := range events {
+		p.Ingest(ev)
+	}
+	p.Close()
+	emitted := cfg.Metrics.Counter(CtrAlerts).Load()
+	dropped := cfg.Metrics.Counter(CtrAlertsDropped).Load()
+	if emitted != 1 || dropped != 2 {
+		t.Fatalf("emitted=%d dropped=%d, want 1 buffered + 2 dropped", emitted, dropped)
+	}
+	// The buffered alert is still readable after Close.
+	if _, ok := <-p.Alerts(); !ok {
+		t.Fatal("buffered alert lost at Close")
+	}
+}
+
+// TestBackpressureBoundedAndDeadlockFree saturates the ingest path while
+// the consumer is slowed by per-record fsync journaling. The processor
+// must keep bounded memory (fixed queue + ring), count its drops, and
+// drain cleanly — this test runs under -race in CI.
+func TestBackpressureBoundedAndDeadlockFree(t *testing.T) {
+	dir := t.TempDir()
+	j, err := flightlog.Open(flightlog.Options{Dir: dir, Sync: flightlog.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1000)
+	cfg.QueueEvents = 16
+	cfg.AlertBuffer = 1
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Journal = j
+	p := New(cfg)
+	const offered = 20000
+	accepted := 0
+	for i := 0; i < offered; i++ {
+		if p.Offer(tick(float64(i) / 1000)) {
+			accepted++
+		}
+	}
+	p.Close()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ingested := cfg.Metrics.Counter(CtrIngested).Load()
+	dropped := cfg.Metrics.Counter(CtrDropped).Load()
+	if ingested != int64(accepted) {
+		t.Errorf("ingested %d != accepted %d", ingested, accepted)
+	}
+	if ingested+dropped != offered {
+		t.Errorf("ingested %d + dropped %d != offered %d", ingested, dropped, offered)
+	}
+	if dropped == 0 {
+		t.Error("saturation produced no drops (consumer outran a tight Offer loop through fsync?)")
+	}
+	// The admitted events — and only those — were journaled.
+	if n, err := flightlog.Count(dir); err != nil || n != int(ingested) {
+		t.Errorf("journal holds %d records (err %v), want %d", n, err, ingested)
+	}
+	var buf bytes.Buffer
+	cfg.Metrics.WriteText(&buf)
+	for _, want := range []string{CtrDropped, CtrIngested} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("obs output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// simSession builds a realistic recorded session: quiet background with
+// one real simulated burst in the middle, sorted by arrival time.
+func simSession(t *testing.T, seed uint64) (events []*detector.Event, meanRate float64) {
+	t.Helper()
+	det := detector.DefaultConfig()
+	bg := background.DefaultModel()
+	rng := xrand.New(seed)
+	meanRate = float64(len(bg.Simulate(&det, 1.0, rng.Split(0xCA1))))
+	events = bg.Simulate(&det, 3.0, rng)
+	for _, ev := range detector.SimulateBurst(&det, detector.Burst{Fluence: 2.0, PolarDeg: 20}, rng) {
+		ev.ArrivalTime += 1.2
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].ArrivalTime < events[j].ArrivalTime
+	})
+	return events, meanRate
+}
+
+// TestCrashRecoveryReplayBitwise is the acceptance test for the journaled
+// stream: record a live session, tear the journal tail as a crash
+// mid-append would, then replay the recovered journal and require the
+// original alert sequence bitwise (Record form; wall-clock timing is
+// excluded by construction).
+func TestCrashRecoveryReplayBitwise(t *testing.T) {
+	events, meanRate := simSession(t, 7)
+	dir := t.TempDir()
+	j, err := flightlog.Open(flightlog.Options{Dir: dir, SegmentBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(meanRate)
+	cfg.Seed = 42
+	cfg.Journal = j
+	live := feedAndDrain(cfg, events)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 {
+		t.Fatal("live session produced no alerts; burst not detected")
+	}
+	if !live[0].Result.Loc.OK {
+		t.Fatal("live alert has no localization")
+	}
+
+	// Crash mid-append: a torn partial record at the journal tail.
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.flog"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments (%v)", err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x42, 0x00, 0x00, 0x00, 0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: recovery truncates the torn tail.
+	j2, err := flightlog.Open(flightlog.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Stats().RecoveredTruncation == 0 {
+		t.Error("recovery reported no truncation")
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the recovered journal into a fresh processor (same config,
+	// no journal) and compare alert records bitwise.
+	replayCfg := cfg
+	replayCfg.Journal = nil
+	p := New(replayCfg)
+	done := make(chan []Alert)
+	go func() {
+		var out []Alert
+		for a := range p.Alerts() {
+			out = append(out, a)
+		}
+		done <- out
+	}()
+	n, err := ReplayJournal(dir, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(events) {
+		t.Fatalf("replayed %d events, want %d", n, len(events))
+	}
+	replayed := <-done
+	if len(replayed) != len(live) {
+		t.Fatalf("replayed %d alerts, want %d", len(replayed), len(live))
+	}
+	for i := range live {
+		if live[i].Record() != replayed[i].Record() {
+			t.Errorf("alert %d differs:\nlive:   %+v\nreplay: %+v",
+				i, live[i].Record(), replayed[i].Record())
+		}
+	}
+}
+
+// TestReplayDeterministic replays the same journal twice; the two alert
+// sequences must be identical (the property the smoke script checks
+// end to end through the CLI).
+func TestReplayDeterministic(t *testing.T) {
+	events, meanRate := simSession(t, 11)
+	dir := t.TempDir()
+	j, err := flightlog.Open(flightlog.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(meanRate)
+	cfg.Journal = j
+	feedAndDrain(cfg, events)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replay := func() []Record {
+		rcfg := cfg
+		rcfg.Journal = nil
+		p := New(rcfg)
+		done := make(chan []Record)
+		go func() {
+			var out []Record
+			for a := range p.Alerts() {
+				out = append(out, a.Record())
+			}
+			done <- out
+		}()
+		if _, err := ReplayJournal(dir, p); err != nil {
+			t.Fatal(err)
+		}
+		return <-done
+	}
+	a, b := replay(), replay()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("replays differ in count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("alert %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Streaming record→crash→replay smoke test, mirrored by the CI stream-smoke
+# job (`make stream-smoke`): run adaptstream live with a flight journal,
+# simulate a crash mid-append by tearing the journal tail, replay the
+# recovered journal twice, and require the alert records to match the live
+# run byte for byte — the durability and determinism contract of
+# internal/flightlog + internal/stream, end to end through the CLI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$workdir/adaptstream" ./cmd/adaptstream
+"$workdir/adaptstream" -version
+
+echo "== live run, recording a flight journal"
+"$workdir/adaptstream" -seed 7 -exposure 3 -burst-at 1.2 -fluence 2 \
+    -journal "$workdir/fl" -alerts "$workdir/live.jsonl" \
+    -metrics-json "$workdir/live-metrics.json" 2>"$workdir/live.log"
+grep -q 'alert(s) out' "$workdir/live.log"
+[ -s "$workdir/live.jsonl" ] || { echo "live run emitted no alerts"; cat "$workdir/live.log"; exit 1; }
+grep -q '"stream_triggers": ' "$workdir/live-metrics.json"
+
+echo "== crash: tear the journal tail mid-record"
+lastseg="$(ls "$workdir"/fl/journal-*.flog | sort | tail -1)"
+printf '\x42\x00\x00\x00\xDE\xAD' >>"$lastseg"
+
+echo "== replay the recovered journal, twice"
+"$workdir/adaptstream" -seed 7 -replay "$workdir/fl" \
+    -alerts "$workdir/replay1.jsonl" 2>"$workdir/replay1.log"
+"$workdir/adaptstream" -seed 7 -replay "$workdir/fl" \
+    -alerts "$workdir/replay2.jsonl" 2>"$workdir/replay2.log"
+
+echo "== alert records must match bitwise"
+cmp "$workdir/live.jsonl" "$workdir/replay1.jsonl" || {
+    echo "replay diverged from the live run:"
+    diff "$workdir/live.jsonl" "$workdir/replay1.jsonl" || true
+    exit 1
+}
+cmp "$workdir/replay1.jsonl" "$workdir/replay2.jsonl" || {
+    echo "replay is not deterministic:"
+    diff "$workdir/replay1.jsonl" "$workdir/replay2.jsonl" || true
+    exit 1
+}
+
+echo "stream smoke: OK ($(wc -l <"$workdir/live.jsonl") alert(s) reproduced bitwise)"
