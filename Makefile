@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover fmt vet serve-smoke stream-smoke fuzz-smoke check clean
+.PHONY: all build test race bench cover fmt vet serve-smoke stream-smoke merge-smoke fuzz-smoke check clean
 
 all: build test
 
@@ -45,11 +45,16 @@ serve-smoke:
 stream-smoke:
 	./scripts/stream_smoke.sh
 
+## merge-smoke: split→skew→merge bitwise-alert smoke test (CI merge-smoke job)
+merge-smoke:
+	./scripts/merge_smoke.sh
+
 ## fuzz-smoke: short native-fuzz runs of the untrusted-input decoders (CI)
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) -run '^$$' ./internal/evio
 	$(GO) test -fuzz=FuzzRecover -fuzztime=$(FUZZTIME) -run '^$$' ./internal/flightlog
+	$(GO) test -fuzz=FuzzMerge -fuzztime=$(FUZZTIME) -run '^$$' ./internal/merge
 
 ## check: everything CI checks
 check: build fmt vet race

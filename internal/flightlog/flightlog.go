@@ -411,8 +411,18 @@ func scanSegment(path string, fn func(payload []byte) error) (validBytes int64, 
 	if err != nil {
 		return 0, 0, err
 	}
-	if len(data) < headerSize || [4]byte(data[0:4]) != segMagic ||
-		binary.LittleEndian.Uint16(data[4:6]) != Version {
+	return scanSegmentBytes(data, fn)
+}
+
+// validHeader reports whether data starts with a well-formed segment header.
+func validHeader(data []byte) bool {
+	return len(data) >= headerSize && [4]byte(data[0:4]) == segMagic &&
+		binary.LittleEndian.Uint16(data[4:6]) == Version
+}
+
+// scanSegmentBytes is scanSegment over an in-memory segment image.
+func scanSegmentBytes(data []byte, fn func(payload []byte) error) (validBytes int64, records int, err error) {
+	if !validHeader(data) {
 		return 0, 0, nil
 	}
 	off := int64(headerSize)
@@ -444,6 +454,18 @@ func scanSegment(path string, fn func(payload []byte) error) (validBytes int64, 
 // durable end (i.e. not a recoverable torn tail).
 var ErrCorrupt = errors.New("flightlog: corrupt record before journal end")
 
+// ReplayStats reports what a replay actually read — in particular whether
+// the journal ended in a torn tail, so consumers (the multi-detector merge,
+// the HTTP replay endpoint) can surface the truncation instead of silently
+// treating a crash-damaged source as complete.
+type ReplayStats struct {
+	// Records is the number of valid records delivered.
+	Records int
+	// TruncatedBytes counts bytes after the last valid record of the final
+	// segment (0 for a journal that ends cleanly on a record boundary).
+	TruncatedBytes int64
+}
+
 // Replay reads every record of the journal in dir, in append order,
 // calling fn with each payload. The payload slice is only valid during the
 // call. A torn tail in the final segment is tolerated (the scan stops
@@ -451,27 +473,142 @@ var ErrCorrupt = errors.New("flightlog: corrupt record before journal end")
 // segment returns ErrCorrupt, since records after it are unreachable in a
 // pure append-order replay. fn errors abort the replay.
 func Replay(dir string, fn func(payload []byte) error) error {
+	_, err := ReplayWithStats(dir, fn)
+	return err
+}
+
+// ReplayWithStats is Replay, additionally reporting how many records were
+// delivered and how many trailing bytes a torn tail cost. The stats are
+// valid even when the replay aborts with an error.
+func ReplayWithStats(dir string, fn func(payload []byte) error) (ReplayStats, error) {
+	var st ReplayStats
 	seqs, err := listSegments(dir)
 	if err != nil {
-		return err
+		return st, err
 	}
 	for i, seq := range seqs {
 		path := filepath.Join(dir, segName(seq))
-		valid, _, err := scanSegment(path, fn)
+		valid, records, err := scanSegment(path, fn)
+		st.Records += records
 		if err != nil {
-			return err
+			return st, err
 		}
-		if i < len(seqs)-1 {
-			fi, err := os.Stat(path)
-			if err != nil {
-				return err
+		fi, err := os.Stat(path)
+		if err != nil {
+			return st, err
+		}
+		if valid < fi.Size() {
+			if i < len(seqs)-1 {
+				return st, fmt.Errorf("%w: %s at offset %d", ErrCorrupt, segName(seq), valid)
 			}
-			if valid < fi.Size() {
-				return fmt.Errorf("%w: %s at offset %d", ErrCorrupt, segName(seq), valid)
-			}
+			st.TruncatedBytes = fi.Size() - valid
 		}
 	}
-	return nil
+	return st, nil
+}
+
+// Iter streams a journal's records pull-style: one segment is held in
+// memory at a time, so memory use is bounded by SegmentBytes no matter how
+// long the journal is. The k-way merge uses one Iter per source so it can
+// interleave sources by event time instead of draining each journal whole.
+type Iter struct {
+	dir     string
+	seqs    []uint64
+	seg     int      // next segment index to load
+	pending [][]byte // remaining records of the loaded segment
+	stats   ReplayStats
+	err     error
+}
+
+// NewIter opens a record iterator over the journal in dir.
+func NewIter(dir string) (*Iter, error) {
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Iter{dir: dir, seqs: seqs}, nil
+}
+
+// Next returns the next record payload (owned by the caller), io.EOF at the
+// durable end of the journal, or ErrCorrupt for damage strictly before it.
+// A torn final-segment tail ends the iteration cleanly and is reported in
+// Stats, mirroring Replay.
+func (it *Iter) Next() ([]byte, error) {
+	for {
+		if it.err != nil {
+			return nil, it.err
+		}
+		if len(it.pending) > 0 {
+			p := it.pending[0]
+			it.pending = it.pending[1:]
+			it.stats.Records++
+			return p, nil
+		}
+		if it.seg >= len(it.seqs) {
+			it.err = io.EOF
+			return nil, io.EOF
+		}
+		path := filepath.Join(it.dir, segName(it.seqs[it.seg]))
+		it.seg++
+		valid, _, err := scanSegment(path, func(payload []byte) error {
+			it.pending = append(it.pending, append([]byte(nil), payload...))
+			return nil
+		})
+		if err != nil {
+			it.err = err
+			return nil, err
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			it.err = err
+			return nil, err
+		}
+		if valid < fi.Size() {
+			if it.seg < len(it.seqs) {
+				it.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, filepath.Base(path), valid)
+				// Records scanned from the damaged segment are unreachable in
+				// append order; drop them.
+				it.pending = nil
+				return nil, it.err
+			}
+			it.stats.TruncatedBytes = fi.Size() - valid
+		}
+	}
+}
+
+// Stats reports what the iterator has read so far; TruncatedBytes is final
+// once Next has returned io.EOF.
+func (it *Iter) Stats() ReplayStats { return it.stats }
+
+// ScanStream parses data as the concatenation of one or more journal
+// segment files — the body format of the adaptserve replay endpoint, where
+// a client ships `cat journal-*.flog` — calling fn with every valid record
+// payload in order. A torn tail after the last valid record is tolerated
+// and counted; bytes at a segment boundary that are neither a segment
+// header nor a valid frame end the scan the same way. Data that does not
+// begin with a segment header is an error, not a truncation.
+func ScanStream(data []byte, fn func(payload []byte) error) (ReplayStats, error) {
+	var st ReplayStats
+	if !validHeader(data) {
+		return st, errors.New("flightlog: body is not a flight-journal segment stream")
+	}
+	off := int64(0)
+	for off < int64(len(data)) {
+		if !validHeader(data[off:]) {
+			st.TruncatedBytes = int64(len(data)) - off
+			return st, nil
+		}
+		valid, records, err := scanSegmentBytes(data[off:], fn)
+		st.Records += records
+		if err != nil {
+			return st, err
+		}
+		// valid is always ≥ headerSize here (the header was just checked), so
+		// the scan makes progress every iteration; the next loop turn either
+		// finds another segment header at off or counts the rest as tail.
+		off += valid
+	}
+	return st, nil
 }
 
 // Count returns the number of valid records in the journal at dir.

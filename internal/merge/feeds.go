@@ -1,0 +1,171 @@
+package merge
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/detector"
+	"repro/internal/evio"
+	"repro/internal/flightlog"
+)
+
+// JournalFeed replays a flight journal as a merge source: records are
+// decoded lazily one segment at a time (bounded memory), and a torn tail
+// left by a crash mid-append ends the feed cleanly while surfacing the
+// truncated byte count through TruncatedBytes — the merge counts it
+// instead of silently treating the source as complete.
+type JournalFeed struct {
+	it  *flightlog.Iter
+	buf []*detector.Event
+}
+
+// OpenJournal opens the flight journal at dir as a feed.
+func OpenJournal(dir string) (*JournalFeed, error) {
+	it, err := flightlog.NewIter(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &JournalFeed{it: it}, nil
+}
+
+// Next implements Feed.
+func (f *JournalFeed) Next() (*detector.Event, error) {
+	for len(f.buf) == 0 {
+		payload, err := f.it.Next()
+		if err != nil {
+			return nil, err // io.EOF at the durable end, ErrCorrupt before it
+		}
+		events, err := evio.Unmarshal(payload)
+		if err != nil {
+			return nil, fmt.Errorf("journal record %d: %w", f.it.Stats().Records, err)
+		}
+		f.buf = events
+	}
+	ev := f.buf[0]
+	f.buf = f.buf[1:]
+	return ev, nil
+}
+
+// Close implements Feed.
+func (f *JournalFeed) Close() error { return nil }
+
+// TruncatedBytes reports the journal's torn-tail truncation (final after
+// Next returned io.EOF).
+func (f *JournalFeed) TruncatedBytes() int64 { return f.it.Stats().TruncatedBytes }
+
+// EvioFeed serves a recorded evio exposure file as a merge source. The
+// file is loaded and stably sorted by arrival time up front — the same
+// normalization adaptstream applies — because recorded exposures are not
+// guaranteed to be time-ordered on disk.
+type EvioFeed struct {
+	events []*detector.Event
+	i      int
+}
+
+// OpenEvio loads the evio file at path.
+func OpenEvio(path string) (*EvioFeed, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := evio.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].ArrivalTime < events[j].ArrivalTime
+	})
+	return &EvioFeed{events: events}, nil
+}
+
+// Next implements Feed.
+func (f *EvioFeed) Next() (*detector.Event, error) {
+	if f.i >= len(f.events) {
+		return nil, io.EOF
+	}
+	ev := f.events[f.i]
+	f.i++
+	return ev, nil
+}
+
+// Close implements Feed.
+func (f *EvioFeed) Close() error { return nil }
+
+// SliceFeed serves an in-memory event slice (already time-ordered) — the
+// feed tests and benchmarks use, and the building block for simulated
+// multi-segment exposures.
+type SliceFeed struct {
+	events []*detector.Event
+	i      int
+}
+
+// NewSlice wraps events (not copied; must be in nondecreasing time order).
+func NewSlice(events []*detector.Event) *SliceFeed { return &SliceFeed{events: events} }
+
+// Next implements Feed.
+func (f *SliceFeed) Next() (*detector.Event, error) {
+	if f.i >= len(f.events) {
+		return nil, io.EOF
+	}
+	ev := f.events[f.i]
+	f.i++
+	return ev, nil
+}
+
+// Close implements Feed.
+func (f *SliceFeed) Close() error { return nil }
+
+// PushFeed is the live-ingest source: detector segments push events in,
+// the merge pulls them out, and a bounded channel in between makes
+// backpressure explicit. Offer is the lossy detector-feed path (drops are
+// counted by the caller via its return value); Ingest is the lossless
+// path. CloseInput ends the feed once the segment is done.
+type PushFeed struct {
+	ch    chan *detector.Event
+	close sync.Once
+}
+
+// NewPushFeed makes a live feed with the given buffer capacity (minimum 1).
+func NewPushFeed(buffer int) *PushFeed {
+	if buffer < 1 {
+		buffer = 1
+	}
+	return &PushFeed{ch: make(chan *detector.Event, buffer)}
+}
+
+// Offer submits one event without blocking, returning false when the
+// buffer is full (the caller counts the drop — overload sheds load
+// instead of growing memory, exactly like stream.Processor.Offer).
+func (p *PushFeed) Offer(ev *detector.Event) bool {
+	select {
+	case p.ch <- ev:
+		return true
+	default:
+		return false
+	}
+}
+
+// Ingest submits one event, blocking until the buffer accepts it.
+func (p *PushFeed) Ingest(ev *detector.Event) { p.ch <- ev }
+
+// CloseInput ends the input stream; Next drains what is buffered and then
+// reports io.EOF. Safe to call more than once.
+func (p *PushFeed) CloseInput() { p.close.Do(func() { close(p.ch) }) }
+
+// Next implements Feed, blocking until an event is pushed or the input is
+// closed.
+func (p *PushFeed) Next() (*detector.Event, error) {
+	ev, ok := <-p.ch
+	if !ok {
+		return nil, io.EOF
+	}
+	return ev, nil
+}
+
+// Close implements Feed. It does not close the input side: the pushing
+// goroutine owns that via CloseInput.
+func (p *PushFeed) Close() error { return nil }

@@ -1,0 +1,544 @@
+// Package merge fuses the event feeds of several detector segments into
+// one globally time-ordered stream for the trigger. ADAPT-class
+// instruments aggregate hits from multiple panels, each with its own
+// readout clock, buffering, and failure modes; the paper's trigger (and
+// internal/stream) wants a single event sequence. This package is the
+// k-way event-time merge between the two:
+//
+//   - every source (a live push feed, a recorded evio file, or a
+//     flight journal) gets a bounded prefetch buffer and a per-source
+//     clock-offset correction (corrected = raw − offset);
+//   - a low watermark advances on the minimum in-flight corrected event
+//     time: an event is emitted only once every active source has shown an
+//     event at or after it, so the fused output is globally time-ordered
+//     no matter how skewed or bursty the sources are;
+//   - ties are broken by (corrected time, source index, per-source arrival
+//     sequence), so the fused order is a pure function of the sources'
+//     contents — arrival interleaving, goroutine scheduling, and buffer
+//     sizes never change it. Feeding the fused stream into
+//     stream.Processor therefore reproduces alerts bitwise, and journaling
+//     the fused stream yields one canonical journal whose replay does too;
+//   - a silent source ages out of the watermark after StallTimeout instead
+//     of freezing the merge (a dead panel must not blind the instrument);
+//     events it delivers after the watermark passed them are dropped and
+//     counted, never reordered;
+//   - per-source observability: events, late drops, stalls, errors,
+//     torn-tail truncation, buffered depth, lag behind the watermark, and
+//     an online clock-skew estimate, all published through internal/obs.
+package merge
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/obs"
+)
+
+// Global metric names published into Config.Metrics.
+const (
+	CtrEventsOut   = "merge_events_out"
+	CtrLateDropped = "merge_late_dropped"
+	GaugeWatermark = "merge_watermark_s"
+	GaugeActive    = "merge_sources_active"
+)
+
+// Per-source metric name fragments; the full name is
+// "merge_src_<name>_<fragment>".
+const (
+	srcCtrEvents    = "events"
+	srcCtrLate      = "late_dropped"
+	srcCtrStalls    = "stalls"
+	srcCtrErrors    = "errors"
+	srcCtrTruncated = "truncated_bytes"
+	srcGaugeDepth   = "depth"
+	srcGaugeLag     = "lag_s"
+	srcGaugeSkew    = "skew_s"
+)
+
+// SrcMetric formats the registry name of a per-source metric, e.g.
+// SrcMetric("s0", "lag_s") = "merge_src_s0_lag_s".
+func SrcMetric(source, fragment string) string {
+	return "merge_src_" + source + "_" + fragment
+}
+
+// Feed delivers one detector segment's events in nondecreasing raw event
+// time. Next returns io.EOF at the end of the feed; any other error fails
+// the source (counted, surfaced by Run) without stopping the merge.
+type Feed interface {
+	Next() (*detector.Event, error)
+	Close() error
+}
+
+// truncationReporter is the optional Feed extension journal feeds
+// implement: how many trailing bytes a torn tail cost. Consulted at EOF so
+// a crash-damaged source is surfaced, not silently shortened.
+type truncationReporter interface {
+	TruncatedBytes() int64
+}
+
+// Source is one input to the merge.
+type Source struct {
+	// Name labels the source in metrics and stats (default "s<index>").
+	Name string
+	// OffsetSec is the source's known clock offset: an event with raw time
+	// t happened at corrected time t − OffsetSec. The fused stream carries
+	// corrected times.
+	OffsetSec float64
+	// Feed supplies the events.
+	Feed Feed
+}
+
+// Config assembles a Merger.
+type Config struct {
+	// Sources are the feeds to fuse (at least one).
+	Sources []Source
+	// BufferEvents bounds each source's prefetch queue (default 1024).
+	// Memory use is fixed: k × BufferEvents events plus one head per
+	// source, no matter how skewed the sources are.
+	BufferEvents int
+	// StallTimeout ages a silent source out of the watermark: once a
+	// non-exhausted source has produced nothing for this long while the
+	// merge waits on it, the merge proceeds without it (0 = wait forever,
+	// the right setting for deterministic file/journal merges).
+	StallTimeout time.Duration
+	// SkewAlpha is the EWMA weight of the per-source clock-skew estimator
+	// (default 0.05).
+	SkewAlpha float64
+	// Metrics receives the counters/gauges above (nil = off).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferEvents <= 0 {
+		c.BufferEvents = 1024
+	}
+	if c.SkewAlpha <= 0 || c.SkewAlpha > 1 {
+		c.SkewAlpha = 0.05
+	}
+	for i := range c.Sources {
+		if c.Sources[i].Name == "" {
+			c.Sources[i].Name = fmt.Sprintf("s%d", i)
+		}
+	}
+	return c
+}
+
+// SourceStats is one source's accounting after (or during) a merge.
+type SourceStats struct {
+	// Name is the source label.
+	Name string
+	// Events is how many events the source contributed to the fused stream.
+	Events int64
+	// LateDropped counts events that arrived behind the watermark (stalled
+	// source resuming, or a source violating its own time order).
+	LateDropped int64
+	// Stalls counts how many times the source aged out of the watermark.
+	Stalls int64
+	// TruncatedBytes is the torn-tail truncation the source's journal
+	// reported (0 for live and evio sources, or a clean journal).
+	TruncatedBytes int64
+	// SkewEstSec is the online clock-skew estimate: an EWMA of how far the
+	// source's raw event times run ahead of the fused watermark. For a
+	// correctly-offset source it converges to OffsetSec.
+	SkewEstSec float64
+	// Err is the error that failed the source (nil if it ended cleanly).
+	Err error
+}
+
+// sourceState is the merge loop's per-source bookkeeping. Only the reader
+// goroutine writes queue/readErr/truncated (before close(queue)); the
+// merge loop owns everything else. In-source ordering needs no sequence
+// numbers: the queue is FIFO, so same-time events from one source keep
+// their feed order.
+type sourceState struct {
+	src       Source
+	queue     chan *detector.Event
+	readErr   error // valid after queue is closed
+	truncated int64 // valid after queue is closed
+
+	head      *detector.Event // corrected-time head, nil when empty
+	headRaw   float64         // head's raw time
+	exhausted bool
+	stalled   bool
+	trackWall bool      // only pay for wall-clock reads when stalls matter
+	lastWall  time.Time // wall-clock time of the last received event
+
+	stats SourceStats
+
+	// metric handles, resolved once (nil registry ⇒ nil no-op handles).
+	ctrEvents, ctrLate, ctrStalls, ctrErrors, ctrTruncated *obs.Counter
+	gaugeDepth, gaugeLag, gaugeSkew                        *obs.Gauge
+}
+
+// Merger is a k-way watermarked event-time merge. Build with New, drive
+// with Run.
+type Merger struct {
+	cfg      Config
+	sources  []*sourceState
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	watermark   float64
+	skewInit    []bool
+	ctrOut      *obs.Counter
+	ctrLateAll  *obs.Counter
+	gaugeWater  *obs.Gauge
+	gaugeActive *obs.Gauge
+	eventsOut   int64
+	lateDropped int64
+}
+
+// New validates cfg and prepares a Merger. Feeds are not consumed until
+// Run.
+func New(cfg Config) (*Merger, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Sources) == 0 {
+		return nil, errors.New("merge: at least one source required")
+	}
+	m := &Merger{
+		cfg:         cfg,
+		stop:        make(chan struct{}),
+		skewInit:    make([]bool, len(cfg.Sources)),
+		ctrOut:      cfg.Metrics.Counter(CtrEventsOut),
+		ctrLateAll:  cfg.Metrics.Counter(CtrLateDropped),
+		gaugeWater:  cfg.Metrics.Gauge(GaugeWatermark),
+		gaugeActive: cfg.Metrics.Gauge(GaugeActive),
+	}
+	for _, src := range cfg.Sources {
+		s := &sourceState{
+			src:          src,
+			queue:        make(chan *detector.Event, cfg.BufferEvents),
+			trackWall:    cfg.StallTimeout > 0,
+			lastWall:     time.Now(),
+			stats:        SourceStats{Name: src.Name},
+			ctrEvents:    cfg.Metrics.Counter(SrcMetric(src.Name, srcCtrEvents)),
+			ctrLate:      cfg.Metrics.Counter(SrcMetric(src.Name, srcCtrLate)),
+			ctrStalls:    cfg.Metrics.Counter(SrcMetric(src.Name, srcCtrStalls)),
+			ctrErrors:    cfg.Metrics.Counter(SrcMetric(src.Name, srcCtrErrors)),
+			ctrTruncated: cfg.Metrics.Counter(SrcMetric(src.Name, srcCtrTruncated)),
+			gaugeDepth:   cfg.Metrics.Gauge(SrcMetric(src.Name, srcGaugeDepth)),
+			gaugeLag:     cfg.Metrics.Gauge(SrcMetric(src.Name, srcGaugeLag)),
+			gaugeSkew:    cfg.Metrics.Gauge(SrcMetric(src.Name, srcGaugeSkew)),
+		}
+		m.sources = append(m.sources, s)
+	}
+	m.watermark = math.Inf(-1)
+	return m, nil
+}
+
+// Stop aborts a running merge. Safe to call from any goroutine; Run
+// returns promptly without draining the remaining sources.
+func (m *Merger) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+}
+
+// read pumps one source's feed into its bounded queue. It owns the feed.
+func (m *Merger) read(s *sourceState) {
+	defer close(s.queue)
+	defer s.src.Feed.Close()
+	for {
+		ev, err := s.src.Feed.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.readErr = err
+			}
+			if tr, ok := s.src.Feed.(truncationReporter); ok {
+				s.truncated = tr.TruncatedBytes()
+			}
+			return
+		}
+		select {
+		case s.queue <- ev:
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// takeHead installs an event as s's head, applying the clock correction.
+// The event is copied when the correction changes its time, so feeds may
+// share event storage with other consumers.
+func (s *sourceState) takeHead(ev *detector.Event) {
+	s.headRaw = ev.ArrivalTime
+	if s.src.OffsetSec != 0 {
+		c := *ev
+		c.ArrivalTime = ev.ArrivalTime - s.src.OffsetSec
+		ev = &c
+	}
+	s.head = ev
+	if s.trackWall {
+		s.lastWall = time.Now()
+	}
+}
+
+// finish marks a source exhausted and surfaces its terminal accounting.
+func (s *sourceState) finish() {
+	s.exhausted = true
+	s.stalled = false
+	if s.readErr != nil {
+		s.stats.Err = s.readErr
+		s.ctrErrors.Inc()
+	}
+	if s.truncated > 0 {
+		s.stats.TruncatedBytes = s.truncated
+		s.ctrTruncated.Add(s.truncated)
+	}
+	s.gaugeDepth.Set(0)
+}
+
+// poll tries to fill s's head without blocking. Returns true if the head
+// is now available or the source is exhausted (i.e. no wait is needed).
+func (s *sourceState) poll() bool {
+	if s.head != nil || s.exhausted {
+		return true
+	}
+	select {
+	case ev, ok := <-s.queue:
+		if !ok {
+			s.finish()
+			return true
+		}
+		s.takeHead(ev)
+		s.stalled = false
+		return true
+	default:
+		return false
+	}
+}
+
+// await blocks until s has a head, is exhausted, or its stall deadline
+// passes (marking it stalled). Returns false when the merge was stopped.
+func (m *Merger) await(s *sourceState) bool {
+	if s.poll() {
+		return true
+	}
+	if m.cfg.StallTimeout <= 0 {
+		select {
+		case ev, ok := <-s.queue:
+			if !ok {
+				s.finish()
+			} else {
+				s.takeHead(ev)
+			}
+			return true
+		case <-m.stop:
+			return false
+		}
+	}
+	deadline := s.lastWall.Add(m.cfg.StallTimeout)
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		s.stalled = true
+		s.stats.Stalls++
+		s.ctrStalls.Inc()
+		return true
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case ev, ok := <-s.queue:
+		if !ok {
+			s.finish()
+		} else {
+			s.takeHead(ev)
+		}
+		return true
+	case <-t.C:
+		s.stalled = true
+		s.stats.Stalls++
+		s.ctrStalls.Inc()
+		return true
+	case <-m.stop:
+		return false
+	}
+}
+
+// Run drives the merge to completion, calling emit with every fused event
+// in globally nondecreasing corrected time. It blocks until every source
+// is exhausted (or Stop is called) and returns the sources' failures
+// joined (nil when all ended cleanly — torn-tail truncation is accounting,
+// not failure).
+func (m *Merger) Run(emit func(*detector.Event)) error {
+	for _, s := range m.sources {
+		go m.read(s)
+	}
+	for {
+		// Phase 1: every non-exhausted, non-stalled source must show its
+		// head before anything is emitted — this is the low watermark.
+		for _, s := range m.sources {
+			if s.stalled {
+				// Stalled sources are polled opportunistically: if one came
+				// back, it rejoins the watermark.
+				s.poll()
+				continue
+			}
+			if !m.await(s) {
+				return m.finishAll()
+			}
+		}
+
+		// Phase 2: pick the minimum head by (time, source index, sequence).
+		var best *sourceState
+		active := 0
+		for _, s := range m.sources {
+			if !s.exhausted && !s.stalled {
+				active++
+			}
+			if s.head == nil {
+				continue
+			}
+			if best == nil || s.head.ArrivalTime < best.head.ArrivalTime {
+				best = s
+			}
+		}
+		m.gaugeActive.Set(float64(active))
+		if best == nil {
+			allDone := true
+			for _, s := range m.sources {
+				if !s.exhausted {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				return m.finishAll()
+			}
+			// Everything left is stalled with nothing buffered: wait for any
+			// of them to speak (or end) rather than spinning. Waiting on the
+			// sources one at a time is fine — no event can be emitted until
+			// one of them produces anyway.
+			if !m.awaitStalled() {
+				return m.finishAll()
+			}
+			continue
+		}
+
+		// Phase 3: emit or drop the chosen head.
+		t := best.head.ArrivalTime
+		if t < m.watermark {
+			// The watermark already passed this event (its source stalled
+			// out, or it violated its own order). Dropping keeps the output
+			// time-ordered; the drop is never silent.
+			best.stats.LateDropped++
+			best.ctrLate.Inc()
+			m.ctrLateAll.Inc()
+			m.lateDropped++
+			best.head = nil
+			continue
+		}
+		ev := best.head
+		best.head = nil
+		m.watermark = t
+		best.stats.Events++
+		best.ctrEvents.Inc()
+		m.ctrOut.Inc()
+		m.eventsOut++
+		m.gaugeWater.Set(t)
+		m.observeSkew(t)
+		emit(ev)
+	}
+}
+
+// awaitStalled blocks until any stalled source yields an event or ends.
+// Returns false when the merge was stopped. Sources are visited round-
+// robin with short blocking waits so a single dead source cannot keep a
+// late-reviving one waiting forever.
+func (m *Merger) awaitStalled() bool {
+	const slice = 10 * time.Millisecond
+	for {
+		for _, s := range m.sources {
+			if s.exhausted || !s.stalled {
+				continue
+			}
+			t := time.NewTimer(slice)
+			select {
+			case ev, ok := <-s.queue:
+				t.Stop()
+				if !ok {
+					s.finish()
+				} else {
+					s.takeHead(ev)
+					s.stalled = false
+				}
+				return true
+			case <-t.C:
+			case <-m.stop:
+				t.Stop()
+				return false
+			}
+		}
+		allDone := true
+		for _, s := range m.sources {
+			if !s.exhausted {
+				allDone = false
+			}
+		}
+		if allDone {
+			return true
+		}
+	}
+}
+
+// observeSkew updates every source's clock-skew EWMA against the fused
+// watermark: a source whose raw head times systematically lead the
+// watermark has a fast clock. For a source merged with the right
+// OffsetSec the estimate converges to that offset.
+func (m *Merger) observeSkew(watermark float64) {
+	for i, s := range m.sources {
+		if s.head == nil && s.stats.Events == 0 {
+			continue
+		}
+		raw := s.headRaw // raw time of the head, or of the last event taken
+		sample := raw - watermark
+		if !m.skewInit[i] {
+			m.skewInit[i] = true
+			s.stats.SkewEstSec = sample
+		} else {
+			a := m.cfg.SkewAlpha
+			s.stats.SkewEstSec = (1-a)*s.stats.SkewEstSec + a*sample
+		}
+		s.gaugeSkew.Set(s.stats.SkewEstSec)
+		s.gaugeDepth.Set(float64(len(s.queue)))
+		lag := 0.0
+		if s.head != nil {
+			if d := watermark - s.head.ArrivalTime; d > 0 {
+				lag = d
+			}
+		} else if s.stalled {
+			lag = watermark - (s.headRaw - s.src.OffsetSec)
+		}
+		s.gaugeLag.Set(lag)
+	}
+}
+
+// finishAll joins the per-source failures once the merge loop is done.
+func (m *Merger) finishAll() error {
+	var errs []error
+	for _, s := range m.sources {
+		if s.exhausted && s.stats.Err != nil {
+			errs = append(errs, fmt.Errorf("merge: source %s: %w", s.src.Name, s.stats.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats returns a snapshot of every source's accounting, in source order.
+// Call after Run returns (during a run it races with the merge loop).
+func (m *Merger) Stats() []SourceStats {
+	out := make([]SourceStats, len(m.sources))
+	for i, s := range m.sources {
+		out[i] = s.stats
+	}
+	return out
+}
+
+// EventsOut returns how many events the merge emitted.
+func (m *Merger) EventsOut() int64 { return m.eventsOut }
+
+// LateDropped returns how many events were dropped behind the watermark.
+func (m *Merger) LateDropped() int64 { return m.lateDropped }

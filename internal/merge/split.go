@@ -1,0 +1,172 @@
+package merge
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/detector"
+	"repro/internal/evio"
+	"repro/internal/flightlog"
+	"repro/internal/xrand"
+)
+
+// SkewTime shifts event time t by offset seconds such that the merge's
+// clock correction recovers t exactly: it returns the smallest float64 s
+// with fl(s − offset) == t bitwise. Plain float64 addition rounds, and the
+// merge's subtraction would then reproduce t only approximately — enough
+// to break the bitwise alert-replay contract. The returned s differs from
+// fl(t+offset) by at most a few ULPs (sub-nanosecond for second-scale
+// times), so the injected skew is physically indistinguishable from the
+// requested one. Returning the smallest valid s — rather than any valid
+// s — makes the map strictly monotone in t, so a time-ordered feed stays
+// time-ordered after skewing.
+//
+// An error means no valid s exists. That happens when the skew carries t
+// across a binade boundary into coarser precision (e.g. t just below 1 s
+// with a positive offset): the skewed grid is then twice as coarse as t's,
+// and half the original times fall between its preimages. SplitJournal
+// handles this by reassigning the affected record to a slice whose skew is
+// invertible for it.
+func SkewTime(t, offset float64) (float64, error) {
+	if offset == 0 {
+		return t, nil
+	}
+	s := t + offset
+	found := math.NaN()
+	for range [8]int{} {
+		d := s - offset
+		if d == t {
+			found = s
+			break
+		}
+		if d < t {
+			s = math.Nextafter(s, math.Inf(1))
+		} else {
+			s = math.Nextafter(s, math.Inf(-1))
+		}
+	}
+	if math.IsNaN(found) {
+		return 0, fmt.Errorf("merge: no exactly-invertible skew of %g by %g", t, offset)
+	}
+	// Walk down to the smallest s that still inverts to t, so equal inputs
+	// map to equal outputs and the map stays monotone. The preimage holds
+	// ~ulp(t)/ulp(s) values; cap the walk so a pathological magnitude gap
+	// (offsets detector clocks never exhibit) cannot spin — the capped
+	// result still inverts exactly.
+	for range [4096]int{} {
+		lo := math.Nextafter(found, math.Inf(-1))
+		if lo-offset != t {
+			break
+		}
+		found = lo
+	}
+	return found, nil
+}
+
+// SplitStats reports what SplitJournal wrote.
+type SplitStats struct {
+	// Events[i] is how many events landed in slice i.
+	Events []int
+	// Records is how many source-journal records were read.
+	Records int
+}
+
+// SplitJournal slices the flight journal at srcDir into len(outDirs)
+// journals, assigning each record's events to a uniformly random slice
+// (seeded, so a split is reproducible) and shifting each slice's event
+// times by its entry in skewsSec using the exactly-invertible SkewTime.
+// Within a slice, events keep their source order, so every slice is itself
+// a valid time-ordered feed in its own (skewed) clock. Merging the slices
+// back with OffsetSec = skewsSec[i] reproduces the original event sequence
+// bitwise — the property the merge-smoke CI job enforces end to end.
+func SplitJournal(srcDir string, outDirs []string, skewsSec []float64, seed uint64) (SplitStats, error) {
+	st := SplitStats{Events: make([]int, len(outDirs))}
+	if len(outDirs) < 2 {
+		return st, errors.New("merge: split needs at least two output journals")
+	}
+	if len(skewsSec) != 0 && len(skewsSec) != len(outDirs) {
+		return st, fmt.Errorf("merge: %d skews for %d slices", len(skewsSec), len(outDirs))
+	}
+	skew := func(i int) float64 {
+		if len(skewsSec) == 0 {
+			return 0
+		}
+		return skewsSec[i]
+	}
+
+	outs := make([]*flightlog.Journal, len(outDirs))
+	for i, dir := range outDirs {
+		// Opening an existing journal appends; a stale slice would silently
+		// pollute the split, so insist on fresh output directories.
+		if entries, err := os.ReadDir(dir); err == nil && len(entries) > 0 {
+			return st, fmt.Errorf("merge: output journal %s is not empty", dir)
+		}
+		j, err := flightlog.Open(flightlog.Options{Dir: dir})
+		if err != nil {
+			return st, err
+		}
+		outs[i] = j
+		defer j.Close()
+	}
+
+	// trySkew shifts a record's events by slice i's skew, or reports that
+	// some event time has no exactly-invertible image under it.
+	trySkew := func(events []*detector.Event, i int) ([]*detector.Event, bool) {
+		skewed := make([]*detector.Event, len(events))
+		for k, ev := range events {
+			t, err := SkewTime(ev.ArrivalTime, skew(i))
+			if err != nil {
+				return nil, false
+			}
+			c := *ev
+			c.ArrivalTime = t
+			skewed[k] = &c
+		}
+		return skewed, true
+	}
+
+	rng := xrand.New(seed)
+	err := flightlog.Replay(srcDir, func(payload []byte) error {
+		st.Records++
+		events, err := evio.Unmarshal(payload)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", st.Records, err)
+		}
+		// A skew that carries an event across a binade boundary can be
+		// non-invertible for it (see SkewTime); deterministically walk to
+		// the next slice until one accepts the whole record.
+		pick := rng.IntN(len(outs))
+		var skewed []*detector.Event
+		slice, ok := -1, false
+		for d := range outs {
+			i := (pick + d) % len(outs)
+			if skewed, ok = trySkew(events, i); ok {
+				slice = i
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("merge: record %d: no slice skew is exactly invertible", st.Records)
+		}
+		blob, err := evio.Marshal(skewed)
+		if err != nil {
+			return err
+		}
+		if err := outs[slice].Append(blob); err != nil {
+			return err
+		}
+		st.Events[slice] += len(events)
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	for _, j := range outs {
+		if err := j.Close(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}

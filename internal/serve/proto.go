@@ -6,6 +6,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/geom"
 	"repro/internal/pipeline"
+	"repro/internal/stream"
 )
 
 // Content types accepted by the event-bearing endpoints.
@@ -103,6 +104,23 @@ type ClassifyResponse struct {
 	// Background[i] = Probs[i] > Threshold.
 	Background []bool  `json:"background"`
 	QueueMs    float64 `json:"queue_ms"`
+}
+
+// ReplayResponse is the JSON body returned by POST /v1/replay.
+type ReplayResponse struct {
+	// Events and Records count what the journal body held.
+	Events  int `json:"events"`
+	Records int `json:"records"`
+	// TruncatedBytes is the torn tail a mid-append crash left behind the
+	// last durable record (0 for a clean journal).
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// BkgRateHz is the trigger's quiet-sky rate, whether passed or derived.
+	BkgRateHz float64 `json:"bkg_rate_hz"`
+	// ML reports whether a model bundle was in the loop.
+	ML bool `json:"ml"`
+	// Alerts are the trigger's downlink records, in trigger order.
+	Alerts  []stream.Record `json:"alerts"`
+	QueueMs float64         `json:"queue_ms"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

@@ -98,6 +98,14 @@ type Config struct {
 	// dropped (and counted) when the consumer lags this far behind.
 	AlertBuffer int
 
+	// BkgOverride, when non-nil, replaces the pipeline's background
+	// classifier for every fired window — the hook adaptserve uses to route
+	// replayed-journal windows through its shared micro-batcher instead of
+	// the per-call model. Determinism is the caller's contract: replay is
+	// bitwise-reproducible only if the override is itself a pure function
+	// of its inputs (the serving batcher is).
+	BkgOverride pipeline.BkgClassifier
+
 	// Seed drives the localization solver's random sampling; alert k uses
 	// the deterministic substream Split(k+1).
 	Seed uint64
@@ -449,6 +457,7 @@ func (p *Processor) fire() {
 	opts.MaxNNIters = p.cfg.MaxNNIters
 	opts.Workers = p.cfg.Workers
 	opts.Metrics = p.cfg.Metrics
+	opts.BkgOverride = p.cfg.BkgOverride
 
 	m := p.cfg.Metrics
 	stop := m.StartStage(StageLocalize)

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Multi-detector merge smoke test, mirrored by the CI merge-smoke job
+# (`make merge-smoke`): record a single-source flight with adaptstream,
+# split its journal three ways with injected clock skew, merge the skewed
+# slices back with adaptmerge, and require the merged run's alert records
+# to match the single-source run byte for byte. The fused canonical
+# journal must then replay to the same alerts through adaptstream — the
+# end-to-end determinism contract of internal/merge, through the CLIs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$workdir/adaptstream" ./cmd/adaptstream
+go build -o "$workdir/adaptmerge" ./cmd/adaptmerge
+"$workdir/adaptmerge" -version
+
+echo "== single-source reference run, recording a flight journal"
+"$workdir/adaptstream" -seed 7 -exposure 3 -burst-at 1.2 -fluence 2 \
+    -journal "$workdir/fl" -alerts "$workdir/live.jsonl" 2>"$workdir/live.log"
+[ -s "$workdir/live.jsonl" ] || { echo "reference run emitted no alerts"; cat "$workdir/live.log"; exit 1; }
+
+echo "== split the journal 3 ways with injected clock skew"
+skews="0.001953125,0,-0.0009765625"
+"$workdir/adaptmerge" -split 3 -skew "$skews" -split-seed 42 \
+    -src "journal:$workdir/fl" -out "$workdir/parts" 2>"$workdir/split.log"
+grep -q 'split .* record(s) into 3 journal(s)' "$workdir/split.log"
+
+echo "== merge the skewed slices back into one trigger run"
+"$workdir/adaptmerge" -seed 7 \
+    -src "journal:$workdir/parts/part0@0.001953125" \
+    -src "journal:$workdir/parts/part1" \
+    -src "journal:$workdir/parts/part2@-0.0009765625" \
+    -journal "$workdir/fused" -alerts "$workdir/merged.jsonl" \
+    -metrics-json "$workdir/merge-metrics.json" 2>"$workdir/merge.log"
+
+echo "== merged alerts must match the single-source run bitwise"
+cmp "$workdir/live.jsonl" "$workdir/merged.jsonl" || {
+    echo "merged run diverged from the single-source run:"
+    diff "$workdir/live.jsonl" "$workdir/merged.jsonl" || true
+    exit 1
+}
+
+echo "== per-source merge metrics must be published"
+grep -q '"merge_events_out": ' "$workdir/merge-metrics.json"
+grep -q '"merge_src_s0_events": ' "$workdir/merge-metrics.json"
+grep -q '"merge_src_s2_skew_s": ' "$workdir/merge-metrics.json"
+grep -q 'source s0: .* skew est' "$workdir/merge.log"
+
+echo "== the fused canonical journal must replay to the same alerts"
+"$workdir/adaptstream" -seed 7 -replay "$workdir/fused" \
+    -alerts "$workdir/replayed.jsonl" 2>"$workdir/replay.log"
+cmp "$workdir/live.jsonl" "$workdir/replayed.jsonl" || {
+    echo "fused-journal replay diverged:"
+    diff "$workdir/live.jsonl" "$workdir/replayed.jsonl" || true
+    exit 1
+}
+
+echo "merge smoke: OK ($(wc -l <"$workdir/live.jsonl") alert(s) reproduced bitwise from 3 skewed sources)"
