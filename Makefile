@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover fmt vet serve-smoke stream-smoke merge-smoke fuzz-smoke check clean
+.PHONY: all build test race bench cover fmt vet lint serve-smoke stream-smoke merge-smoke backend-parity fuzz-smoke check clean
 
 all: build test
 
@@ -37,6 +37,22 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+## lint: vet plus staticcheck and govulncheck (CI lint job). The extra
+## tools are not vendored; locally they run only if already on PATH
+## (install with `go install honnef.co/go/tools/cmd/staticcheck@latest`
+## and `go install golang.org/x/vuln/cmd/govulncheck@latest`).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (CI runs it)"; \
+	fi
+
 ## serve-smoke: end-to-end adaptserve smoke test (CI serve-smoke job)
 serve-smoke:
 	./scripts/serve_smoke.sh
@@ -49,12 +65,21 @@ stream-smoke:
 merge-smoke:
 	./scripts/merge_smoke.sh
 
-## fuzz-smoke: short native-fuzz runs of the untrusted-input decoders (CI)
+## backend-parity: golden-scenario parity across float32/int8/fpga-sim
+## backends — exact trigger identity, bitwise integer agreement, bounded
+## localization drift (CI backend-parity job)
+backend-parity:
+	./scripts/backend_parity.sh
+
+## fuzz-smoke: short native-fuzz runs of the untrusted-input decoders and
+## the int8 arithmetic kernels (CI)
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) -run '^$$' ./internal/evio
 	$(GO) test -fuzz=FuzzRecover -fuzztime=$(FUZZTIME) -run '^$$' ./internal/flightlog
 	$(GO) test -fuzz=FuzzMerge -fuzztime=$(FUZZTIME) -run '^$$' ./internal/merge
+	$(GO) test -fuzz=FuzzRequantize -fuzztime=$(FUZZTIME) -run '^$$' ./internal/nn/quant
+	$(GO) test -fuzz=FuzzDotInt8 -fuzztime=$(FUZZTIME) -run '^$$' ./internal/nn/quant
 
 ## check: everything CI checks
 check: build fmt vet race

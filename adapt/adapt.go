@@ -79,6 +79,39 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // the GOMAXPROCS default. Results are bitwise-identical for any value.
 func SetDefaultParallelism(n int) { par.SetDefaultWorkers(n) }
 
+// Backend names an inference backend for the background classifier:
+// BackendFloat32 (default), BackendInt8, or BackendFPGASim. See the
+// pipeline package for the determinism contract of each.
+type Backend = pipeline.Backend
+
+// The available inference backends.
+const (
+	BackendFloat32 = pipeline.BackendFloat32
+	BackendInt8    = pipeline.BackendInt8
+	BackendFPGASim = pipeline.BackendFPGASim
+)
+
+// ParseBackend validates a backend name from a flag; "" means float32.
+func ParseBackend(s string) (Backend, error) { return pipeline.ParseBackend(s) }
+
+// NewClassifier builds the background classifier implementing backend b
+// over m's models (nil m returns nil: the no-ML pipeline). Callers that
+// accept a -backend flag should use it to validate the combination of
+// backend and model bundle up front — the int8 and fpga-sim backends
+// require a bundle quantized with adapttrain -quantize.
+func NewClassifier(b Backend, m *Models) (BkgClassifier, error) {
+	return pipeline.NewClassifier(b, m)
+}
+
+// ClassifierProbsInto evaluates cls on the feature matrix x, writing one
+// probability per row into out, using the classifier's buffer-reuse fast
+// path when it has one. Wrappers that compose classifiers (the serving
+// micro-batcher) should route inference through it rather than calling
+// Probs, so the wrapped backend keeps its allocation-free path.
+func ClassifierProbsInto(cls BkgClassifier, x *nn.Tensor, out []float32) {
+	pipeline.ClassifierProbsInto(cls, x, out)
+}
+
 // Instrument bundles the detector, environment, and pipeline configuration.
 type Instrument struct {
 	// Detector is the instrument geometry and measurement model.
@@ -96,6 +129,10 @@ type Instrument struct {
 	// (SetDefaultParallelism / GOMAXPROCS), 1 forces the serial path.
 	// Results are bitwise-identical for any value.
 	Workers int
+	// Backend selects the background-classifier inference implementation
+	// ("" or BackendFloat32 for the FP32 network; BackendInt8 and
+	// BackendFPGASim need a quantized model bundle).
+	Backend Backend
 	// Metrics, when non-nil, collects per-stage latency histograms and
 	// counters across every localization this instrument runs.
 	Metrics *Metrics
@@ -172,6 +209,7 @@ func (inst *Instrument) LocalizeEventsWithClassifier(events []*Event, m *Models,
 	}
 	opts.Bundle = m
 	opts.BkgOverride = cls
+	opts.Backend = inst.Backend
 	opts.Workers = inst.Workers
 	opts.Metrics = inst.Metrics
 	return pipeline.Run(opts, events, xrand.New(seed))
@@ -234,9 +272,11 @@ func SaveModels(m *Models, path string) error { return m.SaveFile(path) }
 // Int8Background is the quantized background classifier (paper §V).
 type Int8Background = quant.Int8Net
 
-// QuantizeBackground converts a model bundle's background network to INT8.
-// The bundle must have been trained with TrainingQuantizable (the
-// layer-swapped architecture that permits Linear+BN+ReLU fusion). The
+// QuantizeBackground converts a model bundle's background network to INT8
+// and attaches the result to the bundle (Models.Int8), so a subsequent
+// SaveModels persists it and the int8/fpga-sim backends can use it. The
+// bundle must have been trained with TrainingQuantizable (the layer-swapped
+// architecture that permits Linear+BN+ReLU fusion). The
 // calibration/fine-tuning data is regenerated from cfg's simulation
 // settings, as in TrainModels.
 func QuantizeBackground(m *Models, cfg Training) (*Int8Background, error) {
@@ -251,7 +291,11 @@ func QuantizeBackground(m *Models, cfg Training) (*Int8Background, error) {
 		qopts.QATEpochs = cfg.Epochs
 	}
 	int8net, _, err := models.QuantizeBackground(m, set, qopts)
-	return int8net, err
+	if err != nil {
+		return nil, err
+	}
+	m.Int8 = int8net
+	return int8net, nil
 }
 
 // TrainingQuantizable marks a Training configuration to produce the
@@ -264,28 +308,10 @@ func TrainingQuantizable(cfg Training) Training {
 
 // LocalizeQuantized is Localize with the INT8 background classifier
 // substituted for the bundle's FP32 network (thresholds and normalizers
-// still come from the bundle).
+// still come from the bundle). Int8Background implements BkgClassifier
+// directly via its batched integer GEMM.
 func (inst *Instrument) LocalizeQuantized(obs *Observation, m *Models, int8net *Int8Background) Result {
-	opts := pipeline.DefaultOptions()
-	opts.Recon = inst.Recon
-	opts.Loc = inst.Loc
-	if inst.MaxNNIters > 0 {
-		opts.MaxNNIters = inst.MaxNNIters
-	}
-	opts.Bundle = m
-	opts.BkgOverride = int8Classifier{net: int8net}
-	return pipeline.Run(opts, obs.Events, xrand.New(1))
-}
-
-// int8Classifier adapts the integer network to the pipeline interface.
-type int8Classifier struct{ net *quant.Int8Net }
-
-func (c int8Classifier) Probs(x *nn.Tensor) []float32 {
-	out := make([]float32, x.Rows)
-	for i := range out {
-		out[i] = c.net.Prob(x.Row(i))
-	}
-	return out
+	return inst.LocalizeEventsWithClassifier(obs.Events, m, int8net, 1)
 }
 
 // Alert is one burst detected and localized by the on-board system.
@@ -308,6 +334,7 @@ func (inst *Instrument) NewOnboard(m *Models, meanBackgroundRate float64) *Onboa
 	cfg.Recon = inst.Recon
 	cfg.Loc = inst.Loc
 	cfg.Bundle = m
+	cfg.Backend = inst.Backend
 	if inst.MaxNNIters > 0 {
 		cfg.MaxNNIters = inst.MaxNNIters
 	}
@@ -326,6 +353,7 @@ func (inst *Instrument) NewOnboardWithSkyMaps(m *Models, meanBackgroundRate floa
 	cfg.Recon = inst.Recon
 	cfg.Loc = inst.Loc
 	cfg.Bundle = m
+	cfg.Backend = inst.Backend
 	if inst.MaxNNIters > 0 {
 		cfg.MaxNNIters = inst.MaxNNIters
 	}

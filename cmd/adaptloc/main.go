@@ -33,6 +33,7 @@ func main() {
 	azimuth := flag.Float64("azimuth", 30, "source azimuth in degrees")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	modelPath := flag.String("models", "", "trained model bundle (empty = no-ML pipeline)")
+	backendName := flag.String("backend", "float32", "inference backend: float32, int8, or fpga-sim (int8/fpga-sim need a bundle from adapttrain -quantize)")
 	eventsPath := flag.String("events", "", "read events from an evio file (written by adaptsim -binary) instead of simulating")
 	skymap := flag.Bool("skymap", false, "compute the posterior sky map: credible areas plus an ASCII rendering")
 	parallelism := flag.Int("parallelism", 0, "worker count for the parallel pipeline stages (0 = GOMAXPROCS, 1 = serial)")
@@ -59,18 +60,26 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	backend, err := adapt.ParseBackend(*backendName)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+
 	adapt.SetDefaultParallelism(*parallelism)
 	inst := adapt.DefaultInstrument()
 	inst.Workers = *parallelism
+	inst.Backend = backend
 	metrics := adapt.NewMetrics()
 	inst.Metrics = metrics
 	var m *adapt.Models
 	if *modelPath != "" {
-		var err error
 		m, err = adapt.LoadModels(*modelPath)
 		if err != nil {
 			log.Fatalf("load models: %v", err)
 		}
+	}
+	if _, err := adapt.NewClassifier(backend, m); err != nil {
+		log.Fatalf("%v", err)
 	}
 
 	var events []*adapt.Event

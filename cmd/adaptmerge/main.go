@@ -111,6 +111,7 @@ func main() {
 	sigma := flag.Float64("sigma", 8, "trigger significance threshold in Poisson sigma")
 	window := flag.Float64("window", 0.1, "trigger sliding-window width in seconds")
 	modelPath := flag.String("model", "", "model bundle for the ML pipeline (empty = analytic pipeline)")
+	backendName := flag.String("backend", "float32", "inference backend: float32, int8, or fpga-sim (int8/fpga-sim need a bundle from adapttrain -quantize)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for localization (0 = GOMAXPROCS)")
 
 	// Recording and output.
@@ -140,6 +141,11 @@ func main() {
 		adapt.SetDefaultParallelism(*parallelism)
 	}
 
+	backend, err := adapt.ParseBackend(*backendName)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+
 	var bundle *adapt.Models
 	if *modelPath != "" {
 		m, err := adapt.LoadModels(*modelPath)
@@ -147,6 +153,9 @@ func main() {
 			log.Fatalf("load models: %v", err)
 		}
 		bundle = m
+	}
+	if _, err := adapt.NewClassifier(backend, bundle); err != nil {
+		log.Fatalf("%v", err)
 	}
 
 	det := detector.DefaultConfig()
@@ -162,6 +171,7 @@ func main() {
 	reg := obs.NewRegistry()
 	cfg := stream.DefaultConfig(rate)
 	cfg.Bundle = bundle
+	cfg.Backend = backend
 	cfg.Seed = *seed
 	cfg.Metrics = reg
 	cfg.SigmaThreshold = *sigma

@@ -33,6 +33,8 @@ func main() {
 	seed := flag.Uint64("seed", 7, "dataset and training seed")
 	out := flag.String("o", "models.gob", "output model file")
 	noPolar := flag.Bool("no-polar", false, "train the Fig. 7 ablation variant without the polar-angle input")
+	quantize := flag.Bool("quantize", false, "also quantize the background net to INT8 and store it in the bundle (enables the int8 and fpga-sim backends)")
+	quantMode := flag.String("quant-mode", "qat", "quantization strategy when -quantize is set: qat (fine-tuned) or ptq (calibration only)")
 	quiet := flag.Bool("q", false, "suppress per-epoch progress")
 	tuneN := flag.Int("tune", 0, "run a random hyperparameter search with this many candidates before training (0 = off)")
 	version := flag.Bool("version", false, "print version and exit")
@@ -40,6 +42,16 @@ func main() {
 	if *version {
 		fmt.Println(buildinfo.Line("adapttrain"))
 		return
+	}
+
+	var qmode models.QuantMode
+	switch *quantMode {
+	case "qat":
+		qmode = models.ModeQAT
+	case "ptq":
+		qmode = models.ModePTQ
+	default:
+		log.Fatalf("unknown -quant-mode %q (want qat or ptq)", *quantMode)
 	}
 
 	if *tuneN > 0 {
@@ -56,10 +68,36 @@ func main() {
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
+	if *quantize {
+		// Quantization needs the fusion-friendly (layer-swapped) background
+		// architecture.
+		cfg = adapt.TrainingQuantizable(cfg)
+	}
 	m := adapt.TrainModels(cfg)
 	log.Printf("background net test accuracy: %.3f", m.BkgTestAcc)
 	log.Printf("dEta net test MSE (ln space): %.3f (width calibration %.2f)", m.DEtaTestMSE, m.DEtaScale)
 	log.Printf("per-bin thresholds: %v", m.Thr.ByBin)
+
+	if *quantize {
+		// Quantize on the same training distribution the float net saw.
+		gen := datagen.DefaultConfig(*seed)
+		gen.BurstsPerAngle = *bursts
+		set := datagen.Generate(gen)
+		qopts := models.DefaultQuantizeOptions(*seed + 2)
+		qopts.Mode = qmode
+		if *epochs > 0 && *epochs < qopts.QATEpochs {
+			qopts.QATEpochs = *epochs
+		}
+		if !*quiet {
+			qopts.Logf = log.Printf
+		}
+		int8net, _, err := models.QuantizeBackground(m, set, qopts)
+		if err != nil {
+			log.Fatalf("quantize: %v", err)
+		}
+		m.Int8 = int8net
+		log.Printf("quantized background net (%s) attached to bundle", qopts.Mode)
+	}
 
 	// Per-bin classifier report on a fresh evaluation set.
 	evalGen := datagen.DefaultConfig(*seed + 100)
@@ -69,6 +107,9 @@ func main() {
 	m.BkgNorm.Apply(ds.X)
 	probs := m.Bkg.PredictProbs(ds.X)
 	log.Printf("held-out AUC: %.3f", models.AUC(probs, ds.Y))
+	if m.Int8 != nil {
+		log.Printf("held-out AUC (int8): %.3f", models.AUC(m.Int8.Probs(ds.X), ds.Y))
+	}
 	models.ReportByBin(os.Stderr, probs, ds.Y, datagen.PolarBins(evalSet), m.Thr)
 
 	if err := adapt.SaveModels(m, *out); err != nil {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -71,6 +72,9 @@ type Config struct {
 	Population Population
 	// Bundle supplies the networks (nil = no-ML pipeline).
 	Bundle *models.Bundle
+	// Backend selects the background-classifier inference implementation
+	// for every trial's pipeline ("" = float32).
+	Backend pipeline.Backend
 	// Workers caps the per-trial fan-out: each burst's quiet window is an
 	// independent simulation + detection + localization, so trials shard
 	// across the pool. 0 means the process default, 1 serial. Outcomes are
@@ -218,6 +222,7 @@ func RunContext(ctx context.Context, cfg Config, w io.Writer) (*Result, error) {
 
 		sysCfg := core.DefaultConfig(meanRate)
 		sysCfg.Bundle = cfg.Bundle
+		sysCfg.Backend = cfg.Backend
 		sysCfg.Workers = innerWorkers
 		sysCfg.Metrics = cfg.Metrics
 		alerts := core.NewSystem(sysCfg).ProcessExposure(events, rng)

@@ -85,6 +85,9 @@ type Config struct {
 	Loc   localize.Config
 	// Bundle supplies the networks; nil runs the no-ML pipeline.
 	Bundle *models.Bundle
+	// Backend selects the background-classifier inference implementation
+	// (see pipeline.Backend); "" means float32.
+	Backend pipeline.Backend
 	// MaxNNIters bounds the ML loop (paper: 5).
 	MaxNNIters int
 	// Trigger detects bursts in the event stream.
@@ -187,6 +190,7 @@ func (s *System) ProcessExposure(events []*detector.Event, rng *xrand.RNG) []Ale
 		opts.Recon = s.cfg.Recon
 		opts.Loc = s.cfg.Loc
 		opts.Bundle = s.cfg.Bundle
+		opts.Backend = s.cfg.Backend
 		opts.MaxNNIters = s.cfg.MaxNNIters
 		opts.Workers = s.cfg.Workers
 		opts.Metrics = s.cfg.Metrics

@@ -1,0 +1,83 @@
+package fpga
+
+import (
+	"sync/atomic"
+
+	"repro/internal/nn"
+	"repro/internal/nn/quant"
+)
+
+// Kernel is the fpga-sim inference backend: the INT8 background network
+// evaluated with the exact integer arithmetic of quant.Int8Net, wrapped in
+// the synthesized kernel's cycle accounting. The package's analytic model
+// (Synthesize) is a schedule/resource model, not a functional simulator, so
+// the numeric results of this backend are bitwise-identical to the int8
+// backend by construction — what fpga-sim adds is the deployment-side
+// latency ledger: every batch of n rows charges TotalCycles(n) = n·II +
+// (L − II) against the synthesized report, giving the flight-hardware cost
+// of the inference the software actually performed.
+type Kernel struct {
+	net    *quant.Int8Net
+	report Report
+
+	// Cumulative simulated-hardware counters, updated atomically so the
+	// kernel can serve the pipeline's sharded inference and the serving
+	// micro-batcher concurrently.
+	cycles  atomic.Int64
+	inputs  atomic.Int64
+	batches atomic.Int64
+}
+
+// NewKernel synthesizes net's layer pipeline for dev at INT8 precision and
+// returns the simulated kernel. net must be non-nil and prepared (any net
+// from quant.Convert or models.LoadBundle is).
+func NewKernel(net *quant.Int8Net, dev Device) *Kernel {
+	if net == nil {
+		panic("fpga: NewKernel requires an Int8Net")
+	}
+	layers := make([]LayerDims, len(net.Layers))
+	for i, l := range net.Layers {
+		layers[i] = LayerDims{In: l.In, Out: l.Out}
+	}
+	return &Kernel{net: net, report: Synthesize(layers, INT8, dev)}
+}
+
+// Probs implements the pipeline's BkgClassifier contract.
+func (k *Kernel) Probs(x *nn.Tensor) []float32 {
+	out := make([]float32, x.Rows)
+	k.ProbsInto(x, out)
+	return out
+}
+
+// ProbsInto implements the pipeline's allocation-free fast path. Each call
+// models one burst of x.Rows inputs streamed through the synthesized
+// pipeline and charges its cycles to the kernel's ledger.
+func (k *Kernel) ProbsInto(x *nn.Tensor, out []float32) {
+	k.net.ProbsInto(x, out)
+	if x.Rows > 0 {
+		k.cycles.Add(int64(k.report.TotalCycles(x.Rows)))
+		k.inputs.Add(int64(x.Rows))
+		k.batches.Add(1)
+	}
+}
+
+// Report returns the synthesis report the kernel was built from.
+func (k *Kernel) Report() Report { return k.report }
+
+// Net returns the underlying integer network.
+func (k *Kernel) Net() *quant.Int8Net { return k.net }
+
+// SimCycles returns the cumulative simulated hardware cycles charged so far.
+func (k *Kernel) SimCycles() int64 { return k.cycles.Load() }
+
+// SimInputs returns the cumulative rows inferred.
+func (k *Kernel) SimInputs() int64 { return k.inputs.Load() }
+
+// SimBatches returns the number of inference bursts charged.
+func (k *Kernel) SimBatches() int64 { return k.batches.Load() }
+
+// SimMs returns the cumulative simulated wall-clock time at the report's
+// clock, the number to weigh against the software path's measured latency.
+func (k *Kernel) SimMs() float64 {
+	return float64(k.cycles.Load()) * k.report.ClockNs * 1e-6
+}

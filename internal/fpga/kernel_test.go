@@ -1,0 +1,121 @@
+package fpga
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/nn/quant"
+	"repro/internal/xrand"
+)
+
+// kernelFixture builds a small calibrated Int8Net and a feature batch.
+func kernelFixture(t *testing.T) (*quant.Int8Net, *nn.Tensor) {
+	t.Helper()
+	rng := xrand.New(21)
+	net := nn.NewSequential(
+		nn.NewLinear(6, 16, rng), nn.NewBatchNorm1D(16), nn.NewReLU(),
+		nn.NewLinear(16, 8, rng), nn.NewBatchNorm1D(8), nn.NewReLU(),
+		nn.NewLinear(8, 1, rng),
+	)
+	fused, err := quant.FuseForQuant(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := nn.NewTensor(64, 6)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.Gaussian(0, 1))
+	}
+	for _, l := range fused.Layers {
+		l.(*quant.QATLinear).Enabled = false
+	}
+	warm := &nn.Trainer{Net: fused, Loss: nn.BCEWithLogits{}, Opt: nn.NewSGD(0, 0), BatchSize: 32, MaxEpochs: 1, Patience: 5}
+	warm.Fit(&nn.Dataset{X: x, Y: make([]float32, x.Rows)}, nil, rng)
+	int8net, err := quant.Convert(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int8net, x
+}
+
+// TestKernelParity: fpga-sim is a cost model around the int8 arithmetic, so
+// its probabilities must be bitwise-identical to the bare Int8Net's.
+func TestKernelParity(t *testing.T) {
+	int8net, x := kernelFixture(t)
+	k := NewKernel(int8net, DefaultDevice())
+	want := int8net.Probs(x)
+	got := k.Probs(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: kernel %v != int8 %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelCycleLedger(t *testing.T) {
+	int8net, x := kernelFixture(t)
+	k := NewKernel(int8net, DefaultDevice())
+	rep := k.Report()
+
+	out := make([]float32, x.Rows)
+	k.ProbsInto(x, out)
+	one := nn.NewTensor(1, x.Cols)
+	copy(one.Data, x.Row(0))
+	k.ProbsInto(one, out[:1])
+	// An empty batch charges nothing.
+	k.ProbsInto(nn.NewTensor(0, x.Cols), nil)
+
+	wantCycles := int64(rep.TotalCycles(x.Rows) + rep.TotalCycles(1))
+	if k.SimCycles() != wantCycles {
+		t.Errorf("cycles %d, want %d", k.SimCycles(), wantCycles)
+	}
+	if k.SimInputs() != int64(x.Rows+1) {
+		t.Errorf("inputs %d, want %d", k.SimInputs(), x.Rows+1)
+	}
+	if k.SimBatches() != 2 {
+		t.Errorf("batches %d, want 2", k.SimBatches())
+	}
+	wantMs := float64(wantCycles) * rep.ClockNs * 1e-6
+	if k.SimMs() != wantMs {
+		t.Errorf("SimMs %v, want %v", k.SimMs(), wantMs)
+	}
+	if k.Net() != int8net {
+		t.Error("Net accessor lost the wrapped network")
+	}
+}
+
+// TestKernelConcurrentLedger: the ledger must stay exact when the kernel
+// serves sharded pipeline workers concurrently (run under -race).
+func TestKernelConcurrentLedger(t *testing.T) {
+	int8net, x := kernelFixture(t)
+	k := NewKernel(int8net, DefaultDevice())
+	const workers, calls = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]float32, x.Rows)
+			for c := 0; c < calls; c++ {
+				k.ProbsInto(x, out)
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(workers * calls * k.Report().TotalCycles(x.Rows))
+	if k.SimCycles() != want {
+		t.Errorf("concurrent cycles %d, want %d", k.SimCycles(), want)
+	}
+	if k.SimBatches() != workers*calls {
+		t.Errorf("concurrent batches %d, want %d", k.SimBatches(), workers*calls)
+	}
+}
+
+func TestNewKernelNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewKernel(nil) did not panic")
+		}
+	}()
+	NewKernel(nil, DefaultDevice())
+}

@@ -224,6 +224,69 @@ func TestQuantizeBackgroundFlow(t *testing.T) {
 	}
 }
 
+func TestBundleInt8RoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains networks")
+	}
+	set := tinySet()
+	opts := DefaultTrainOptions(9)
+	opts.MaxEpochs = 2
+	opts.BkgBatch = 512
+	opts.Swapped = true
+	b := Train(set, opts)
+
+	// A bundle without a quantized model round-trips to a nil Int8.
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Int8 != nil {
+		t.Fatal("unquantized bundle grew an Int8 model in round-trip")
+	}
+
+	qopts := DefaultQuantizeOptions(10)
+	qopts.Mode = ModePTQ
+	int8net, _, err := QuantizeBackground(b, set, qopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Int8 = int8net
+
+	buf.Reset()
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Int8 == nil {
+		t.Fatal("quantized model lost in round-trip")
+	}
+
+	// Integer inference must be bitwise-identical after the gob round-trip,
+	// on both the batched path (exercises the re-Prepared fold cache) and
+	// the per-row path.
+	ds := datagen.BackgroundDataset(set, true)
+	b.BkgNorm.Apply(ds.X)
+	x := nn.NewTensor(32, ds.X.Cols)
+	copy(x.Data, ds.X.Data[:len(x.Data)])
+	want := b.Int8.Logits(x)
+	got := b2.Int8.Logits(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: restored batched logit %v != original %v", i, got[i], want[i])
+		}
+		if pr := b2.Int8.Logit(x.Row(i)); pr != want[i] {
+			t.Fatalf("row %d: restored per-row logit %v != original %v", i, pr, want[i])
+		}
+	}
+}
+
 func TestDescribeWidths(t *testing.T) {
 	if describeWidths("x", 13, []int{2, 1}) != "x: 13→2→1" {
 		t.Errorf("describeWidths = %q", describeWidths("x", 13, []int{2, 1}))

@@ -8,10 +8,16 @@ import (
 
 	"repro/internal/features"
 	"repro/internal/nn"
+	"repro/internal/nn/quant"
 	"repro/internal/xrand"
 )
 
-// bundleFile is the on-disk representation of a Bundle.
+// bundleFile is the on-disk representation of a Bundle. The Int8 pair was
+// added after the first release: gob zeroes absent fields, so bundles
+// written by older builds decode with HasInt8 false, and older builds
+// ignore the new fields in bundles written by this one. Int8 is a value
+// (not a pointer) so a quantization-free bundle never makes gob flatten a
+// nil pointer.
 type bundleFile struct {
 	WithPolar   bool
 	Swapped     bool
@@ -23,12 +29,14 @@ type bundleFile struct {
 	DEtaScale   float64
 	BkgTestAcc  float64
 	DEtaTestMSE float64
+	HasInt8     bool
+	Int8        quant.Int8Net
 }
 
 // Save writes the bundle with gob encoding.
 func (b *Bundle) Save(w io.Writer) error {
 	swapped := isSwapped(b.Bkg)
-	return gob.NewEncoder(w).Encode(bundleFile{
+	f := bundleFile{
 		WithPolar:   b.WithPolar,
 		Swapped:     swapped,
 		BkgState:    b.Bkg.ExportState(),
@@ -39,7 +47,12 @@ func (b *Bundle) Save(w io.Writer) error {
 		DEtaScale:   b.DEtaScale,
 		BkgTestAcc:  b.BkgTestAcc,
 		DEtaTestMSE: b.DEtaTestMSE,
-	})
+	}
+	if b.Int8 != nil {
+		f.HasInt8 = true
+		f.Int8 = *b.Int8
+	}
+	return gob.NewEncoder(w).Encode(f)
 }
 
 // isSwapped detects the fusion-friendly layer order (first layer Linear
@@ -83,6 +96,15 @@ func LoadBundle(r io.Reader) (*Bundle, error) {
 	}
 	if err := b.DEta.ImportState(f.DEtaState); err != nil {
 		return nil, fmt.Errorf("models: dEta net: %w", err)
+	}
+	if f.HasInt8 {
+		net := f.Int8
+		if len(net.Layers) == 0 {
+			return nil, fmt.Errorf("models: bundle claims a quantized model but has no layers")
+		}
+		// gob cannot restore the unexported GEMM cache; rebuild it.
+		net.Prepare()
+		b.Int8 = &net
 	}
 	return b, nil
 }

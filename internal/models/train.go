@@ -7,6 +7,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/features"
 	"repro/internal/nn"
+	"repro/internal/nn/quant"
 	"repro/internal/xrand"
 )
 
@@ -71,6 +72,12 @@ type Bundle struct {
 	// time, for reporting.
 	BkgTestAcc  float64
 	DEtaTestMSE float64
+	// Int8 is the quantized background network produced by
+	// QuantizeBackground (adapttrain -quantize); nil for an unquantized
+	// bundle. The int8 and fpga-sim inference backends require it. It
+	// shares the bundle's BkgNorm and Thr: quantization changes the
+	// arithmetic, not the feature pipeline or the decision thresholds.
+	Int8 *quant.Int8Net
 }
 
 // Train generates the paper's training protocol from a labeled ring set:

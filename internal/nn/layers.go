@@ -261,6 +261,31 @@ func (b *BatchNorm1D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
 // String implements Layer.
 func (b *BatchNorm1D) String() string { return fmt.Sprintf("BatchNorm1D(%d)", b.Dim) }
 
+// NumBuffers implements BufferLayer.
+func (b *BatchNorm1D) NumBuffers() int { return 2 }
+
+// ExportBuffers implements BufferLayer: [RunMean, RunVar], the order the
+// serializer has always used for batch-norm state.
+func (b *BatchNorm1D) ExportBuffers() [][]float32 {
+	return [][]float32{
+		append([]float32(nil), b.RunMean...),
+		append([]float32(nil), b.RunVar...),
+	}
+}
+
+// ImportBuffers implements BufferLayer.
+func (b *BatchNorm1D) ImportBuffers(bufs [][]float32) error {
+	if len(bufs) != 2 {
+		return fmt.Errorf("batch-norm expects 2 buffers, got %d", len(bufs))
+	}
+	if len(bufs[0]) != b.Dim || len(bufs[1]) != b.Dim {
+		return fmt.Errorf("batch-norm buffer length mismatch: %d/%d vs dim %d", len(bufs[0]), len(bufs[1]), b.Dim)
+	}
+	copy(b.RunMean, bufs[0])
+	copy(b.RunVar, bufs[1])
+	return nil
+}
+
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	mask []bool

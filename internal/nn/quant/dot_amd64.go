@@ -1,0 +1,17 @@
+//go:build amd64
+
+package quant
+
+// dotInt8 computes Σ x[i]·w[i]; x and w must have equal length. On amd64
+// it is the SSE2 kernel in dot_amd64.s: 16 int8 lanes are sign-extended to
+// int16 and multiply-accumulated pairwise with PMADDWD, eight MACs per
+// instruction against the scalar loop's one. SSE2 is the amd64 baseline,
+// so no runtime feature detection is needed.
+//
+// Overflow: each PMADDWD lane is at most 2·128² < 2¹⁵ and the four int32
+// accumulator lanes each absorb ⌈len/8⌉ of them, so lanes stay exact for
+// len < 2¹⁵ — far above any layer width (the background net's widest layer
+// is 256).
+//
+//go:noescape
+func dotInt8(x, w []int8) int64

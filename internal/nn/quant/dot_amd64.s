@@ -1,0 +1,68 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotInt8(x, w []int8) int64
+//
+// SSE2 int8 dot product. 16 elements per iteration: each half of the two
+// 16-byte loads is sign-extended to int16 lanes (self-interleave then
+// arithmetic shift), multiply-accumulated pairwise by PMADDWL into four
+// int32 lanes, and the lanes are reduced at the end. The tail runs
+// element-wise. Only len(x) elements are read from either slice.
+TEXT ·dotInt8(SB), NOSPLIT, $0-56
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	MOVQ w_base+24(FP), DI
+	XORQ AX, AX            // element index
+	XORQ R10, R10          // scalar tail accumulator
+	PXOR X0, X0            // 4-lane int32 accumulator
+	MOVQ CX, BX
+	ANDQ $-16, BX          // SIMD-covered length
+	JZ   tail
+
+loop:
+	MOVOU (SI)(AX*1), X1
+	MOVOU (DI)(AX*1), X2
+
+	MOVOU     X1, X3
+	PUNPCKLBW X3, X3       // low 8 bytes doubled into int16 lanes
+	PSRAW     $8, X3       // arithmetic shift = sign-extend x[0..7]
+	MOVOU     X2, X4
+	PUNPCKLBW X4, X4
+	PSRAW     $8, X4       // sign-extend w[0..7]
+	PMADDWL   X4, X3       // pairwise int16 MAC into 4 int32 lanes
+	PADDD     X3, X0
+
+	MOVOU     X1, X3
+	PUNPCKHBW X3, X3
+	PSRAW     $8, X3       // sign-extend x[8..15]
+	MOVOU     X2, X4
+	PUNPCKHBW X4, X4
+	PSRAW     $8, X4
+	PMADDWL   X4, X3
+	PADDD     X3, X0
+
+	ADDQ $16, AX
+	CMPQ AX, BX
+	JLT  loop
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	MOVBQSX (SI)(AX*1), R8
+	MOVBQSX (DI)(AX*1), R9
+	IMULQ   R9, R8
+	ADDQ    R8, R10
+	INCQ    AX
+	JMP     tail
+
+done:
+	PSHUFD $0x4E, X0, X1   // swap the two 64-bit halves
+	PADDD  X1, X0
+	PSHUFD $0xB1, X0, X1   // swap adjacent 32-bit lanes
+	PADDD  X1, X0
+	MOVL   X0, AX          // low int32 lane
+	MOVLQSX AX, AX
+	ADDQ   R10, AX
+	MOVQ   AX, ret+48(FP)
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package quant
+
+// dotInt8 computes Σ x[i]·w[i]; x and w must have equal length. On
+// architectures without a SIMD kernel it is the portable scalar loop.
+func dotInt8(x, w []int8) int64 { return dotInt8Generic(x, w) }

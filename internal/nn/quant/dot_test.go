@@ -1,0 +1,105 @@
+package quant
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestDotInt8MatchesGeneric differential-tests the active dotInt8 (the
+// SIMD kernel on amd64) against the portable scalar reference across
+// lengths that hit every lane/tail combination.
+func TestDotInt8MatchesGeneric(t *testing.T) {
+	rng := xrand.New(51)
+	for _, n := range []int{0, 1, 3, 7, 8, 13, 15, 16, 17, 31, 32, 64, 255, 256, 257} {
+		for trial := 0; trial < 8; trial++ {
+			x := make([]int8, n)
+			w := make([]int8, n)
+			for i := range x {
+				x[i] = int8(rng.Uint64())
+				w[i] = int8(rng.Uint64())
+			}
+			if got, want := dotInt8(x, w), dotInt8Generic(x, w); got != want {
+				t.Fatalf("n=%d trial %d: dotInt8 = %d, generic = %d", n, trial, got, want)
+			}
+		}
+	}
+
+	// Extremes: -128·-128 accumulated across a full layer width.
+	n := 256
+	lo := make([]int8, n)
+	for i := range lo {
+		lo[i] = -128
+	}
+	if got, want := dotInt8(lo, lo), int64(n)*128*128; got != want {
+		t.Fatalf("all -128: dotInt8 = %d, want %d", got, want)
+	}
+}
+
+// TestDotInt8NoOverread: the kernel must read only len(x) elements of w
+// even when w's backing array is longer.
+func TestDotInt8NoOverread(t *testing.T) {
+	back := make([]int8, 64)
+	for i := range back {
+		back[i] = 127
+	}
+	x := make([]int8, 19)
+	for i := range x {
+		x[i] = 2
+	}
+	if got, want := dotInt8(x, back[:19]), int64(19*2*127); got != want {
+		t.Fatalf("dotInt8 = %d, want %d", got, want)
+	}
+}
+
+// FuzzDotInt8 drives the differential test from the fuzzer: any byte pair
+// of equal length must produce identical sums from the SIMD and scalar
+// paths.
+func FuzzDotInt8(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{4, 5, 6})
+	f.Add([]byte{0x80, 0x7F, 0x80, 0x7F, 0x80, 0x7F, 0x80, 0x7F, 0x80, 0x7F, 0x80, 0x7F, 0x80, 0x7F, 0x80, 0x7F, 1}, make([]byte, 17))
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		x := make([]int8, n)
+		w := make([]int8, n)
+		for i := 0; i < n; i++ {
+			x[i] = int8(a[i])
+			w[i] = int8(b[i])
+		}
+		if got, want := dotInt8(x, w), dotInt8Generic(x, w); got != want {
+			t.Errorf("len %d: dotInt8 = %d, generic = %d", n, got, want)
+		}
+	})
+}
+
+func BenchmarkDotInt8(b *testing.B) {
+	x := make([]int8, 256)
+	w := make([]int8, 256)
+	rng := xrand.New(52)
+	for i := range x {
+		x[i] = int8(rng.Uint64())
+		w[i] = int8(rng.Uint64())
+	}
+	b.SetBytes(256)
+	for i := 0; i < b.N; i++ {
+		dotInt8(x, w)
+	}
+}
+
+func BenchmarkDotInt8Generic(b *testing.B) {
+	x := make([]int8, 256)
+	w := make([]int8, 256)
+	rng := xrand.New(53)
+	for i := range x {
+		x[i] = int8(rng.Uint64())
+		w[i] = int8(rng.Uint64())
+	}
+	b.SetBytes(256)
+	for i := 0; i < b.N; i++ {
+		dotInt8Generic(x, w)
+	}
+}

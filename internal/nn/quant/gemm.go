@@ -1,0 +1,188 @@
+package quant
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// This file is the batched integer inference path: one int8 GEMM per layer
+// over a whole feature matrix, instead of one vector pass per row (Logit).
+// Batching amortizes the per-layer requantization setup and keeps the int8
+// weight matrix hot in cache across rows, which is where the INT8 model
+// overtakes the FP32 network (see BenchmarkBackendBatch): the arithmetic
+// per MAC is comparable, but the batched path is allocation-free per row,
+// fuses ReLU into requantization, and never touches float until the final
+// logit.
+//
+// Determinism: every operation is exact integer arithmetic, so the result
+// of a row is independent of the batch it rides in and of any row-range
+// sharding — batched inference is bitwise-identical to per-row Logit calls
+// at any batch size and worker count.
+
+// prepare computes the zero-point-folded biases used by the batched path:
+//
+//	biasAdj[o] = Bias[o] − InZero·Σᵢ W[o·In+i]
+//
+// so the inner GEMM loop is a plain Σ xᵢ·wᵢ over raw int8 codes with no
+// per-element zero-point subtraction. The fold is exact integer algebra,
+// so results are bitwise-identical to the unfolded form used by Logit.
+//
+// Convert calls Prepare at construction time, and models.LoadBundle calls
+// it after gob decoding (gob cannot restore the unexported cache). A
+// hand-built Int8Net that skips Prepare computes the fold per call instead
+// (never writing the cache, so concurrent first calls stay race-free). An
+// Int8Net must not be mutated after its first inference.
+func (n *Int8Net) Prepare() {
+	adj := make([][]int64, len(n.Layers))
+	for li := range n.Layers {
+		adj[li] = biasAdjusted(&n.Layers[li])
+	}
+	n.biasAdj = adj
+}
+
+// biasAdjusted returns the zero-point-folded bias vector of one layer.
+func biasAdjusted(l *Int8Layer) []int64 {
+	adj := make([]int64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		var sw int32
+		for _, w := range l.W[o*l.In : (o+1)*l.In] {
+			sw += int32(w)
+		}
+		adj[o] = int64(l.Bias[o]) - int64(l.InZero)*int64(sw)
+	}
+	return adj
+}
+
+// Logits runs batched integer inference and returns one float logit per
+// row of x.
+func (n *Int8Net) Logits(x *nn.Tensor) []float32 {
+	out := make([]float32, x.Rows)
+	n.LogitsInto(x, out)
+	return out
+}
+
+// LogitsInto is Logits writing into out, which must have exactly x.Rows
+// slots. It is safe for concurrent use; sharded callers (the pipeline's
+// parallel inference, the serving micro-batcher) get bitwise-identical
+// results at any shard boundary.
+func (n *Int8Net) LogitsInto(x *nn.Tensor, out []float32) {
+	if len(n.Layers) == 0 {
+		panic("quant: empty Int8Net")
+	}
+	if x.Cols != n.Layers[0].In {
+		panic(fmt.Sprintf("quant: Int8Net expects %d features, got %d", n.Layers[0].In, x.Cols))
+	}
+	if len(out) != x.Rows {
+		panic("quant: LogitsInto output length must equal x.Rows")
+	}
+	rows := x.Rows
+	if rows == 0 {
+		return
+	}
+	last := &n.Layers[len(n.Layers)-1]
+	if !last.Final || last.Out != 1 {
+		panic("quant: Int8Net final layer must be a single-output Final layer")
+	}
+
+	// One quantization pass over the input, then two ping-pong activation
+	// buffers sized for the widest hidden layer.
+	maxOut := 0
+	for i := range n.Layers {
+		if l := &n.Layers[i]; !l.Final && l.Out > maxOut {
+			maxOut = l.Out
+		}
+	}
+	xq := make([]int8, rows*x.Cols)
+	for i, f := range x.Data {
+		xq[i] = n.Input.Quantize(f)
+	}
+	var bufA, bufB []int8
+	if maxOut > 0 {
+		bufA = make([]int8, rows*maxOut)
+		bufB = make([]int8, rows*maxOut)
+	}
+
+	cur := xq
+	for li := range n.Layers {
+		l := &n.Layers[li]
+		var badj []int64
+		if n.biasAdj != nil {
+			badj = n.biasAdj[li]
+		} else {
+			badj = biasAdjusted(l)
+		}
+		if l.Final {
+			w := l.W[:l.In]
+			scale := l.DeqScale
+			if l.PerChannel {
+				scale = l.DeqScales[0]
+			}
+			for r := 0; r < rows; r++ {
+				acc := badj[0] + dotInt8(cur[r*l.In:(r+1)*l.In], w)
+				out[r] = float32(acc) * scale
+			}
+			return
+		}
+		y := bufA[:rows*l.Out]
+		for r := 0; r < rows; r++ {
+			xrow := cur[r*l.In : (r+1)*l.In]
+			yrow := y[r*l.Out : (r+1)*l.Out]
+			for o := 0; o < l.Out; o++ {
+				acc := badj[o] + dotInt8(xrow, l.W[o*l.In:(o+1)*l.In])
+				var q int8
+				if l.PerChannel {
+					q = requantize(acc, l.M0s[o], l.Shifts[o], l.OutZero)
+				} else {
+					q = requantize(acc, l.M0, l.Shift, l.OutZero)
+				}
+				if l.ReLU && int32(q) < l.OutZero {
+					q = clampInt8(l.OutZero)
+				}
+				yrow[o] = q
+			}
+		}
+		cur, bufA, bufB = y, bufB, bufA
+	}
+	panic("quant: Int8Net has no Final layer")
+}
+
+// Probs runs batched integer inference and applies the float sigmoid per
+// row. Together with ProbsInto it satisfies the pipeline's BkgClassifier
+// contract, so an Int8Net can be injected directly as a background
+// classifier.
+func (n *Int8Net) Probs(x *nn.Tensor) []float32 {
+	out := make([]float32, x.Rows)
+	n.ProbsInto(x, out)
+	return out
+}
+
+// ProbsInto is Probs writing into a caller-owned buffer (the pipeline's
+// allocation-free sharded fast path).
+func (n *Int8Net) ProbsInto(x *nn.Tensor, out []float32) {
+	n.LogitsInto(x, out)
+	for i, v := range out {
+		out[i] = nn.Sigmoid(v)
+	}
+}
+
+// dotInt8Generic computes Σ x[i]·w[i] in int32 with 4-way unrolling; x and
+// w must have equal length. The accumulator cannot overflow: |x·w| ≤ 128²
+// and layer widths are far below 2³¹/128². It is the portable dotInt8
+// implementation and the reference the SIMD kernel is differential-tested
+// against (TestDotInt8MatchesGeneric, FuzzDotInt8).
+func dotInt8Generic(x, w []int8) int64 {
+	var s0, s1, s2, s3 int32
+	n := len(x) &^ 3
+	w = w[:len(x)] // eliminate bounds checks in the loop
+	for i := 0; i < n; i += 4 {
+		s0 += int32(x[i]) * int32(w[i])
+		s1 += int32(x[i+1]) * int32(w[i+1])
+		s2 += int32(x[i+2]) * int32(w[i+2])
+		s3 += int32(x[i+3]) * int32(w[i+3])
+	}
+	for i := n; i < len(x); i++ {
+		s0 += int32(x[i]) * int32(w[i])
+	}
+	return int64(s0 + s1 + s2 + s3)
+}

@@ -1,0 +1,137 @@
+package quant
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/xrand"
+)
+
+// convertTrained builds a trained, calibrated, converted Int8Net and its
+// dataset. perChannel selects per-output-row weight scales.
+func convertTrained(t *testing.T, perChannel bool) (*Int8Net, *nn.Dataset) {
+	t.Helper()
+	net, ds := buildTrainedSwapped(t)
+	fused, err := FuseForQuant(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perChannel {
+		for _, l := range fused.Layers {
+			l.(*QATLinear).PerChannel = true
+		}
+	}
+	calibrate(fused, ds, xrand.New(11))
+	int8net, err := Convert(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int8net, ds
+}
+
+// TestBatchedMatchesPerRow is the backend determinism contract: the batched
+// GEMM must be bitwise-identical to per-row Logit calls at every batch
+// size, because the zero-point fold is exact integer algebra.
+func TestBatchedMatchesPerRow(t *testing.T) {
+	for _, perChannel := range []bool{false, true} {
+		name := "per-tensor"
+		if perChannel {
+			name = "per-channel"
+		}
+		t.Run(name, func(t *testing.T) {
+			int8net, ds := convertTrained(t, perChannel)
+			for _, batch := range []int{1, 3, 8, 64} {
+				x := nn.NewTensor(batch, ds.X.Cols)
+				for r := 0; r < batch; r++ {
+					copy(x.Row(r), ds.X.Row(r*7%ds.Len()))
+				}
+				logits := int8net.Logits(x)
+				probs := int8net.Probs(x)
+				for r := 0; r < batch; r++ {
+					if want := int8net.Logit(x.Row(r)); logits[r] != want {
+						t.Fatalf("batch %d row %d: batched logit %v != per-row %v", batch, r, logits[r], want)
+					}
+					if want := int8net.Prob(x.Row(r)); probs[r] != want {
+						t.Fatalf("batch %d row %d: batched prob %v != per-row %v", batch, r, probs[r], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedShardInvariance checks that splitting a batch at any boundary
+// produces bitwise-identical results — the property the pipeline's sharded
+// parallel inference and the serving micro-batcher rely on.
+func TestBatchedShardInvariance(t *testing.T) {
+	int8net, ds := convertTrained(t, false)
+	n := 32
+	x := nn.NewTensor(n, ds.X.Cols)
+	for r := 0; r < n; r++ {
+		copy(x.Row(r), ds.X.Row(r%ds.Len()))
+	}
+	whole := int8net.Logits(x)
+	for _, cut := range []int{1, 5, 16, 31} {
+		lo := nn.NewTensor(cut, x.Cols)
+		hi := nn.NewTensor(n-cut, x.Cols)
+		copy(lo.Data, x.Data[:cut*x.Cols])
+		copy(hi.Data, x.Data[cut*x.Cols:])
+		got := append(int8net.Logits(lo), int8net.Logits(hi)...)
+		for i := range whole {
+			if got[i] != whole[i] {
+				t.Fatalf("cut %d row %d: sharded %v != whole %v", cut, i, got[i], whole[i])
+			}
+		}
+	}
+}
+
+// TestBatchedUnprepared: a net without the Prepare cache (e.g. hand-built)
+// must compute the same results and must not write the cache on the fly.
+func TestBatchedUnprepared(t *testing.T) {
+	int8net, ds := convertTrained(t, false)
+	x := nn.NewTensor(4, ds.X.Cols)
+	for r := 0; r < 4; r++ {
+		copy(x.Row(r), ds.X.Row(r))
+	}
+	want := int8net.Logits(x)
+
+	cold := *int8net
+	cold.biasAdj = nil
+	got := cold.Logits(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: unprepared %v != prepared %v", i, got[i], want[i])
+		}
+	}
+	if cold.biasAdj != nil {
+		t.Error("inference wrote the bias cache; Prepare must be the only writer")
+	}
+}
+
+func TestLogitsIntoValidation(t *testing.T) {
+	int8net, ds := convertTrained(t, false)
+	in := ds.X.Cols
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty net", func() {
+		var empty Int8Net
+		empty.LogitsInto(nn.NewTensor(1, in), make([]float32, 1))
+	})
+	mustPanic("wrong feature count", func() {
+		int8net.LogitsInto(nn.NewTensor(1, in+1), make([]float32, 1))
+	})
+	mustPanic("short output", func() {
+		int8net.LogitsInto(nn.NewTensor(2, in), make([]float32, 1))
+	})
+
+	// Zero rows is a no-op, not an error.
+	int8net.LogitsInto(nn.NewTensor(0, in), nil)
+}

@@ -36,6 +36,10 @@ type Int8Layer struct {
 type Int8Net struct {
 	Input  QParams // quantization of the float input features
 	Layers []Int8Layer
+
+	// biasAdj caches the zero-point-folded biases used by the batched GEMM
+	// path (see gemm.go). Populated by Prepare; nil means fold per call.
+	biasAdj [][]int64
 }
 
 // Convert turns a QAT-trained network (a Sequential of *QATLinear built by
@@ -113,6 +117,7 @@ func Convert(net *nn.Sequential) (*Int8Net, error) {
 		}
 		out.Layers = append(out.Layers, il)
 	}
+	out.Prepare()
 	return out, nil
 }
 

@@ -209,6 +209,28 @@ func (q *QATLinear) restoreWeights() {
 // Params implements nn.Layer.
 func (q *QATLinear) Params() []*nn.Param { return q.Lin.Params() }
 
+// NumBuffers implements nn.BufferLayer.
+func (q *QATLinear) NumBuffers() int { return 2 }
+
+// ExportBuffers implements nn.BufferLayer: the two observer ranges, which
+// are exactly the non-learnable state Convert needs. Round-tripping a
+// QAT-trained network through nn.State therefore reproduces the identical
+// integer network.
+func (q *QATLinear) ExportBuffers() [][]float32 {
+	return [][]float32{q.InObs.Export(), q.ActObs.Export()}
+}
+
+// ImportBuffers implements nn.BufferLayer.
+func (q *QATLinear) ImportBuffers(bufs [][]float32) error {
+	if len(bufs) != 2 {
+		return fmt.Errorf("quant: QATLinear expects 2 buffers, got %d", len(bufs))
+	}
+	if err := q.InObs.Import(bufs[0]); err != nil {
+		return err
+	}
+	return q.ActObs.Import(bufs[1])
+}
+
 // String implements nn.Layer.
 func (q *QATLinear) String() string {
 	s := fmt.Sprintf("QATLinear(%d→%d", q.Lin.In, q.Lin.Out)

@@ -127,6 +127,25 @@ func (o *Observer) String() string {
 	return fmt.Sprintf("Observer[%.4g, %.4g]", o.Min, o.Max)
 }
 
+// Export returns the observer state as a flat buffer [min, max, seen] so it
+// can ride in an nn.State buffer slot (see QATLinear.ExportBuffers).
+func (o *Observer) Export() []float32 {
+	seen := float32(0)
+	if o.seen {
+		seen = 1
+	}
+	return []float32{o.Min, o.Max, seen}
+}
+
+// Import restores state captured by Export.
+func (o *Observer) Import(buf []float32) error {
+	if len(buf) != 3 {
+		return fmt.Errorf("quant: observer buffer has %d values, want 3", len(buf))
+	}
+	o.Min, o.Max, o.seen = buf[0], buf[1], buf[2] != 0
+	return nil
+}
+
 // maxAbs returns max |x| over xs.
 func maxAbs(xs []float32) float32 {
 	var m float32
@@ -176,11 +195,33 @@ func requantMultiplier(m float64) (m0 int32, shift uint) {
 // int8 output, using only integer arithmetic.
 func requantize(acc int64, m0 int32, shift uint, zero int32) int8 {
 	prod := acc * int64(m0)
-	// Rounding right shift.
-	round := int64(1) << (shift - 1)
-	if prod < 0 {
-		round = round - 1
+	var q int64
+	if shift == 0 {
+		// A zero shift means the multiplier is already integral; a rounding
+		// right shift by zero is the identity. Unreachable for multipliers
+		// produced by requantMultiplier (< 1 ⇒ shift ≥ 31) but kept total so
+		// the function is well-defined on all inputs (see FuzzRequantize).
+		q = prod
+	} else {
+		// Rounding right shift, round-half-away-from-zero.
+		round := int64(1) << (shift - 1)
+		if prod < 0 {
+			round--
+		}
+		q = (prod + round) >> shift
 	}
-	q := (prod + round) >> shift
-	return clampInt8(int32(q) + zero)
+	return clampInt8Wide(q + int64(zero))
+}
+
+// clampInt8Wide saturates an int64 to the int8 range; requantize needs the
+// wide form because acc·m0 can exceed int32 before the shift for adversarial
+// (fuzzed) inputs even though converted networks never produce them.
+func clampInt8Wide(q int64) int8 {
+	if q < -128 {
+		return -128
+	}
+	if q > 127 {
+		return 127
+	}
+	return int8(q)
 }

@@ -1,0 +1,86 @@
+package quant
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/xrand"
+)
+
+// TestQATStateRoundTrip is the deployment serialization contract: a
+// QAT-trained network written through nn's Save/Load must convert to an
+// Int8Net with byte-identical integer parameters and bitwise-identical
+// inference. Observer ranges ride in the new buffer slots; losing them
+// would silently recalibrate the integer model.
+func TestQATStateRoundTrip(t *testing.T) {
+	net, ds := buildTrainedSwapped(t)
+	fused, err := FuseForQuant(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibrate(fused, ds, xrand.New(9))
+	// A short fake-quantized fine-tune so weights and observers both carry
+	// state that differs from initialization.
+	tr := &nn.Trainer{Net: fused, Loss: nn.BCEWithLogits{}, Opt: nn.NewSGD(0.01, 0.9), BatchSize: 128, MaxEpochs: 2, Patience: 10}
+	tr.Fit(ds, nil, xrand.New(10))
+
+	var buf bytes.Buffer
+	if err := fused.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into an independently initialized network of the same shape.
+	rng := xrand.New(42)
+	blank := nn.NewSequential(
+		nn.NewLinear(4, 16, rng), nn.NewBatchNorm1D(16), nn.NewReLU(),
+		nn.NewLinear(16, 8, rng), nn.NewBatchNorm1D(8), nn.NewReLU(),
+		nn.NewLinear(8, 1, rng),
+	)
+	restored, err := FuseForQuant(blank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := Convert(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Convert(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Layers, b.Layers) {
+		t.Fatal("integer layers differ after state round-trip")
+	}
+	if a.Input != b.Input {
+		t.Fatalf("input qparams differ after round-trip: %+v vs %+v", a.Input, b.Input)
+	}
+	la, lb := a.Logits(ds.X), b.Logits(ds.X)
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("row %d: restored logit %v != original %v", i, lb[i], la[i])
+		}
+	}
+}
+
+// TestQATImportRejectsMissingBuffers: a state captured before observer
+// serialization existed (no buffer slots) must fail loudly, not restore a
+// silently uncalibrated network.
+func TestQATImportRejectsMissingBuffers(t *testing.T) {
+	net, ds := buildTrainedSwapped(t)
+	fused, err := FuseForQuant(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibrate(fused, ds, xrand.New(9))
+	st := fused.ExportState()
+	st.Buffers = nil
+	if err := fused.ImportState(st); err == nil {
+		t.Fatal("ImportState accepted a state with no observer buffers")
+	}
+}

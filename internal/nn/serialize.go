@@ -8,12 +8,30 @@ import (
 )
 
 // State is a serializable snapshot of a network: every learnable parameter
-// plus non-learnable buffers (batch-norm running statistics), keyed by
-// position so it can be restored into a freshly constructed network of the
-// same architecture.
+// plus non-learnable buffers (batch-norm running statistics, quantization
+// observer ranges), keyed by position so it can be restored into a freshly
+// constructed network of the same architecture.
 type State struct {
 	Params  [][]float32
 	Buffers [][]float32
+}
+
+// BufferLayer is implemented by layers that carry non-learnable state which
+// must survive serialization: BatchNorm1D's running statistics, and the
+// quant package's QATLinear observer ranges. Buffers are matched by
+// position, like params, so the buffer count and order of each layer must
+// be stable across export and import. BatchNorm1D exports [RunMean, RunVar]
+// — the order the pre-interface serializer used — so states written by
+// older builds restore unchanged.
+type BufferLayer interface {
+	// NumBuffers returns how many buffer slices the layer exports; it must
+	// match len(ExportBuffers()) and the slice count ImportBuffers expects.
+	NumBuffers() int
+	// ExportBuffers returns copies of the layer's buffers.
+	ExportBuffers() [][]float32
+	// ImportBuffers restores buffers captured from an identically shaped
+	// layer; it receives exactly NumBuffers slices.
+	ImportBuffers(bufs [][]float32) error
 }
 
 // ExportState captures the network's full state.
@@ -23,10 +41,8 @@ func (s *Sequential) ExportState() State {
 		st.Params = append(st.Params, append([]float32(nil), p.W...))
 	}
 	for _, l := range s.Layers {
-		if bn, ok := l.(*BatchNorm1D); ok {
-			st.Buffers = append(st.Buffers,
-				append([]float32(nil), bn.RunMean...),
-				append([]float32(nil), bn.RunVar...))
+		if bl, ok := l.(BufferLayer); ok {
+			st.Buffers = append(st.Buffers, bl.ExportBuffers()...)
 		}
 	}
 	return st
@@ -46,17 +62,19 @@ func (s *Sequential) ImportState(st State) error {
 		copy(p.W, st.Params[i])
 	}
 	bi := 0
-	for _, l := range s.Layers {
-		bn, ok := l.(*BatchNorm1D)
+	for li, l := range s.Layers {
+		bl, ok := l.(BufferLayer)
 		if !ok {
 			continue
 		}
-		if bi+2 > len(st.Buffers) {
-			return fmt.Errorf("nn: state missing batch-norm buffers")
+		n := bl.NumBuffers()
+		if bi+n > len(st.Buffers) {
+			return fmt.Errorf("nn: state missing buffers for layer %d (%s)", li, l)
 		}
-		copy(bn.RunMean, st.Buffers[bi])
-		copy(bn.RunVar, st.Buffers[bi+1])
-		bi += 2
+		if err := bl.ImportBuffers(st.Buffers[bi : bi+n]); err != nil {
+			return fmt.Errorf("nn: layer %d (%s): %w", li, l, err)
+		}
+		bi += n
 	}
 	if bi != len(st.Buffers) {
 		return fmt.Errorf("nn: state has %d extra buffers", len(st.Buffers)-bi)

@@ -1,0 +1,171 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/fpga"
+	"repro/internal/models"
+	"repro/internal/xrand"
+)
+
+// quantBundle extends tinyBundle with a PTQ-quantized background net,
+// trained once for the package's backend tests.
+var quantBundle = func() func(t *testing.T) *models.Bundle {
+	var b *models.Bundle
+	return func(t *testing.T) *models.Bundle {
+		t.Helper()
+		if b != nil {
+			return b
+		}
+		cfg := datagen.DefaultConfig(31)
+		cfg.BurstsPerAngle = 1
+		cfg.PolarAnglesDeg = []float64{0, 40, 80}
+		set := datagen.Generate(cfg)
+		opts := models.DefaultTrainOptions(32)
+		opts.MaxEpochs = 4
+		opts.BkgLR = 5e-3
+		opts.BkgBatch = 512
+		opts.Swapped = true
+		b = models.Train(set, opts)
+		qopts := models.DefaultQuantizeOptions(33)
+		qopts.Mode = models.ModePTQ
+		int8net, _, err := models.QuantizeBackground(b, set, qopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Int8 = int8net
+		return b
+	}
+}()
+
+func TestParseBackend(t *testing.T) {
+	cases := map[string]Backend{
+		"": BackendFloat32, "float32": BackendFloat32,
+		"int8": BackendInt8, "fpga-sim": BackendFPGASim,
+	}
+	for in, want := range cases {
+		got, err := ParseBackend(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseBackend("fp16"); err == nil {
+		t.Error("ParseBackend accepted an unknown backend")
+	}
+	if len(Backends) != 3 {
+		t.Errorf("Backends lists %d names, want 3", len(Backends))
+	}
+}
+
+func TestNewClassifier(t *testing.T) {
+	if cls, err := NewClassifier(BackendInt8, nil); cls != nil || err != nil {
+		t.Errorf("nil bundle: got %v, %v; want nil, nil", cls, err)
+	}
+	b := quantBundle(t)
+	if cls, err := NewClassifier(BackendFloat32, b); err != nil {
+		t.Error(err)
+	} else if fp, ok := cls.(FP32Classifier); !ok || fp.Net != b.Bkg {
+		t.Errorf("float32 classifier = %T", cls)
+	}
+	if cls, err := NewClassifier(BackendInt8, b); err != nil {
+		t.Error(err)
+	} else if cls != b.Int8 {
+		t.Errorf("int8 classifier = %T", cls)
+	}
+	if cls, err := NewClassifier(BackendFPGASim, b); err != nil {
+		t.Error(err)
+	} else if k, ok := cls.(*fpga.Kernel); !ok || k.Net() != b.Int8 {
+		t.Errorf("fpga-sim classifier = %T", cls)
+	}
+
+	// Integer backends demand a quantized bundle.
+	plain := *b
+	plain.Int8 = nil
+	for _, bk := range []Backend{BackendInt8, BackendFPGASim} {
+		if _, err := NewClassifier(bk, &plain); err == nil {
+			t.Errorf("backend %s accepted an unquantized bundle", bk)
+		}
+	}
+	if _, err := NewClassifier("fp16", b); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestRunBackendResolution: Options.Backend must route inference exactly
+// like injecting the same classifier via BkgOverride.
+func TestRunBackendResolution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains networks")
+	}
+	b := quantBundle(t)
+	events, _ := simulateExposure(1.5, 40, 5)
+
+	run := func(backend Backend, override BkgClassifier) Result {
+		opts := DefaultOptions()
+		opts.Bundle = b
+		opts.Backend = backend
+		opts.BkgOverride = override
+		return Run(opts, events, xrand.New(6))
+	}
+
+	viaBackend := run(BackendInt8, nil)
+	viaOverride := run("", b.Int8)
+	if viaBackend.Loc.Dir != viaOverride.Loc.Dir || viaBackend.Kept != viaOverride.Kept {
+		t.Error("Backend=int8 differs from BkgOverride=Int8Net")
+	}
+
+	// fpga-sim is numerically identical to int8 and charges its ledger.
+	kernel, err := NewClassifier(BackendFPGASim, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFPGA := run("", kernel)
+	if viaFPGA.Loc.Dir != viaBackend.Loc.Dir || viaFPGA.Kept != viaBackend.Kept {
+		t.Error("fpga-sim localization differs from int8")
+	}
+	if kernel.(*fpga.Kernel).SimInputs() == 0 {
+		t.Error("fpga kernel ledger not charged by the pipeline")
+	}
+}
+
+// TestRunInt8DeterministicAcrossWorkers: the integer backend's pipeline
+// results are bitwise-identical at any worker count.
+func TestRunInt8DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains networks")
+	}
+	b := quantBundle(t)
+	events, _ := simulateExposure(1.5, 40, 7)
+	var ref Result
+	for i, workers := range []int{1, 2, 4, 7} {
+		opts := DefaultOptions()
+		opts.Bundle = b
+		opts.Backend = BackendInt8
+		opts.Workers = workers
+		res := Run(opts, events, xrand.New(8))
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res.Loc.Dir != ref.Loc.Dir || res.Kept != ref.Kept || res.NNIterations != ref.NNIterations {
+			t.Errorf("workers=%d: int8 pipeline result differs from serial", workers)
+		}
+	}
+}
+
+func TestRunPanicsOnUnquantizedInt8(t *testing.T) {
+	b := quantBundle(t)
+	plain := *b
+	plain.Int8 = nil
+	opts := DefaultOptions()
+	opts.Bundle = &plain
+	opts.Backend = BackendInt8
+	events, _ := simulateExposure(1.5, 40, 9)
+	defer func() {
+		if recover() == nil {
+			t.Error("Run with int8 backend and unquantized bundle did not panic")
+		}
+	}()
+	Run(opts, events, xrand.New(9))
+}

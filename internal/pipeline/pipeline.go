@@ -60,9 +60,16 @@ type Options struct {
 	Loc   localize.Config
 	// Bundle supplies the trained networks; nil runs the no-ML pipeline.
 	Bundle *models.Bundle
-	// BkgOverride replaces the bundle's FP32 background network (e.g. with
-	// the INT8 model) while keeping its thresholds and normalizer.
+	// BkgOverride replaces the bundle's background classifier (e.g. with
+	// the serving micro-batcher) while keeping its thresholds and
+	// normalizer. When set, it takes precedence over Backend.
 	BkgOverride BkgClassifier
+	// Backend selects which inference implementation evaluates the
+	// background network when BkgOverride is nil: float32 (default), int8,
+	// or fpga-sim. The int8 and fpga-sim backends require a quantized
+	// bundle (Bundle.Int8 non-nil); Run panics otherwise — callers surface
+	// friendlier errors by pre-validating with NewClassifier.
+	Backend Backend
 	// MaxNNIters is the bound on localize↔classify iterations (paper:
 	// "currently five").
 	MaxNNIters int
@@ -275,7 +282,11 @@ func Run(opts Options, events []*detector.Event, rng *xrand.RNG) Result {
 	if opts.Bundle != nil {
 		cls := opts.BkgOverride
 		if cls == nil {
-			cls = FP32Classifier{Net: opts.Bundle.Bkg}
+			var err error
+			cls, err = NewClassifier(opts.Backend, opts.Bundle)
+			if err != nil {
+				panic("pipeline: " + err.Error())
+			}
 		}
 		res.RingsFirstBkg = len(rings)
 		prev := loc.Dir
@@ -434,20 +445,11 @@ func reconstructAll(opts *Options, events []*detector.Event, p *par.Pool) []*rec
 func parallelProbs(cls BkgClassifier, x *nn.Tensor, p *par.Pool) []float32 {
 	out := make([]float32, x.Rows)
 	if p.Workers() <= 1 || x.Rows < minShardRows {
-		if pi, ok := cls.(probsInto); ok {
-			pi.ProbsInto(x, out)
-		} else {
-			copy(out, cls.Probs(x))
-		}
+		ClassifierProbsInto(cls, x, out)
 		return out
 	}
 	p.ForRange(context.Background(), x.Rows, func(_, lo, hi int) {
-		shard := x.SliceRows(lo, hi)
-		if pi, ok := cls.(probsInto); ok {
-			pi.ProbsInto(shard, out[lo:hi])
-		} else {
-			copy(out[lo:hi], cls.Probs(shard))
-		}
+		ClassifierProbsInto(cls, x.SliceRows(lo, hi), out[lo:hi])
 	})
 	return out
 }

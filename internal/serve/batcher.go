@@ -10,25 +10,30 @@ import (
 	"sync"
 	"time"
 
+	"repro/adapt"
 	"repro/internal/nn"
 	"repro/internal/obs"
 )
 
 // Batcher coalesces single-output NN inference across concurrent callers:
 // feature matrices submitted while a batch is open are concatenated and
-// evaluated in one forward pass. A batch is flushed when its pending rows
-// reach MaxRows (size trigger) or when the oldest pending submission has
-// waited Window (deadline trigger). Because every layer of the network is
-// row-independent at inference time (Linear is a per-row matmul, BatchNorm
-// uses running statistics), each caller's probabilities are bitwise
-// identical to an unbatched evaluation — batching trades a bounded latency
-// (≤ Window) for cross-request throughput without touching results.
+// evaluated in one forward pass of the wrapped classifier — whichever
+// inference backend the server was configured with (float32, int8, or
+// fpga-sim). A batch is flushed when its pending rows reach MaxRows (size
+// trigger) or when the oldest pending submission has waited Window
+// (deadline trigger). Because every backend is row-independent at
+// inference time (the FP32 layers per-row, the integer GEMM exactly),
+// each caller's probabilities are bitwise identical to an unbatched
+// evaluation — batching trades a bounded latency (≤ Window) for
+// cross-request throughput without touching results. The coalesced rows
+// are also what makes the int8 backend pay off: one requantization setup
+// amortizes over every row of the combined batch.
 //
 // Batcher implements the pipeline's BkgClassifier contract (Probs) and its
 // ProbsInto fast path, so it can be injected into a run via
 // adapt.Instrument.LocalizeEventsWithClassifier.
 type Batcher struct {
-	net     *nn.Sequential
+	cls     adapt.BkgClassifier
 	maxRows int
 	window  time.Duration
 	metrics *obs.Registry
@@ -61,16 +66,17 @@ const (
 	DefaultBatchWindow = 2 * time.Millisecond
 )
 
-// NewBatcher wraps net. maxRows <= 0 means DefaultBatchRows; window <= 0
-// means DefaultBatchWindow. metrics may be nil.
-func NewBatcher(net *nn.Sequential, maxRows int, window time.Duration, metrics *obs.Registry) *Batcher {
+// NewBatcher wraps a backend classifier. maxRows <= 0 means
+// DefaultBatchRows; window <= 0 means DefaultBatchWindow. metrics may be
+// nil.
+func NewBatcher(cls adapt.BkgClassifier, maxRows int, window time.Duration, metrics *obs.Registry) *Batcher {
 	if maxRows <= 0 {
 		maxRows = DefaultBatchRows
 	}
 	if window <= 0 {
 		window = DefaultBatchWindow
 	}
-	return &Batcher{net: net, maxRows: maxRows, window: window, metrics: metrics}
+	return &Batcher{cls: cls, maxRows: maxRows, window: window, metrics: metrics}
 }
 
 // Probs implements pipeline.BkgClassifier.
@@ -91,7 +97,7 @@ func (b *Batcher) ProbsInto(x *nn.Tensor, out []float32) {
 	if b.closed || x.Rows >= b.maxRows {
 		b.mu.Unlock()
 		b.metrics.Counter("serve_nn_direct").Inc()
-		b.net.PredictProbsInto(x, out)
+		adapt.ClassifierProbsInto(b.cls, x, out)
 		return
 	}
 	item := batchItem{x: x, out: out, done: make(chan struct{})}
@@ -142,7 +148,7 @@ func (b *Batcher) run(batch []batchItem) {
 	if len(batch) == 1 {
 		it := batch[0]
 		b.metrics.Counter("serve_nn_batch_rows").Add(int64(it.x.Rows))
-		b.net.PredictProbsInto(it.x, it.out)
+		adapt.ClassifierProbsInto(b.cls, it.x, it.out)
 		close(it.done)
 		return
 	}
@@ -163,7 +169,7 @@ func (b *Batcher) run(batch []batchItem) {
 		off += it.x.Rows
 	}
 	probs := make([]float32, total)
-	b.net.PredictProbsInto(x, probs)
+	adapt.ClassifierProbsInto(b.cls, x, probs)
 	off = 0
 	for _, it := range batch {
 		copy(it.out, probs[off:off+it.x.Rows])

@@ -8,12 +8,19 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/xrand"
 )
 
 // testNet builds a small untrained (but fixed-weight) single-output net.
 func testNet() *nn.Sequential {
 	return models.NewBackgroundNet(14, xrand.New(42))
+}
+
+// testCls wraps testNet in the float32 backend classifier the server
+// normally hands the batcher.
+func testCls(net *nn.Sequential) pipeline.BkgClassifier {
+	return pipeline.FP32Classifier{Net: net}
 }
 
 // randTensor fills a rows×14 feature matrix deterministically.
@@ -33,7 +40,7 @@ func TestBatcherBitwiseIdentical(t *testing.T) {
 	net := testNet()
 	reg := obs.NewRegistry()
 	// Large window so the size trigger (exactly two submissions) flushes.
-	b := NewBatcher(net, 64, time.Second, reg)
+	b := NewBatcher(testCls(net), 64, time.Second, reg)
 
 	x1, x2 := randTensor(32, 1), randTensor(32, 2)
 	want1, want2 := net.PredictProbs(x1), net.PredictProbs(x2)
@@ -64,7 +71,7 @@ func TestBatcherBitwiseIdentical(t *testing.T) {
 // below the size trigger still completes within ~the window.
 func TestBatcherWindowFlush(t *testing.T) {
 	reg := obs.NewRegistry()
-	b := NewBatcher(testNet(), 1024, 5*time.Millisecond, reg)
+	b := NewBatcher(testCls(testNet()), 1024, 5*time.Millisecond, reg)
 	x := randTensor(8, 3)
 	out := make([]float32, 8)
 	t0 := time.Now()
@@ -87,7 +94,7 @@ func TestBatcherWindowFlush(t *testing.T) {
 // bypass the queue.
 func TestBatcherOversizeDirect(t *testing.T) {
 	reg := obs.NewRegistry()
-	b := NewBatcher(testNet(), 16, time.Second, reg)
+	b := NewBatcher(testCls(testNet()), 16, time.Second, reg)
 	x := randTensor(64, 4)
 	out := make([]float32, 64)
 	b.ProbsInto(x, out)
@@ -99,7 +106,7 @@ func TestBatcherOversizeDirect(t *testing.T) {
 // TestBatcherClose checks Close flushes pending work and later submissions
 // still compute (the hot-reload handoff contract).
 func TestBatcherClose(t *testing.T) {
-	b := NewBatcher(testNet(), 1024, time.Hour, nil) // window never fires
+	b := NewBatcher(testCls(testNet()), 1024, time.Hour, nil) // window never fires
 	x := randTensor(4, 5)
 	out := make([]float32, 4)
 	done := make(chan struct{})
@@ -132,6 +139,6 @@ func TestBatcherClose(t *testing.T) {
 
 // TestBatcherZeroRows must be a no-op.
 func TestBatcherZeroRows(t *testing.T) {
-	b := NewBatcher(testNet(), 16, time.Millisecond, nil)
+	b := NewBatcher(testCls(testNet()), 16, time.Millisecond, nil)
 	b.ProbsInto(nn.NewTensor(0, 14), nil)
 }

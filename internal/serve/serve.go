@@ -20,7 +20,6 @@ import (
 	"repro/internal/evio"
 	"repro/internal/features"
 	"repro/internal/models"
-	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/recon"
@@ -38,6 +37,13 @@ type Config struct {
 	// ModelPath is the default path for /admin/reload, and provenance for
 	// the initial bundle.
 	ModelPath string
+	// Backend selects the inference backend every generation of models is
+	// served with ("" = float32). The server is pinned to it for its
+	// lifetime and reports it in /version. New panics when the initial
+	// bundle cannot implement it (int8/fpga-sim without a quantized
+	// model); callers get friendlier errors by pre-validating with
+	// adapt.NewClassifier.
+	Backend adapt.Backend
 	// MaxConcurrent bounds simultaneously computing requests (0 means the
 	// process parallelism default, par.DefaultWorkers).
 	MaxConcurrent int
@@ -66,6 +72,7 @@ type Server struct {
 	cfg      Config
 	inst     adapt.Instrument
 	metrics  *obs.Registry
+	backend  adapt.Backend
 	store    *modelStore
 	adm      *admission
 	mux      *http.ServeMux
@@ -91,7 +98,12 @@ func New(cfg Config) *Server {
 		cfg.DefaultDeadline = 30 * time.Second
 	}
 
-	s := &Server{cfg: cfg, metrics: cfg.Metrics}
+	backend, err := adapt.ParseBackend(string(cfg.Backend))
+	if err != nil {
+		panic("serve: " + err.Error())
+	}
+
+	s := &Server{cfg: cfg, metrics: cfg.Metrics, backend: backend}
 	if cfg.Instrument != nil {
 		s.inst = *cfg.Instrument
 	} else {
@@ -99,11 +111,13 @@ func New(cfg Config) *Server {
 	}
 	s.inst.Metrics = s.metrics
 
-	s.store = newModelStore(func(net *nn.Sequential) *Batcher {
-		return NewBatcher(net, cfg.BatchRows, cfg.BatchWindow, s.metrics)
+	s.store = newModelStore(backend, func(cls adapt.BkgClassifier) *Batcher {
+		return NewBatcher(cls, cfg.BatchRows, cfg.BatchWindow, s.metrics)
 	}, s.metrics)
 	if cfg.Bundle != nil {
-		s.store.install(cfg.Bundle, cfg.ModelPath)
+		if err := s.store.install(cfg.Bundle, cfg.ModelPath); err != nil {
+			panic("serve: " + err.Error())
+		}
 	}
 	s.adm = newAdmission(cfg.MaxConcurrent, cfg.QueueDepth)
 
@@ -404,6 +418,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		"ok":         true,
 		"path":       set.path,
 		"with_polar": set.bundle.WithPolar,
+		"backend":    string(s.backend),
 		"loaded_at":  set.loaded.UTC().Format(time.RFC3339Nano),
 	})
 }
@@ -437,5 +452,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, buildinfo.Get())
+	writeJSON(w, http.StatusOK, versionResponse{Info: buildinfo.Get(), Backend: string(s.backend)})
+}
+
+// versionResponse is /version's body: the build identity plus the
+// inference backend this process serves with.
+type versionResponse struct {
+	buildinfo.Info
+	Backend string `json:"backend"`
 }

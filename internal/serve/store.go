@@ -8,7 +8,6 @@ import (
 
 	"repro/adapt"
 	"repro/internal/models"
-	"repro/internal/nn"
 	"repro/internal/obs"
 )
 
@@ -39,17 +38,21 @@ func (m *modelSet) classifier() adapt.BkgClassifier {
 // modelSet. Swap installs a new generation without blocking readers;
 // the superseded generation's batcher is closed (flushing its pending
 // batch) but keeps serving direct inference to requests that captured it.
+// The store is pinned to one inference backend for its lifetime — a hot
+// reload swaps the weights, never the arithmetic, so a fleet's /version
+// answer stays truthful across reloads.
 type modelStore struct {
 	cur        atomic.Pointer[modelSet]
-	newBatcher func(net *nn.Sequential) *Batcher
+	backend    adapt.Backend
+	newBatcher func(cls adapt.BkgClassifier) *Batcher
 	metrics    *obs.Registry
 	// reloadMu serializes reloads so two concurrent /admin/reload calls
 	// cannot interleave load-then-swap.
 	reloadMu sync.Mutex
 }
 
-func newModelStore(newBatcher func(*nn.Sequential) *Batcher, metrics *obs.Registry) *modelStore {
-	s := &modelStore{newBatcher: newBatcher, metrics: metrics}
+func newModelStore(backend adapt.Backend, newBatcher func(adapt.BkgClassifier) *Batcher, metrics *obs.Registry) *modelStore {
+	s := &modelStore{backend: backend, newBatcher: newBatcher, metrics: metrics}
 	s.cur.Store(&modelSet{})
 	return s
 }
@@ -58,17 +61,24 @@ func newModelStore(newBatcher func(*nn.Sequential) *Batcher, metrics *obs.Regist
 func (s *modelStore) current() *modelSet { return s.cur.Load() }
 
 // install makes bundle the live generation. A nil bundle switches the
-// service to the no-ML pipeline.
-func (s *modelStore) install(bundle *models.Bundle, path string) {
+// service to the no-ML pipeline. It fails — leaving the previous
+// generation live — when the bundle cannot implement the store's backend
+// (int8/fpga-sim without a quantized model).
+func (s *modelStore) install(bundle *models.Bundle, path string) error {
 	set := &modelSet{bundle: bundle, path: path, loaded: time.Now()}
 	if bundle != nil {
-		set.batcher = s.newBatcher(bundle.Bkg)
+		cls, err := adapt.NewClassifier(s.backend, bundle)
+		if err != nil {
+			return err
+		}
+		set.batcher = s.newBatcher(cls)
 	}
 	old := s.cur.Swap(set)
 	if old != nil && old.batcher != nil {
 		old.batcher.Close()
 	}
 	s.metrics.Counter("serve_model_reloads").Inc()
+	return nil
 }
 
 // reload loads a bundle from path and installs it.
@@ -79,6 +89,5 @@ func (s *modelStore) reload(path string) error {
 	if err != nil {
 		return fmt.Errorf("load models from %s: %w", path, err)
 	}
-	s.install(bundle, path)
-	return nil
+	return s.install(bundle, path)
 }

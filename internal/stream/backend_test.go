@@ -1,0 +1,105 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/models"
+	"repro/internal/pipeline"
+)
+
+// quantBundle trains a PTQ-quantized bundle once for the backend tests.
+var quantBundle = func() func(t *testing.T) *models.Bundle {
+	var once sync.Once
+	var b *models.Bundle
+	return func(t *testing.T) *models.Bundle {
+		t.Helper()
+		once.Do(func() {
+			cfg := datagen.DefaultConfig(81)
+			cfg.BurstsPerAngle = 1
+			cfg.PolarAnglesDeg = []float64{0, 40, 80}
+			set := datagen.Generate(cfg)
+			opts := models.DefaultTrainOptions(82)
+			opts.MaxEpochs = 4
+			opts.BkgLR = 5e-3
+			opts.BkgBatch = 512
+			opts.Swapped = true
+			b = models.Train(set, opts)
+			qopts := models.DefaultQuantizeOptions(83)
+			qopts.Mode = models.ModePTQ
+			int8net, _, err := models.QuantizeBackground(b, set, qopts)
+			if err != nil {
+				panic(err)
+			}
+			b.Int8 = int8net
+		})
+		return b
+	}
+}()
+
+// TestBackendAlertParity runs the same recorded session through all three
+// backends. The trigger is NN-independent (a Poisson count-rate test), so
+// trigger identity must hold exactly across backends; the two integer
+// backends must agree bitwise on the whole alert record.
+func TestBackendAlertParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains networks")
+	}
+	b := quantBundle(t)
+	events, meanRate := simSession(t, 13)
+
+	run := func(backend pipeline.Backend) []Alert {
+		cfg := DefaultConfig(meanRate)
+		cfg.Seed = 42
+		cfg.Bundle = b
+		cfg.Backend = backend
+		return feedAndDrain(cfg, events)
+	}
+	f32 := run(pipeline.BackendFloat32)
+	i8 := run(pipeline.BackendInt8)
+	fp := run(pipeline.BackendFPGASim)
+
+	if len(f32) == 0 {
+		t.Fatal("no alerts; burst not detected")
+	}
+	if len(i8) != len(f32) || len(fp) != len(f32) {
+		t.Fatalf("alert counts differ: float32 %d, int8 %d, fpga-sim %d", len(f32), len(i8), len(fp))
+	}
+	for k := range f32 {
+		rf, ri, rp := f32[k].Record(), i8[k].Record(), fp[k].Record()
+		// Exact trigger identity across all backends.
+		if ri.Seq != rf.Seq || ri.TriggerS != rf.TriggerS || ri.Significance != rf.Significance ||
+			ri.BackgroundRateHz != rf.BackgroundRateHz || ri.NEvents != rf.NEvents {
+			t.Errorf("alert %d: int8 trigger fields differ from float32:\n%+v\n%+v", k, ri, rf)
+		}
+		// Bitwise identity between the integer backends.
+		if ri != rp {
+			t.Errorf("alert %d: int8 and fpga-sim records differ:\n%+v\n%+v", k, ri, rp)
+		}
+		if !i8[k].Result.Loc.OK {
+			t.Errorf("alert %d: int8 alert not localized", k)
+		}
+	}
+}
+
+// TestNewPanicsOnUnquantizedInt8: resolving the backend happens once at
+// construction, so a misconfigured processor fails at startup, not at the
+// first burst.
+func TestNewPanicsOnUnquantizedInt8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains networks")
+	}
+	b := quantBundle(t)
+	plain := *b
+	plain.Int8 = nil
+	cfg := DefaultConfig(1000)
+	cfg.Bundle = &plain
+	cfg.Backend = pipeline.BackendInt8
+	defer func() {
+		if recover() == nil {
+			t.Error("New with int8 backend and unquantized bundle did not panic")
+		}
+	}()
+	New(cfg)
+}

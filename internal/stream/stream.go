@@ -64,6 +64,15 @@ type Config struct {
 	MaxNNIters int
 	Workers    int
 
+	// Backend selects the background-classifier inference implementation
+	// ("" = float32; int8 and fpga-sim need a quantized Bundle — callers
+	// should pre-validate with pipeline.NewClassifier, New panics on an
+	// invalid combination). The processor resolves the backend once at New,
+	// so a single classifier instance — and, for fpga-sim, a single
+	// simulated-cycle ledger — spans every fired window. Ignored when
+	// BkgOverride is set.
+	Backend pipeline.Backend
+
 	// WindowSec is the trigger's sliding-window width (default 0.1 s).
 	WindowSec float64
 	// SigmaThreshold is the Poisson significance required to fire
@@ -329,6 +338,13 @@ type Processor struct {
 // must Close it to flush the final window and release the goroutine.
 func New(cfg Config) *Processor {
 	cfg = cfg.withDefaults()
+	if cfg.BkgOverride == nil {
+		cls, err := pipeline.NewClassifier(cfg.Backend, cfg.Bundle)
+		if err != nil {
+			panic("stream: " + err.Error())
+		}
+		cfg.BkgOverride = cls
+	}
 	p := &Processor{
 		cfg:    cfg,
 		in:     make(chan *detector.Event, cfg.QueueEvents),
