@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover fmt vet lint serve-smoke stream-smoke merge-smoke backend-parity fuzz-smoke check clean
+.PHONY: all build test race bench cover fmt vet lint serve-smoke fleet-smoke stream-smoke merge-smoke backend-parity fuzz-smoke check clean
 
 all: build test
 
@@ -56,6 +56,12 @@ lint: vet
 ## serve-smoke: end-to-end adaptserve smoke test (CI serve-smoke job)
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+## fleet-smoke: 3-replica fleet behind adaptrouter — bitwise routed-vs-direct
+## and hit-vs-miss comparisons, zero failed requests while a replica is
+## kill -9ed mid-load, ejection visible in /metrics (CI fleet-smoke job)
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 ## stream-smoke: record→crash→replay adaptstream smoke test (CI stream-smoke job)
 stream-smoke:

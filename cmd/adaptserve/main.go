@@ -30,6 +30,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,6 +58,8 @@ func main() {
 
 	loadgen := flag.Bool("loadgen", false, "run the load generator instead of (or against) a server")
 	target := flag.String("target", "", "loadgen: base URL of a running adaptserve (empty = start one in-process)")
+	targets := flag.String("targets", "", "loadgen: comma-separated base URLs for open-loop multi-target mode (fleet-wide rate and percentiles; overrides -target)")
+	sweep := flag.String("sweep", "", "loadgen: comma-separated QPS steps for a saturation sweep (e.g. 25,50,100,200); empty = single run at -qps")
 	qps := flag.Float64("qps", 20, "loadgen: target request rate")
 	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
 	lgConcurrency := flag.Int("loadgen-concurrency", 8, "loadgen: request workers")
@@ -102,7 +106,7 @@ func main() {
 	}
 
 	if *loadgen {
-		runLoadgen(cfg, &inst, *target, *addr, *qps, *duration, *lgConcurrency, *fluence, *polar, *seed)
+		runLoadgen(cfg, &inst, *target, *targets, *sweep, *qps, *duration, *lgConcurrency, *fluence, *polar, *seed)
 		return
 	}
 
@@ -135,9 +139,12 @@ func main() {
 	}
 }
 
-// runLoadgen replays one simulated burst at the target (an in-process
-// server when target is empty) and prints the latency report.
-func runLoadgen(cfg serve.Config, inst *adapt.Instrument, target, addr string, qps float64, duration time.Duration, workers int, fluence, polar float64, seed uint64) {
+// runLoadgen replays one simulated burst at the target(s) — an in-process
+// server when no target is given — and prints the latency report. With
+// -targets the run is open-loop multi-target: one fleet-wide offered rate
+// round-robined across replicas. With -sweep it repeats the run at each
+// QPS step and prints the saturation table.
+func runLoadgen(cfg serve.Config, inst *adapt.Instrument, target, targets, sweep string, qps float64, duration time.Duration, workers int, fluence, polar float64, seed uint64) {
 	obsv := inst.Observe(adapt.Burst{Fluence: fluence, PolarDeg: polar, AzimuthDeg: 30}, seed)
 	var body bytes.Buffer
 	if err := evio.WriteAll(&body, obsv.Events); err != nil {
@@ -146,8 +153,15 @@ func runLoadgen(cfg serve.Config, inst *adapt.Instrument, target, addr string, q
 	log.Printf("payload: %d events, %d bytes (fluence %.2f, polar %.0f°, seed %d)",
 		len(obsv.Events), body.Len(), fluence, polar, seed)
 
+	var urls []string
+	for _, t := range strings.Split(targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			urls = append(urls, strings.TrimRight(t, "/")+"/v1/localize")
+		}
+	}
+
 	var srv *serve.Server
-	if target == "" {
+	if len(urls) == 0 && target == "" {
 		srv = serve.New(cfg)
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -158,13 +172,41 @@ func runLoadgen(cfg serve.Config, inst *adapt.Instrument, target, addr string, q
 		log.Printf("started in-process server at %s", target)
 	}
 
-	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
-		TargetURL:   target + "/v1/localize",
+	lcfg := serve.LoadConfig{
 		Body:        body.Bytes(),
 		QPS:         qps,
 		Duration:    duration,
 		Concurrency: workers,
-	})
+	}
+	if len(urls) > 0 {
+		lcfg.Targets = urls
+	} else {
+		lcfg.TargetURL = target + "/v1/localize"
+	}
+
+	var steps []float64
+	for _, s := range strings.Split(sweep, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil || f <= 0 {
+				log.Fatalf("bad -sweep step %q", s)
+			}
+			steps = append(steps, f)
+		}
+	}
+
+	var err error
+	if len(steps) > 0 {
+		var reps []*serve.LoadReport
+		reps, err = serve.RunSaturation(context.Background(), lcfg, steps)
+		serve.WriteSaturationText(os.Stdout, reps)
+	} else {
+		var rep *serve.LoadReport
+		rep, err = serve.RunLoad(context.Background(), lcfg)
+		if rep != nil {
+			rep.WriteText(os.Stdout)
+		}
+	}
 	if srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		srv.Shutdown(ctx)
@@ -173,7 +215,6 @@ func runLoadgen(cfg serve.Config, inst *adapt.Instrument, target, addr string, q
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
-	rep.WriteText(os.Stdout)
 	if srv != nil {
 		fmt.Println("server-side stage report:")
 		srv.Metrics().WriteText(os.Stdout)

@@ -1,0 +1,159 @@
+package router
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// cacheEntry is one cached upstream result. Exactness rests on the
+// backends' determinism contract: a 2xx body from a deterministic
+// endpoint is a pure function of (request bytes, model generation,
+// backend), so replaying the stored bytes IS re-running the request —
+// bitwise, not approximately. The entry records which (generation,
+// backend) produced it; a lookup only hits when the fleet still serves
+// that exact pair.
+type cacheEntry struct {
+	key         string
+	status      int
+	contentType string
+	gen         uint64
+	backend     string
+	body        []byte
+}
+
+func (e *cacheEntry) size() int64 { return int64(len(e.body) + len(e.key) + len(e.contentType) + 64) }
+
+// flight is one in-progress upstream fetch that concurrent identical
+// requests collapse onto. The leader closes done after filling either
+// entry (a cacheable 2xx) or the raw status/body of a non-cacheable
+// outcome; err is set only when no upstream response existed at all.
+type flight struct {
+	done        chan struct{}
+	entry       *cacheEntry
+	status      int
+	contentType string
+	body        []byte
+	err         error
+}
+
+// resultCache is the router's exact dedup/result cache: a byte- and
+// entry-bounded LRU plus a single-flight table. All methods are safe for
+// concurrent use. A nil *resultCache disables caching (every lookup
+// misses, joins always lead).
+type resultCache struct {
+	mu         sync.Mutex
+	maxBytes   int64
+	maxEntries int
+	bytes      int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	flights    map[string]*flight
+
+	mBytes   *obs.Gauge
+	mEntries *obs.Gauge
+	mEvicted *obs.Counter
+}
+
+func newResultCache(maxBytes int64, maxEntries int, reg *obs.Registry) *resultCache {
+	return &resultCache{
+		maxBytes:   maxBytes,
+		maxEntries: maxEntries,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		flights:    make(map[string]*flight),
+		mBytes:     reg.Gauge("router_cache_bytes"),
+		mEntries:   reg.Gauge("router_cache_entries"),
+		mEvicted:   reg.Counter("router_cache_evictions"),
+	}
+}
+
+// get returns the entry for key iff it exists and was produced by exactly
+// (gen, backend) — the current uniform fleet identity. A stale-generation
+// entry is evicted on sight rather than left to age out, so a fleet-wide
+// model reload promptly frees the old generation's memory.
+func (c *resultCache) get(key string, gen uint64, backend string) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen || e.backend != backend {
+		c.removeLocked(el)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e, true
+}
+
+// put inserts (or replaces) an entry and evicts from the LRU tail until
+// the byte and entry bounds hold again. Entries larger than the whole
+// budget are not cached.
+func (c *resultCache) put(e *cacheEntry) {
+	if c == nil {
+		return
+	}
+	if e.size() > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.key]; ok {
+		c.removeLocked(el)
+	}
+	el := c.ll.PushFront(e)
+	c.items[e.key] = el
+	c.bytes += e.size()
+	for (c.bytes > c.maxBytes || c.ll.Len() > c.maxEntries) && c.ll.Len() > 1 {
+		c.removeLocked(c.ll.Back())
+		c.mEvicted.Inc()
+	}
+	c.mBytes.Set(float64(c.bytes))
+	c.mEntries.Set(float64(c.ll.Len()))
+}
+
+func (c *resultCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.size()
+	c.mBytes.Set(float64(c.bytes))
+	c.mEntries.Set(float64(c.ll.Len()))
+}
+
+// join enters the single-flight table: the first caller for a key becomes
+// the leader (leader=true) and must call finish exactly once; every later
+// caller for the same key gets the same flight to wait on.
+func (c *resultCache) join(key string) (f *flight, leader bool) {
+	if c == nil {
+		return &flight{done: make(chan struct{})}, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome (already stored in f), installs a
+// cacheable entry, and releases the followers.
+func (c *resultCache) finish(key string, f *flight) {
+	if c != nil {
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		if f.entry != nil {
+			c.put(f.entry)
+		}
+	}
+	close(f.done)
+}

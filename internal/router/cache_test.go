@@ -1,0 +1,165 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func entry(key string, gen uint64, backend string, n int) *cacheEntry {
+	return &cacheEntry{
+		key:         key,
+		status:      200,
+		contentType: "application/json",
+		gen:         gen,
+		backend:     backend,
+		body:        bytes.Repeat([]byte{'x'}, n),
+	}
+}
+
+func TestCacheHitAndGenerationFencing(t *testing.T) {
+	c := newResultCache(1<<20, 16, obs.NewRegistry())
+	e := entry("k1", 1, "float32", 100)
+	c.put(e)
+
+	if got, ok := c.get("k1", 1, "float32"); !ok || !bytes.Equal(got.body, e.body) {
+		t.Fatalf("expected hit with matching identity, ok=%v", ok)
+	}
+	// A different generation is a different answer: no hit, and the stale
+	// entry is gone afterwards even for its own generation.
+	if _, ok := c.get("k1", 2, "float32"); ok {
+		t.Fatal("hit across generations")
+	}
+	if _, ok := c.get("k1", 1, "float32"); ok {
+		t.Fatal("stale-generation entry not evicted on sight")
+	}
+
+	c.put(entry("k2", 3, "int8", 10))
+	if _, ok := c.get("k2", 3, "fpga-sim"); ok {
+		t.Fatal("hit across backends")
+	}
+}
+
+func TestCacheLRUBounds(t *testing.T) {
+	// Byte bound: each entry charges body + key + contentType + 64 ≈ 381
+	// bytes here, so the third insert exceeds 1000 and evicts the oldest.
+	c := newResultCache(1000, 100, obs.NewRegistry())
+	c.put(entry("a", 1, "b", 300))
+	c.put(entry("b", 1, "b", 300))
+	c.put(entry("c", 1, "b", 300))
+	if _, ok := c.get("a", 1, "b"); ok {
+		t.Error("oldest entry survived byte-bound eviction")
+	}
+	if _, ok := c.get("c", 1, "b"); !ok {
+		t.Error("newest entry evicted")
+	}
+
+	// Entry bound with a generous byte budget.
+	c2 := newResultCache(1<<20, 2, obs.NewRegistry())
+	c2.put(entry("a", 1, "b", 10))
+	c2.put(entry("b", 1, "b", 10))
+	_, _ = c2.get("a", 1, "b") // touch: "a" is now MRU
+	c2.put(entry("c", 1, "b", 10))
+	if _, ok := c2.get("b", 1, "b"); ok {
+		t.Error("LRU entry survived entry-bound eviction")
+	}
+	if _, ok := c2.get("a", 1, "b"); !ok {
+		t.Error("recently used entry evicted instead of LRU")
+	}
+
+	// An entry larger than the whole budget is refused, not cached.
+	c3 := newResultCache(100, 10, obs.NewRegistry())
+	c3.put(entry("big", 1, "b", 1000))
+	if _, ok := c3.get("big", 1, "b"); ok {
+		t.Error("over-budget entry cached")
+	}
+}
+
+// TestCacheSingleFlight checks the collapse protocol: one leader per key,
+// followers all receive the leader's entry after finish.
+func TestCacheSingleFlight(t *testing.T) {
+	c := newResultCache(1<<20, 16, obs.NewRegistry())
+	const n = 32
+	leaders := make(chan *flight, n)
+	bodies := make([][]byte, n)
+
+	// Barrier: every goroutine joins before the flight is finished, so
+	// exactly one join can lead.
+	var joined, wg sync.WaitGroup
+	joined.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, leader := c.join("k")
+			if leader {
+				leaders <- f
+			}
+			joined.Done()
+			<-f.done // closed by finish below
+			bodies[i] = f.entry.body
+		}(i)
+	}
+
+	joined.Wait()
+	f := <-leaders
+	f.entry = entry("k", 1, "float32", 64)
+	c.finish("k", f)
+	wg.Wait()
+
+	select {
+	case extra := <-leaders:
+		t.Fatalf("more than one leader for a key: %v", extra)
+	default:
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("follower %d body differs from leader's", i)
+		}
+	}
+	// The finished flight's entry is in the cache for later requests.
+	if _, ok := c.get("k", 1, "float32"); !ok {
+		t.Error("finished flight not cached")
+	}
+	// And the flight table is empty: a new join leads again.
+	if _, leader := c.join("k"); !leader {
+		t.Error("flight table not cleared after finish")
+	}
+}
+
+// TestNilCache checks the disabled-cache path: every lookup misses and
+// every join leads, so the router code needs no nil branches.
+func TestNilCache(t *testing.T) {
+	var c *resultCache
+	if _, ok := c.get("k", 1, "b"); ok {
+		t.Error("nil cache hit")
+	}
+	c.put(entry("k", 1, "b", 10)) // must not panic
+	f, leader := c.join("k")
+	if !leader {
+		t.Error("nil cache join did not lead")
+	}
+	c.finish("k", f)
+	select {
+	case <-f.done:
+	default:
+		t.Error("nil cache finish did not close the flight")
+	}
+}
+
+func TestCacheEvictionCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newResultCache(1<<20, 2, reg)
+	for i := 0; i < 5; i++ {
+		c.put(entry(fmt.Sprintf("k%d", i), 1, "b", 10))
+	}
+	if got := reg.Counter("router_cache_evictions").Load(); got != 3 {
+		t.Errorf("evictions = %d, want 3", got)
+	}
+	if got := reg.Gauge("router_cache_entries").Load(); got != 2 {
+		t.Errorf("entries gauge = %g, want 2", got)
+	}
+}

@@ -1,0 +1,235 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// replicaState is the router's live view of one adaptserve replica: its
+// health (probed via /readyz and demoted by request-path transport
+// failures), the router's own in-flight count against it, and the last
+// readyz report (queue shape + model identity) used for load-aware
+// fallback and cache keying.
+type replicaState struct {
+	name string // base URL, e.g. "http://127.0.0.1:8081"
+	idx  int
+
+	healthy atomic.Bool
+	// fails counts consecutive failures (probe or request transport);
+	// reaching the router's FailThreshold ejects the replica. Any probe
+	// success resets it and readmits.
+	fails atomic.Int64
+	// inflight is the router's live count of requests outstanding against
+	// this replica — fresher than the probed report, which is up to one
+	// probe interval stale.
+	inflight atomic.Int64
+
+	mu     sync.Mutex
+	report serve.ReadyzResponse
+	hasRpt bool
+
+	// obs handles, resolved once (per-replica flat metric names).
+	mInflight *obs.Gauge
+	mHealthy  *obs.Gauge
+	mAttempts *obs.Counter
+	mFailures *obs.Counter
+	mEjected  *obs.Counter
+	mRetries  *obs.Counter
+}
+
+func newReplicaState(name string, idx int, reg *obs.Registry) *replicaState {
+	r := &replicaState{
+		name:      name,
+		idx:       idx,
+		mInflight: reg.Gauge(fmt.Sprintf("router_replica_%d_inflight", idx)),
+		mHealthy:  reg.Gauge(fmt.Sprintf("router_replica_%d_healthy", idx)),
+		mAttempts: reg.Counter(fmt.Sprintf("router_replica_%d_attempts", idx)),
+		mFailures: reg.Counter(fmt.Sprintf("router_replica_%d_failures", idx)),
+		mEjected:  reg.Counter(fmt.Sprintf("router_replica_%d_ejections", idx)),
+		mRetries:  reg.Counter(fmt.Sprintf("router_replica_%d_retries", idx)),
+	}
+	// Until the first probe answers, assume healthy: a cold router must
+	// route somewhere, and a genuinely dead replica fails its first
+	// request or probe immediately.
+	r.healthy.Store(true)
+	r.mHealthy.Set(1)
+	return r
+}
+
+// acquire/release bracket one proxied request against this replica.
+func (r *replicaState) acquire() {
+	r.mInflight.Set(float64(r.inflight.Add(1)))
+	r.mAttempts.Inc()
+}
+
+func (r *replicaState) release() {
+	r.mInflight.Set(float64(r.inflight.Add(-1)))
+}
+
+// lastReport returns the most recent readyz body and whether one exists.
+func (r *replicaState) lastReport() (serve.ReadyzResponse, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.report, r.hasRpt
+}
+
+// load scores this replica for least-loaded comparisons: the larger of
+// the router's live in-flight count and the replica's own last-reported
+// admitted total (in-flight + queued). The max reconciles two imperfect
+// views — the local count misses other clients, the report is stale.
+func (r *replicaState) load() int64 {
+	local := r.inflight.Load()
+	if rep, ok := r.lastReport(); ok {
+		if reported := rep.InFlight + rep.QueueDepth; reported > local {
+			return reported
+		}
+	}
+	return local
+}
+
+// overloaded reports whether sending one more request would likely be
+// refused: the load estimate has reached the replica's own admission
+// bound (compute slots + waiting room) as reported by /readyz. Unknown
+// bounds (no report yet) never read as overloaded.
+func (r *replicaState) overloaded() bool {
+	rep, ok := r.lastReport()
+	if !ok {
+		return false
+	}
+	bound := int64(rep.MaxConcurrent + rep.QueueLimit)
+	if bound <= 0 {
+		return false
+	}
+	return r.load() >= bound
+}
+
+// noteFailure records one consecutive failure; crossing threshold ejects.
+// It returns true when this call performed the ejection (for counting).
+func (r *replicaState) noteFailure(threshold int) bool {
+	n := r.fails.Add(1)
+	if n >= int64(threshold) && r.healthy.CompareAndSwap(true, false) {
+		r.mHealthy.Set(0)
+		r.mEjected.Inc()
+		return true
+	}
+	return false
+}
+
+// noteSuccess clears the failure streak; a previously ejected replica is
+// readmitted. Returns true when this call performed the readmission.
+func (r *replicaState) noteSuccess() bool {
+	r.fails.Store(0)
+	if r.healthy.CompareAndSwap(false, true) {
+		r.mHealthy.Set(1)
+		return true
+	}
+	return false
+}
+
+// probe fetches /readyz once and applies the result: a 200 with a parsed
+// body is a success (report stored), anything else — transport error,
+// non-200, unparseable body — is a failure. A 503 "draining" response
+// still stores the report so /fleet can show the drain, but counts as a
+// failure so the replica is ejected from routing.
+func (r *replicaState) probe(ctx context.Context, client *http.Client, base string, threshold int) (ejected, readmitted bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return r.noteFailure(threshold), false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return r.noteFailure(threshold), false
+	}
+	defer resp.Body.Close()
+	var body serve.ReadyzResponse
+	decodeErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body)
+	if decodeErr == nil {
+		r.mu.Lock()
+		r.report, r.hasRpt = body, true
+		r.mu.Unlock()
+	}
+	if resp.StatusCode != http.StatusOK || decodeErr != nil {
+		return r.noteFailure(threshold), false
+	}
+	return false, r.noteSuccess()
+}
+
+// FleetReplica is one replica's row in the /fleet report.
+type FleetReplica struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// InFlight is the router's live outstanding count; Load is the
+	// least-loaded comparison score (max of local and reported).
+	InFlight int64 `json:"in_flight"`
+	Load     int64 `json:"load"`
+	// Report is the last successfully parsed /readyz body, if any.
+	Report *serve.ReadyzResponse `json:"report,omitempty"`
+}
+
+func (r *replicaState) fleetRow() FleetReplica {
+	row := FleetReplica{
+		URL:      r.name,
+		Healthy:  r.healthy.Load(),
+		InFlight: r.inflight.Load(),
+		Load:     r.load(),
+	}
+	if rep, ok := r.lastReport(); ok {
+		c := rep
+		row.Report = &c
+	}
+	return row
+}
+
+// probeLoop re-probes every replica each interval until ctx is done.
+func (rt *Router) probeLoop(ctx context.Context) {
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.ProbeNow(ctx)
+		}
+	}
+}
+
+// ProbeNow probes every replica once, concurrently, and waits for the
+// answers. It is called by the probe loop on every tick and exported so
+// cold starts (and tests) can establish fleet health synchronously
+// instead of sleeping for a probe interval.
+func (rt *Router) ProbeNow(ctx context.Context) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, rep := range rt.replicas {
+		wg.Add(1)
+		go func(rep *replicaState) {
+			defer wg.Done()
+			ejected, readmitted := rep.probe(ctx, rt.probeClient, rep.name, rt.cfg.FailThreshold)
+			if ejected {
+				rt.metrics.Counter("router_ejections").Inc()
+			}
+			if readmitted {
+				rt.metrics.Counter("router_readmissions").Inc()
+			}
+		}(rep)
+	}
+	wg.Wait()
+	healthy := 0
+	for _, rep := range rt.replicas {
+		if rep.healthy.Load() {
+			healthy++
+		}
+	}
+	rt.metrics.Gauge("router_replicas_healthy").Set(float64(healthy))
+}

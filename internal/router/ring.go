@@ -1,0 +1,102 @@
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over replica names. Each replica owns
+// Vnodes points on a 64-bit circle, placed by hashing "name#i"; a request
+// key routes to the replica owning the first point clockwise of the key.
+// Because a replica's points depend only on its own name, removing one
+// replica reassigns only the keys it owned (~1/N of the keyspace) and
+// leaves every other key's assignment untouched — the property that keeps
+// a fleet's per-replica working sets (and OS page caches) warm across
+// membership churn. The ring is immutable after construction; membership
+// changes are handled by the caller filtering Candidates against live
+// health, not by rebuilding.
+type Ring struct {
+	points []ringPoint // sorted by hash, ties broken by replica index
+	n      int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// DefaultVnodes balances assignment evenness (stddev ~ 1/√vnodes of the
+// mean share) against ring size; 128 points per replica keeps the maximum
+// share within a few percent of 1/N for small fleets.
+const DefaultVnodes = 128
+
+// NewRing places each of names on the circle vnodes times (0 means
+// DefaultVnodes). Names must be distinct; the ring routes by index into
+// the original slice.
+func NewRing(names []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{n: len(names), points: make([]ringPoint, 0, len(names)*vnodes)}
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashPoint(name, v), replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r
+}
+
+// hashPoint hashes one virtual node (FNV-1a 64 of "name#v").
+func hashPoint(name string, v int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{'#'})
+	h.Write([]byte(strconv.Itoa(v)))
+	return h.Sum64()
+}
+
+// Primary returns the replica index owning key (-1 on an empty ring).
+func (r *Ring) Primary(key uint64) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	return r.points[r.search(key)].replica
+}
+
+// Candidates returns every replica index in ring-walk order starting at
+// key's owner: the primary first, then each distinct replica as its first
+// point is encountered clockwise. Filtering this order against live
+// health gives deterministic failover — the same key always walks the
+// same replica sequence.
+func (r *Ring) Candidates(key uint64) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	start := r.search(key)
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}
+
+// search finds the first point with hash >= key, wrapping to 0.
+func (r *Ring) search(key uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}

@@ -1,0 +1,118 @@
+package router
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func ringNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return names
+}
+
+// TestRingMovement is the consistent-hashing contract: removing one
+// replica from an N-replica ring moves ONLY the keys that replica owned
+// (~1/N of the keyspace) and leaves every other key's primary untouched.
+// A modulo-hash router would move (N-1)/N of the keys here.
+func TestRingMovement(t *testing.T) {
+	const nReplicas = 5
+	const nKeys = 20000
+	names := ringNames(nReplicas)
+	full := NewRing(names, 0)
+
+	// Remove replica 2 by building the ring the router would use if it
+	// were gone; surviving indices shift down, so compare by name.
+	removed := 2
+	var survivors []string
+	for i, n := range names {
+		if i != removed {
+			survivors = append(survivors, n)
+		}
+	}
+	reduced := NewRing(survivors, 0)
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	ownedByRemoved := 0
+	for i := 0; i < nKeys; i++ {
+		key := rng.Uint64()
+		before := names[full.Primary(key)]
+		after := survivors[reduced.Primary(key)]
+		if before == names[removed] {
+			ownedByRemoved++
+			continue // its keys must move somewhere
+		}
+		if before != after {
+			t.Fatalf("key %#x moved %s -> %s though its owner survived", key, before, after)
+		}
+	}
+	frac := float64(ownedByRemoved) / float64(nKeys)
+	if frac < 0.08 || frac > 0.35 {
+		t.Errorf("removed replica owned %.1f%% of keys, want ~%.1f%%", 100*frac, 100.0/nReplicas)
+	}
+}
+
+// TestRingBalance checks vnode placement spreads keys roughly evenly.
+func TestRingBalance(t *testing.T) {
+	const nReplicas = 4
+	const nKeys = 40000
+	r := NewRing(ringNames(nReplicas), 0)
+	counts := make([]int, nReplicas)
+	rng := rand.New(rand.NewPCG(7, 9))
+	for i := 0; i < nKeys; i++ {
+		counts[r.Primary(rng.Uint64())]++
+	}
+	for i, c := range counts {
+		share := float64(c) / float64(nKeys)
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("replica %d owns %.1f%% of keys, want near %.1f%%", i, 100*share, 100.0/nReplicas)
+		}
+	}
+}
+
+// TestRingCandidates checks the failover walk: deterministic, starts at
+// the primary, and visits every replica exactly once.
+func TestRingCandidates(t *testing.T) {
+	names := ringNames(6)
+	r := NewRing(names, 0)
+	rng := rand.New(rand.NewPCG(3, 5))
+	for i := 0; i < 200; i++ {
+		key := rng.Uint64()
+		c1 := r.Candidates(key)
+		c2 := r.Candidates(key)
+		if len(c1) != len(names) {
+			t.Fatalf("Candidates returned %d of %d replicas", len(c1), len(names))
+		}
+		if c1[0] != r.Primary(key) {
+			t.Fatalf("Candidates[0] = %d, Primary = %d", c1[0], r.Primary(key))
+		}
+		seen := make(map[int]bool)
+		for j, idx := range c1 {
+			if c2[j] != idx {
+				t.Fatal("Candidates not deterministic")
+			}
+			if seen[idx] {
+				t.Fatalf("replica %d repeated in candidates", idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestRingEmpty covers the degenerate rings.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Primary(42); got != -1 {
+		t.Errorf("empty ring Primary = %d, want -1", got)
+	}
+	if got := r.Candidates(42); got != nil {
+		t.Errorf("empty ring Candidates = %v, want nil", got)
+	}
+	one := NewRing([]string{"http://solo"}, 3)
+	if got := one.Primary(99); got != 0 {
+		t.Errorf("single ring Primary = %d, want 0", got)
+	}
+}

@@ -1,0 +1,764 @@
+// Package router is the fleet front door for adaptserve: one HTTP
+// process that fronts N shared-nothing replicas and turns them into a
+// single logical service.
+//
+// Three mechanisms stack, each earning its keep independently:
+//
+//   - Routing. Requests are consistent-hashed on their content (endpoint +
+//     canonicalized query + body bytes), so identical ground-reprocessing
+//     bodies land on the same replica while distinct work spreads ~evenly.
+//     Health is probed via the replicas' JSON /readyz (ejection after a
+//     failure streak, readmission on recovery), and a primary that reports
+//     itself at its own admission bound is bypassed for the least-loaded
+//     healthy replica instead of being fed a guaranteed 429.
+//
+//   - Retries. Failed attempts (transport errors, 5xx, 429) are retried
+//     against the next candidate under a hard per-request budget, honoring
+//     jittered Retry-After hints. Retrying is safe precisely because every
+//     endpoint is deterministic and side-effect-free: re-sending a body is
+//     idempotent by construction.
+//
+//   - Exact caching. Because replica responses are bitwise-deterministic
+//     functions of (request bytes, model generation, backend), the router
+//     caches results exactly — a hit replays the very bytes a replica
+//     produced, it does not approximate them. Concurrent identical
+//     requests collapse onto one upstream fetch (single-flight), and the
+//     cache is bounded by bytes and entries with LRU eviction. Entries are
+//     keyed by content hash and validated against the fleet's current
+//     uniform (generation, backend) identity; a mixed fleet (mid rolling
+//     reload) bypasses the cache rather than risk serving one generation's
+//     answer for another's.
+//
+// The operational assumption, stated rather than hidden: shared-nothing
+// replicas are deployed with identical model artifacts, so equal
+// generation numbers mean equal weights. The generation axis exists to
+// fence rolling reloads, not to distinguish divergent deployments.
+package router
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Config sizes the router.
+type Config struct {
+	// Replicas are the adaptserve base URLs (e.g. "http://127.0.0.1:8081").
+	// At least one is required.
+	Replicas []string
+	// Vnodes is the consistent-hash points per replica (0 = DefaultVnodes).
+	Vnodes int
+	// ProbeInterval is the /readyz polling period (0 = 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round (0 = 2s).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive-failure streak (probe or request
+	// transport) that ejects a replica (0 = 2).
+	FailThreshold int
+	// RetryBudget is the maximum number of re-sent attempts after the
+	// first, per request (negative = 0, i.e. no retries; 0 = default 2).
+	RetryBudget int
+	// RetryAfterCap bounds how long one 429 Retry-After hint can hold a
+	// request (0 = 2s); the client's own deadline always wins.
+	RetryAfterCap time.Duration
+	// AttemptTimeout bounds each upstream attempt (0 = no per-attempt
+	// bound; the request context still applies).
+	AttemptTimeout time.Duration
+	// CacheMaxBytes / CacheMaxEntries bound the exact result cache
+	// (0 = 256 MiB / 4096 entries; CacheMaxBytes < 0 disables caching
+	// and single-flight collapsing entirely).
+	CacheMaxBytes   int64
+	CacheMaxEntries int
+	// MaxBodyBytes caps request bodies (0 = 64 MiB), mirroring adaptserve.
+	MaxBodyBytes int64
+	// Client overrides the upstream HTTP client (default: pooled
+	// transport, no overall timeout — deadlines come from the request).
+	Client *http.Client
+	// Metrics receives the router's counters/gauges/histograms; nil
+	// creates a fresh registry (exposed at /metrics either way).
+	Metrics *obs.Registry
+}
+
+// Router is the adaptrouter HTTP service.
+type Router struct {
+	cfg         Config
+	metrics     *obs.Registry
+	replicas    []*replicaState
+	ring        *Ring
+	cache       *resultCache
+	client      *http.Client
+	probeClient *http.Client
+	mux         *http.ServeMux
+	httpSrv     *http.Server
+	draining    atomic.Bool
+	probeStop   context.CancelFunc
+}
+
+// New builds a Router and starts its health prober. Callers must Shutdown
+// (or Close) to stop the prober.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("router: no replicas configured")
+	}
+	seen := map[string]bool{}
+	for i, r := range cfg.Replicas {
+		u, err := url.Parse(r)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("router: replica %d: %q is not an absolute URL", i, r)
+		}
+		cfg.Replicas[i] = strings.TrimRight(r, "/")
+		if seen[cfg.Replicas[i]] {
+			return nil, fmt.Errorf("router: duplicate replica %q", cfg.Replicas[i])
+		}
+		seen[cfg.Replicas[i]] = true
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 2
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 2
+	}
+	if cfg.RetryBudget < 0 {
+		cfg.RetryBudget = 0
+	}
+	if cfg.RetryAfterCap <= 0 {
+		cfg.RetryAfterCap = 2 * time.Second
+	}
+	if cfg.CacheMaxBytes == 0 {
+		cfg.CacheMaxBytes = 256 << 20
+	}
+	if cfg.CacheMaxEntries <= 0 {
+		cfg.CacheMaxEntries = 4096
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+
+	rt := &Router{cfg: cfg, metrics: cfg.Metrics}
+	rt.client = cfg.Client
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	rt.probeClient = &http.Client{Timeout: cfg.ProbeTimeout}
+	for i, name := range cfg.Replicas {
+		rt.replicas = append(rt.replicas, newReplicaState(name, i, rt.metrics))
+	}
+	rt.ring = NewRing(cfg.Replicas, cfg.Vnodes)
+	if cfg.CacheMaxBytes > 0 {
+		rt.cache = newResultCache(cfg.CacheMaxBytes, cfg.CacheMaxEntries, rt.metrics)
+	}
+
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/v1/localize", rt.handleProxy)
+	rt.mux.HandleFunc("/v1/classify", rt.handleProxy)
+	rt.mux.HandleFunc("/v1/replay", rt.handleProxy)
+	rt.mux.HandleFunc("/admin/reload", rt.handleReload)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("/fleet", rt.handleFleet)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/version", rt.handleVersion)
+	rt.httpSrv = &http.Server{Handler: rt.mux, ReadHeaderTimeout: 10 * time.Second}
+
+	probeCtx, cancel := context.WithCancel(context.Background())
+	rt.probeStop = cancel
+	go rt.probeLoop(probeCtx)
+	return rt, nil
+}
+
+// Handler exposes the route table (for httptest and embedding).
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Metrics returns the router's registry.
+func (rt *Router) Metrics() *obs.Registry { return rt.metrics }
+
+// Serve accepts connections on l until Shutdown.
+func (rt *Router) Serve(l net.Listener) error {
+	err := rt.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the router: readiness flips to 503, the prober stops,
+// and in-flight proxied requests run to completion (bounded by ctx).
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.draining.Store(true)
+	rt.probeStop()
+	return rt.httpSrv.Shutdown(ctx)
+}
+
+// Close stops the prober without serving-side drain (for tests using
+// Handler directly).
+func (rt *Router) Close() { rt.probeStop() }
+
+// ---- fleet identity ----
+
+// fleetIdentity returns the (model generation, backend) every healthy
+// reported replica agrees on. uniform is false while any two disagree or
+// no healthy replica has reported yet — the exact cache stands down
+// rather than guess which generation a routed request will hit.
+func (rt *Router) fleetIdentity() (gen uint64, backend string, uniform bool) {
+	first := true
+	for _, rep := range rt.replicas {
+		if !rep.healthy.Load() {
+			continue
+		}
+		r, ok := rep.lastReport()
+		if !ok {
+			return 0, "", false
+		}
+		if first {
+			gen, backend, first = r.ModelGeneration, r.Backend, false
+			continue
+		}
+		if r.ModelGeneration != gen || r.Backend != backend {
+			return 0, "", false
+		}
+	}
+	return gen, backend, !first
+}
+
+// ---- request hashing ----
+
+// contentKey hashes what determines a deterministic endpoint's answer:
+// the path, the canonicalized query (sorted; deadline_ms excluded — it
+// shapes queueing, never the body), and the raw body bytes. Returns the
+// hex cache key and the 64-bit ring key (first 8 bytes of the digest).
+func contentKey(path string, query url.Values, body []byte) (string, uint64) {
+	h := sha256.New()
+	io.WriteString(h, path)
+	h.Write([]byte{0})
+	keys := make([]string, 0, len(query))
+	for k := range query {
+		if k == "deadline_ms" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		vs := append([]string(nil), query[k]...)
+		sort.Strings(vs)
+		for _, v := range vs {
+			io.WriteString(h, k)
+			h.Write([]byte{'='})
+			io.WriteString(h, v)
+			h.Write([]byte{0})
+		}
+	}
+	h.Write([]byte{0})
+	h.Write(body)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum), binary.BigEndian.Uint64(sum[:8])
+}
+
+// ---- replica selection ----
+
+// pickReplica chooses the next replica for a request: the first healthy,
+// untried candidate in ring order that is not overloaded; failing that,
+// the least-loaded healthy untried replica (even an overloaded one —
+// its 429 still beats a guaranteed local failure); nil when every
+// replica is tried or ejected.
+func (rt *Router) pickReplica(ringKey uint64, tried []bool) *replicaState {
+	var fallback *replicaState
+	for _, idx := range rt.ring.Candidates(ringKey) {
+		rep := rt.replicas[idx]
+		if tried[idx] || !rep.healthy.Load() {
+			continue
+		}
+		if !rep.overloaded() {
+			return rep
+		}
+		if fallback == nil || rep.load() < fallback.load() {
+			fallback = rep
+		}
+	}
+	if fallback != nil {
+		rt.metrics.Counter("router_least_loaded_fallbacks").Inc()
+	}
+	return fallback
+}
+
+// ---- the proxy core ----
+
+// upstreamResult is one upstream attempt's outcome.
+type upstreamResult struct {
+	status      int
+	contentType string
+	gen         uint64
+	backend     string
+	body        []byte
+	retryAfter  time.Duration
+}
+
+var errNoReplica = errors.New("router: no healthy replica available")
+
+// forward runs the retry loop: up to 1+RetryBudget attempts across
+// distinct replicas (429/5xx/transport retried, client errors returned
+// as-is), honoring capped Retry-After waits. attempts reports upstream
+// sends actually made.
+func (rt *Router) forward(ctx context.Context, path, rawQuery, contentType string, body []byte, ringKey uint64) (res *upstreamResult, attempts int, err error) {
+	tried := make([]bool, len(rt.replicas))
+	maxAttempts := 1 + rt.cfg.RetryBudget
+	var lastErr error
+	var lastRes *upstreamResult
+	for attempts < maxAttempts {
+		if ctx.Err() != nil {
+			break
+		}
+		rep := rt.pickReplica(ringKey, tried)
+		if rep == nil {
+			// Every replica tried or ejected. Give the budget's remaining
+			// attempts a second pass (a 429'd replica may have drained
+			// after the Retry-After wait) unless nothing is healthy.
+			if !rt.anyHealthy() {
+				break
+			}
+			for i := range tried {
+				tried[i] = false
+			}
+			rep = rt.pickReplica(ringKey, tried)
+			if rep == nil {
+				break
+			}
+		}
+		tried[rep.idx] = true
+		if attempts > 0 {
+			rt.metrics.Counter("router_retries").Inc()
+			rep.mRetries.Inc()
+		}
+		attempts++
+		res, err := rt.sendOnce(ctx, rep, path, rawQuery, contentType, body)
+		if err != nil {
+			lastErr = err
+			rt.metrics.Counter("router_upstream_transport_errors").Inc()
+			if rep.noteFailure(rt.cfg.FailThreshold) {
+				rt.metrics.Counter("router_ejections").Inc()
+			}
+			continue
+		}
+		switch {
+		case res.status == http.StatusTooManyRequests:
+			lastRes = res
+			rt.metrics.Counter("router_upstream_429").Inc()
+			if attempts < maxAttempts {
+				rt.waitRetryAfter(ctx, res.retryAfter)
+			}
+		case res.status >= 500:
+			lastRes = res
+			rt.metrics.Counter("router_upstream_5xx").Inc()
+		default:
+			// 2xx and non-retryable client errors pass through.
+			return res, attempts, nil
+		}
+	}
+	if lastRes != nil {
+		return lastRes, attempts, nil
+	}
+	if lastErr != nil {
+		return nil, attempts, lastErr
+	}
+	if ctx.Err() != nil {
+		return nil, attempts, ctx.Err()
+	}
+	return nil, attempts, errNoReplica
+}
+
+func (rt *Router) anyHealthy() bool {
+	for _, rep := range rt.replicas {
+		if rep.healthy.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// sendOnce proxies one attempt to one replica.
+func (rt *Router) sendOnce(ctx context.Context, rep *replicaState, path, rawQuery, contentType string, body []byte) (*upstreamResult, error) {
+	if rt.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	u := rep.name + path
+	if rawQuery != "" {
+		u += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	rep.acquire()
+	defer rep.release()
+	stop := rt.metrics.StartStage("router_upstream")
+	resp, err := rt.client.Do(req)
+	stop()
+	if err != nil {
+		rep.mFailures.Inc()
+		return nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes+1))
+	if err != nil {
+		rep.mFailures.Inc()
+		return nil, err
+	}
+	res := &upstreamResult{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		body:        respBody,
+	}
+	if v := resp.Header.Get(serve.HeaderModelGeneration); v != "" {
+		res.gen, _ = strconv.ParseUint(v, 10, 64)
+	}
+	res.backend = resp.Header.Get(serve.HeaderBackend)
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if sec, err := strconv.Atoi(v); err == nil && sec > 0 {
+			res.retryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		rep.mFailures.Inc()
+	} else {
+		rep.noteSuccess()
+	}
+	return res, nil
+}
+
+// waitRetryAfter sleeps for a 429's hint, capped by RetryAfterCap and the
+// request context. With no hint it backs off a few jittered milliseconds
+// so a burst of rejected retries does not arrive in lockstep.
+func (rt *Router) waitRetryAfter(ctx context.Context, hint time.Duration) {
+	wait := hint
+	if wait <= 0 {
+		wait = time.Duration(2+rand.IntN(8)) * time.Millisecond
+	}
+	if wait > rt.cfg.RetryAfterCap {
+		wait = rt.cfg.RetryAfterCap
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// ---- HTTP handlers ----
+
+const (
+	headerCache    = "X-Adapt-Router-Cache"
+	headerReplica  = "X-Adapt-Router-Replica"
+	headerAttempts = "X-Adapt-Router-Attempts"
+)
+
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	stop := rt.metrics.StartStage("router_proxy")
+	defer stop()
+	rt.metrics.Counter("router_requests").Inc()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		rt.metrics.Counter("router_bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	key, ringKey := contentKey(r.URL.Path, r.URL.Query(), body)
+
+	gen, backend, uniform := rt.fleetIdentity()
+	if uniform {
+		if e, ok := rt.cache.get(key, gen, backend); ok {
+			rt.metrics.Counter("router_cache_hits").Inc()
+			rt.writeUpstream(w, e.status, e.contentType, e.gen, e.backend, e.body, "hit", 0)
+			return
+		}
+	} else if rt.cache != nil {
+		rt.metrics.Counter("router_cache_bypass").Inc()
+	}
+
+	// Single-flight: collapse concurrent identical requests onto one
+	// upstream fetch. Only exact-cacheable traffic (uniform fleet, cache
+	// enabled) collapses; anything else goes straight upstream.
+	if uniform && rt.cache != nil {
+		f, leader := rt.cache.join(key)
+		if !leader {
+			rt.awaitFlight(w, r, f)
+			return
+		}
+		rt.metrics.Counter("router_cache_misses").Inc()
+		res, attempts, err := rt.forward(r.Context(), r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), body, ringKey)
+		if err != nil {
+			rt.failProxy(w, err)
+			f.err = err
+			rt.cache.finish(key, f)
+			return
+		}
+		if res.status >= 200 && res.status < 300 && res.gen == gen && res.backend == backend {
+			f.entry = &cacheEntry{
+				key:         key,
+				status:      res.status,
+				contentType: res.contentType,
+				gen:         res.gen,
+				backend:     res.backend,
+				body:        res.body,
+			}
+		} else {
+			f.status, f.contentType, f.body = res.status, res.contentType, res.body
+		}
+		rt.writeUpstream(w, res.status, res.contentType, res.gen, res.backend, res.body, "miss", attempts)
+		rt.cache.finish(key, f)
+		return
+	}
+
+	res, attempts, err := rt.forward(r.Context(), r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), body, ringKey)
+	if err != nil {
+		rt.failProxy(w, err)
+		return
+	}
+	rt.writeUpstream(w, res.status, res.contentType, res.gen, res.backend, res.body, "bypass", attempts)
+}
+
+// awaitFlight serves a follower of a collapsed request.
+func (rt *Router) awaitFlight(w http.ResponseWriter, r *http.Request, f *flight) {
+	rt.metrics.Counter("router_collapsed").Inc()
+	select {
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "deadline expired awaiting collapsed request")
+		return
+	case <-f.done:
+	}
+	switch {
+	case f.entry != nil:
+		e := f.entry
+		rt.writeUpstream(w, e.status, e.contentType, e.gen, e.backend, e.body, "collapsed", 0)
+	case f.err != nil:
+		rt.failProxy(w, f.err)
+	default:
+		rt.writeUpstream(w, f.status, f.contentType, 0, "", f.body, "collapsed", 0)
+	}
+}
+
+// failProxy maps a forwarding error with no upstream response onto HTTP.
+func (rt *Router) failProxy(w http.ResponseWriter, err error) {
+	rt.metrics.Counter("router_failed").Inc()
+	switch {
+	case errors.Is(err, errNoReplica):
+		rt.metrics.Counter("router_no_replica").Inc()
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request deadline expired: %v", err)
+	default:
+		writeError(w, http.StatusBadGateway, "upstream failed: %v", err)
+	}
+}
+
+// writeUpstream relays an upstream (or cached) result to the client.
+func (rt *Router) writeUpstream(w http.ResponseWriter, status int, contentType string, gen uint64, backend string, body []byte, cacheState string, attempts int) {
+	if contentType != "" {
+		w.Header().Set("Content-Type", contentType)
+	}
+	if backend != "" {
+		w.Header().Set(serve.HeaderBackend, backend)
+		w.Header().Set(serve.HeaderModelGeneration, strconv.FormatUint(gen, 10))
+	}
+	w.Header().Set(headerCache, cacheState)
+	if attempts > 0 {
+		w.Header().Set(headerAttempts, strconv.Itoa(attempts))
+	}
+	if status >= 200 && status < 300 {
+		rt.metrics.Counter("router_ok").Inc()
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", fmt.Sprintf(format, args...))
+}
+
+// handleReload fans POST /admin/reload out to every replica (healthy or
+// not — a reload is exactly how an ejected-but-alive replica gets fixed)
+// and reports each outcome. 200 when every replica accepted, 502
+// otherwise. The reload itself invalidates cached results naturally: the
+// fleet generation moves, so old entries stop matching.
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	type outcome struct {
+		URL    string `json:"url"`
+		Status int    `json:"status"`
+		Body   string `json:"body"`
+	}
+	outcomes := make([]outcome, len(rt.replicas))
+	allOK := true
+	for i, rep := range rt.replicas {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, rep.name+"/admin/reload", strings.NewReader(string(body)))
+		if err != nil {
+			outcomes[i] = outcome{URL: rep.name, Status: 0, Body: err.Error()}
+			allOK = false
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			outcomes[i] = outcome{URL: rep.name, Status: 0, Body: err.Error()}
+			allOK = false
+			continue
+		}
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		outcomes[i] = outcome{URL: rep.name, Status: resp.StatusCode, Body: strings.TrimSpace(string(b))}
+		if resp.StatusCode != http.StatusOK {
+			allOK = false
+		}
+	}
+	status := http.StatusOK
+	if !allOK {
+		status = http.StatusBadGateway
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSONBody(w, map[string]any{"ok": allOK, "replicas": outcomes})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// RouterReadyz is the JSON body of the router's GET /readyz: ready while
+// not draining and at least one replica is healthy.
+type RouterReadyz struct {
+	Ready           bool   `json:"ready"`
+	Draining        bool   `json:"draining"`
+	Replicas        int    `json:"replicas"`
+	HealthyReplicas int    `json:"healthy_replicas"`
+	FleetUniform    bool   `json:"fleet_uniform"`
+	ModelGeneration uint64 `json:"model_generation,omitempty"`
+	Backend         string `json:"backend,omitempty"`
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	healthy := 0
+	for _, rep := range rt.replicas {
+		if rep.healthy.Load() {
+			healthy++
+		}
+	}
+	gen, backend, uniform := rt.fleetIdentity()
+	resp := RouterReadyz{
+		Ready:           !rt.draining.Load() && healthy > 0,
+		Draining:        rt.draining.Load(),
+		Replicas:        len(rt.replicas),
+		HealthyReplicas: healthy,
+		FleetUniform:    uniform,
+		ModelGeneration: gen,
+		Backend:         backend,
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSONBody(w, resp)
+}
+
+// FleetResponse is the JSON body of GET /fleet.
+type FleetResponse struct {
+	Replicas []FleetReplica `json:"replicas"`
+	// CacheHitRatio is hits/(hits+misses) over the router's lifetime
+	// (0 with no lookups yet).
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	resp := FleetResponse{}
+	for _, rep := range rt.replicas {
+		resp.Replicas = append(resp.Replicas, rep.fleetRow())
+	}
+	hits := rt.metrics.Counter("router_cache_hits").Load()
+	misses := rt.metrics.Counter("router_cache_misses").Load()
+	if hits+misses > 0 {
+		resp.CacheHitRatio = float64(hits) / float64(hits+misses)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	writeJSONBody(w, resp)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bi := buildinfo.Get()
+	fmt.Fprintf(w, "# TYPE adapt_build_info gauge\nadapt_build_info{version=%q,commit=%q,go_version=%q} 1\n",
+		bi.Version, bi.Commit, bi.GoVersion)
+	for i, rep := range rt.replicas {
+		fmt.Fprintf(w, "# TYPE adapt_router_replica_info gauge\nadapt_router_replica_info{replica=\"%d\",url=%q} 1\n",
+			i, rep.name)
+	}
+	hits := rt.metrics.Counter("router_cache_hits").Load()
+	misses := rt.metrics.Counter("router_cache_misses").Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(w, "# TYPE adapt_router_cache_hit_ratio gauge\nadapt_router_cache_hit_ratio %g\n", ratio)
+	rt.metrics.WritePrometheus(w, "adapt")
+}
+
+func (rt *Router) handleVersion(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	writeJSONBody(w, map[string]any{
+		"version":  buildinfo.Get(),
+		"role":     "router",
+		"replicas": rt.cfg.Replicas,
+	})
+}
+
+func writeJSONBody(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,539 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/background"
+	"repro/internal/detector"
+	"repro/internal/evio"
+	"repro/internal/serve"
+	"repro/internal/xrand"
+)
+
+// simulateBody builds one burst+background exposure as an evio payload.
+func simulateBody(t *testing.T, fluence, polar float64, seed uint64) []byte {
+	t.Helper()
+	det := detector.DefaultConfig()
+	bg := background.DefaultModel()
+	rng := xrand.New(seed)
+	burst := detector.Burst{Fluence: fluence, PolarDeg: polar, AzimuthDeg: 77}
+	events := detector.SimulateBurst(&det, burst, rng)
+	events = append(events, bg.Simulate(&det, 0.5, rng)...)
+	var buf bytes.Buffer
+	if err := evio.WriteAll(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newReplicas boots n real adaptserve servers (no-ML pipeline: localize
+// is fully deterministic without models) and returns their base URLs.
+func newReplicas(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := serve.New(serve.Config{MaxConcurrent: 2, QueueDepth: 32})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// newRouter builds a probed, ready-to-route Router over the URLs.
+func newRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = time.Hour // tests drive probes explicitly
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	rt.ProbeNow(context.Background())
+	return rt
+}
+
+func postBody(t *testing.T, client *http.Client, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := client.Post(url, serve.ContentTypeEvio, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestRoutedBitwiseIdentical is the routing acceptance test: a request
+// through the router returns byte-for-byte what every replica returns
+// directly (with ?canonical=1 zeroing the per-run timing noise), because
+// the backends are deterministic and the router is transparent.
+func TestRoutedBitwiseIdentical(t *testing.T) {
+	urls := newReplicas(t, 3)
+	rt := newRouter(t, Config{Replicas: append([]string(nil), urls...)})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	body := simulateBody(t, 1.0, 30, 7)
+	const q = "/v1/localize?seed=7&canonical=1"
+
+	var direct [][]byte
+	for _, u := range urls {
+		resp, b := postBody(t, http.DefaultClient, u+q, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("direct POST = %d: %s", resp.StatusCode, b)
+		}
+		direct = append(direct, b)
+	}
+	for i := 1; i < len(direct); i++ {
+		if !bytes.Equal(direct[i], direct[0]) {
+			t.Fatalf("replicas disagree with each other:\n%s\n%s", direct[0], direct[i])
+		}
+	}
+
+	resp, routed := postBody(t, http.DefaultClient, rts.URL+q, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed POST = %d: %s", resp.StatusCode, routed)
+	}
+	if !bytes.Equal(routed, direct[0]) {
+		t.Fatalf("routed body differs from direct:\nrouted: %s\ndirect: %s", routed, direct[0])
+	}
+	if got := resp.Header.Get(headerCache); got != "miss" {
+		t.Errorf("first routed request cache state = %q, want miss", got)
+	}
+	if resp.Header.Get(serve.HeaderBackend) != "float32" {
+		t.Errorf("missing/wrong %s header: %q", serve.HeaderBackend, resp.Header.Get(serve.HeaderBackend))
+	}
+}
+
+// TestCacheHitBitwiseIdentical: a repeat of an identical request is a
+// cache hit and returns exactly the missed response's bytes.
+func TestCacheHitBitwiseIdentical(t *testing.T) {
+	urls := newReplicas(t, 2)
+	rt := newRouter(t, Config{Replicas: urls})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	body := simulateBody(t, 1.0, 40, 11)
+	const q = "/v1/localize?seed=3&canonical=1"
+
+	resp1, b1 := postBody(t, http.DefaultClient, rts.URL+q, body)
+	resp2, b2 := postBody(t, http.DefaultClient, rts.URL+q, body)
+	if resp1.StatusCode != 200 || resp2.StatusCode != 200 {
+		t.Fatalf("statuses %d, %d", resp1.StatusCode, resp2.StatusCode)
+	}
+	if got := resp2.Header.Get(headerCache); got != "hit" {
+		t.Fatalf("second request cache state = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cache hit not bitwise-identical to miss:\nmiss: %s\nhit:  %s", b1, b2)
+	}
+	// Distinct query → distinct key → miss.
+	resp3, _ := postBody(t, http.DefaultClient, rts.URL+"/v1/localize?seed=4&canonical=1", body)
+	if got := resp3.Header.Get(headerCache); got != "miss" {
+		t.Errorf("different seed cache state = %q, want miss", got)
+	}
+	reg := rt.Metrics()
+	if hits := reg.Counter("router_cache_hits").Load(); hits != 1 {
+		t.Errorf("router_cache_hits = %d, want 1", hits)
+	}
+	if misses := reg.Counter("router_cache_misses").Load(); misses != 2 {
+		t.Errorf("router_cache_misses = %d, want 2", misses)
+	}
+}
+
+// fakeReplica is a scriptable upstream: a /readyz that reports a healthy
+// JSON body and a /v1/localize whose behavior the test controls.
+type fakeReplica struct {
+	ts       *httptest.Server
+	attempts atomic.Int64
+	handler  atomic.Pointer[http.HandlerFunc]
+	ready    atomic.Bool
+}
+
+func newFakeReplica(t *testing.T) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{}
+	f.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		status := http.StatusOK
+		rdy := f.ready.Load()
+		if !rdy {
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(serve.ReadyzResponse{
+			Ready: rdy, InFlight: 0, QueueDepth: 0,
+			MaxConcurrent: 4, QueueLimit: 16,
+			ModelGeneration: 0, Backend: "float32",
+		})
+	})
+	mux.HandleFunc("/v1/localize", func(w http.ResponseWriter, r *http.Request) {
+		f.attempts.Add(1)
+		(*f.handler.Load())(w, r)
+	})
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(serve.HeaderModelGeneration, "0")
+		w.Header().Set(serve.HeaderBackend, "float32")
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprintln(w, `{"ok":true,"fake":1}`)
+	})
+	f.handler.Store(&ok)
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeReplica) respond(h http.HandlerFunc) { f.handler.Store(&h) }
+
+// TestRetryBudgetNeverExceeded injects persistent faults and counts the
+// upstream attempts the router actually makes: never more than
+// 1 + RetryBudget, for 5xx, 429, and timeout faults alike.
+func TestRetryBudgetNeverExceeded(t *testing.T) {
+	cases := []struct {
+		name       string
+		fail       func(w http.ResponseWriter, r *http.Request)
+		wantStatus int
+	}{
+		{"5xx", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}, http.StatusInternalServerError},
+		{"429", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "full", http.StatusTooManyRequests)
+		}, http.StatusTooManyRequests},
+		{"timeout", func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(2 * time.Second) // far beyond AttemptTimeout
+		}, http.StatusServiceUnavailable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fakes := []*fakeReplica{newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)}
+			var urls []string
+			for _, f := range fakes {
+				f.respond(tc.fail)
+				urls = append(urls, f.ts.URL)
+			}
+			const budget = 2
+			rt := newRouter(t, Config{
+				Replicas:       urls,
+				RetryBudget:    budget,
+				RetryAfterCap:  20 * time.Millisecond,
+				AttemptTimeout: 150 * time.Millisecond,
+				FailThreshold:  100, // keep replicas routable so attempts hit the budget, not ejection
+			})
+			rts := httptest.NewServer(rt.Handler())
+			defer rts.Close()
+
+			resp, body := postBody(t, http.DefaultClient, rts.URL+"/v1/localize", []byte("payload"))
+			var total int64
+			for _, f := range fakes {
+				total += f.attempts.Load()
+			}
+			if total > budget+1 {
+				t.Fatalf("%d upstream attempts, budget allows %d", total, budget+1)
+			}
+			if tc.name != "timeout" && total != budget+1 {
+				t.Errorf("%d upstream attempts, want exactly %d (budget exhausted)", total, budget+1)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("final status = %d (%s), want %d", resp.StatusCode, body, tc.wantStatus)
+			}
+			if got := rt.Metrics().Counter("router_retries").Load(); got > budget {
+				t.Errorf("router_retries = %d, want <= %d", got, budget)
+			}
+		})
+	}
+}
+
+// TestRetryAfterHonored: a 429 with Retry-After delays the retry by the
+// (capped) hint, and the retry succeeds on a recovered replica.
+func TestRetryAfterHonored(t *testing.T) {
+	f := newFakeReplica(t)
+	var first atomic.Bool
+	first.Store(true)
+	okBody := `{"ok":true}` + "\n"
+	f.respond(func(w http.ResponseWriter, r *http.Request) {
+		if first.CompareAndSwap(true, false) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "full", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set(serve.HeaderModelGeneration, "0")
+		w.Header().Set(serve.HeaderBackend, "float32")
+		io.WriteString(w, okBody)
+	})
+	const cap = 300 * time.Millisecond
+	rt := newRouter(t, Config{
+		Replicas:      []string{f.ts.URL},
+		RetryBudget:   2,
+		RetryAfterCap: cap,
+	})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	t0 := time.Now()
+	resp, body := postBody(t, http.DefaultClient, rts.URL+"/v1/localize", []byte("x"))
+	elapsed := time.Since(t0)
+	if resp.StatusCode != http.StatusOK || string(body) != okBody {
+		t.Fatalf("final = %d %q", resp.StatusCode, body)
+	}
+	if elapsed < cap {
+		t.Errorf("retried after %v, want >= %v (capped Retry-After honored)", elapsed, cap)
+	}
+	if got := resp.Header.Get(headerAttempts); got != "2" {
+		t.Errorf("attempts header = %q, want 2", got)
+	}
+}
+
+// TestFailoverAndEjection: killing a replica mid-fleet must not fail any
+// request (transport errors retry on survivors), and the dead replica is
+// ejected after its failure streak, then readmitted when it returns.
+func TestFailoverAndEjection(t *testing.T) {
+	urls := newReplicas(t, 2)
+	dead := newFakeReplica(t)
+	all := append(append([]string(nil), urls...), dead.ts.URL)
+	rt := newRouter(t, Config{
+		Replicas:      all,
+		RetryBudget:   3,
+		FailThreshold: 2,
+	})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	body := simulateBody(t, 1.0, 20, 5)
+	// Kill the fake replica outright: connection-refused transport errors.
+	dead.ts.Close()
+
+	// Every request must still succeed; enough of them guarantees some
+	// would have routed to the dead replica first.
+	for i := 0; i < 12; i++ {
+		q := fmt.Sprintf("/v1/localize?seed=%d&canonical=1", i+1)
+		resp, b := postBody(t, http.DefaultClient, rts.URL+q, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d failed: %d %s", i, resp.StatusCode, b)
+		}
+	}
+	// The request-path failure streak alone must have ejected it.
+	var deadState *replicaState
+	for _, rep := range rt.replicas {
+		if rep.name == dead.ts.URL {
+			deadState = rep
+		}
+	}
+	if deadState == nil {
+		t.Fatal("dead replica not found in router state")
+	}
+	if deadState.healthy.Load() {
+		t.Error("dead replica still marked healthy after failure streak")
+	}
+	if got := rt.Metrics().Counter("router_ejections").Load(); got < 1 {
+		t.Errorf("router_ejections = %d, want >= 1", got)
+	}
+
+	// Once ejected, requests no longer pay the connection-refused tax:
+	// no retries needed.
+	before := rt.Metrics().Counter("router_retries").Load()
+	for i := 0; i < 4; i++ {
+		q := fmt.Sprintf("/v1/localize?seed=%d&canonical=1", 100+i)
+		resp, _ := postBody(t, http.DefaultClient, rts.URL+q, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-ejection request failed: %d", resp.StatusCode)
+		}
+	}
+	if after := rt.Metrics().Counter("router_retries").Load(); after != before {
+		t.Errorf("ejected replica still receiving attempts: retries %d -> %d", before, after)
+	}
+}
+
+// TestReadmission: a replica whose /readyz recovers is routed to again.
+func TestReadmission(t *testing.T) {
+	f := newFakeReplica(t)
+	rt := newRouter(t, Config{Replicas: []string{f.ts.URL}, FailThreshold: 1})
+
+	f.ready.Store(false)
+	rt.ProbeNow(context.Background())
+	if rt.replicas[0].healthy.Load() {
+		t.Fatal("replica not ejected on unready probe")
+	}
+	if got := rt.Metrics().Counter("router_ejections").Load(); got != 1 {
+		t.Errorf("router_ejections = %d, want 1", got)
+	}
+
+	f.ready.Store(true)
+	rt.ProbeNow(context.Background())
+	if !rt.replicas[0].healthy.Load() {
+		t.Fatal("replica not readmitted on recovered probe")
+	}
+	if got := rt.Metrics().Counter("router_readmissions").Load(); got != 1 {
+		t.Errorf("router_readmissions = %d, want 1", got)
+	}
+}
+
+// TestSingleFlightCollapse: concurrent identical requests produce one
+// upstream fetch and byte-identical responses for every caller.
+func TestSingleFlightCollapse(t *testing.T) {
+	f := newFakeReplica(t)
+	release := make(chan struct{})
+	f.respond(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hold the leader upstream until all followers join
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(serve.HeaderModelGeneration, "0")
+		w.Header().Set(serve.HeaderBackend, "float32")
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprintln(w, `{"ok":true,"collapsed":1}`)
+	})
+	rt := newRouter(t, Config{Replicas: []string{f.ts.URL}})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	const n = 8
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(rts.URL+"/v1/localize", serve.ContentTypeEvio, bytes.NewReader([]byte("same-body")))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	// Wait until the followers have had a chance to pile onto the flight,
+	// then let the leader's upstream answer.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Metrics().Counter("router_collapsed").Load() < n-1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := f.attempts.Load(); got != 1 {
+		t.Errorf("upstream saw %d requests, want 1 (single-flight)", got)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("collapsed response %d differs", i)
+		}
+	}
+	if got := rt.Metrics().Counter("router_collapsed").Load(); got != n-1 {
+		t.Errorf("router_collapsed = %d, want %d", got, n-1)
+	}
+}
+
+// TestRouterEndpoints covers readyz/fleet/metrics/version plumbing.
+func TestRouterEndpoints(t *testing.T) {
+	urls := newReplicas(t, 2)
+	rt := newRouter(t, Config{Replicas: urls})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(rts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, string(b)
+	}
+
+	if resp, body := get("/readyz"); resp.StatusCode != 200 {
+		t.Errorf("/readyz = %d %s", resp.StatusCode, body)
+	} else {
+		var rr RouterReadyz
+		if err := json.Unmarshal([]byte(body), &rr); err != nil {
+			t.Fatalf("readyz not JSON: %v", err)
+		}
+		if !rr.Ready || rr.HealthyReplicas != 2 || !rr.FleetUniform {
+			t.Errorf("readyz = %+v", rr)
+		}
+	}
+
+	if resp, body := get("/fleet"); resp.StatusCode != 200 {
+		t.Errorf("/fleet = %d", resp.StatusCode)
+	} else {
+		var fr FleetResponse
+		if err := json.Unmarshal([]byte(body), &fr); err != nil {
+			t.Fatalf("fleet not JSON: %v", err)
+		}
+		if len(fr.Replicas) != 2 || !fr.Replicas[0].Healthy || fr.Replicas[0].Report == nil {
+			t.Errorf("fleet = %+v", fr)
+		}
+	}
+
+	// Route one request then check the exposition mentions the router
+	// families.
+	body := simulateBody(t, 0.5, 10, 3)
+	postBody(t, http.DefaultClient, rts.URL+"/v1/localize?canonical=1", body)
+	if _, metrics := get("/metrics"); !contains(metrics, "adapt_router_cache_hit_ratio") ||
+		!contains(metrics, "adapt_router_replica_0_inflight") ||
+		!contains(metrics, "adapt_router_requests_total") {
+		t.Errorf("metrics exposition missing router families:\n%.400s", metrics)
+	}
+	if resp, body := get("/version"); resp.StatusCode != 200 || !contains(body, "router") {
+		t.Errorf("/version = %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := get("/healthz"); resp.StatusCode != 200 {
+		t.Errorf("/healthz = %d", resp.StatusCode)
+	}
+}
+
+// TestRouterDrain: Shutdown flips readiness and stops the prober.
+func TestRouterDrain(t *testing.T) {
+	urls := newReplicas(t, 1)
+	rt := newRouter(t, Config{Replicas: urls})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz after drain = %d, want 503", rec.Code)
+	}
+}
+
+// TestNoHealthyReplica: with every replica ejected the router answers 503
+// without hanging.
+func TestNoHealthyReplica(t *testing.T) {
+	f := newFakeReplica(t)
+	rt := newRouter(t, Config{Replicas: []string{f.ts.URL}, FailThreshold: 1})
+	f.ready.Store(false)
+	rt.ProbeNow(context.Background())
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	resp, body := postBody(t, http.DefaultClient, rts.URL+"/v1/localize", []byte("x"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d %s, want 503", resp.StatusCode, body)
+	}
+	if got := rt.Metrics().Counter("router_no_replica").Load(); got != 1 {
+		t.Errorf("router_no_replica = %d, want 1", got)
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

@@ -62,3 +62,16 @@ func (a *admission) release() {
 
 // queued reports how many requests are currently admitted or waiting.
 func (a *admission) queued() int64 { return a.inflight.Load() }
+
+// computing reports how many requests currently hold a compute slot.
+func (a *admission) computing() int64 { return int64(len(a.slots)) }
+
+// waiting reports how many admitted requests are queued for a slot. The
+// two loads are not atomic together, so a transient negative is clamped.
+func (a *admission) waiting() int64 {
+	w := a.queued() - a.computing()
+	if w < 0 {
+		w = 0
+	}
+	return w
+}

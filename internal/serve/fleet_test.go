@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestReadyzJSON checks the enriched readiness body a router consumes:
+// admission occupancy, model identity, and the 200/503 semantics.
+func TestReadyzJSON(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 3, QueueDepth: 12})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", resp.StatusCode)
+	}
+	var rr ReadyzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatalf("readyz body not JSON: %v", err)
+	}
+	if !rr.Ready || rr.Draining {
+		t.Errorf("idle server readyz = %+v, want ready and not draining", rr)
+	}
+	if rr.MaxConcurrent != 3 || rr.QueueLimit != 12 {
+		t.Errorf("capacity fields = (%d, %d), want (3, 12)", rr.MaxConcurrent, rr.QueueLimit)
+	}
+	if rr.InFlight != 0 || rr.QueueDepth != 0 {
+		t.Errorf("idle occupancy = (%d, %d), want (0, 0)", rr.InFlight, rr.QueueDepth)
+	}
+	if rr.ModelGeneration != 0 || rr.ModelsLoaded {
+		t.Errorf("no-ML identity = (gen %d, loaded %v), want (0, false)", rr.ModelGeneration, rr.ModelsLoaded)
+	}
+	if rr.Backend != "float32" {
+		t.Errorf("backend = %q, want float32", rr.Backend)
+	}
+
+	// Draining flips the status to 503 but the body stays parseable.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain = %d, want 503", rec.Code)
+	}
+	var drained ReadyzResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &drained); err != nil {
+		t.Fatalf("drained readyz body not JSON: %v", err)
+	}
+	if drained.Ready || !drained.Draining {
+		t.Errorf("drained readyz = %+v, want not ready and draining", drained)
+	}
+}
+
+// TestReadyzModelGeneration: installing a bundle bumps the generation a
+// router fences its cache on.
+func TestReadyzModelGeneration(t *testing.T) {
+	srv := New(Config{Bundle: tinyBundle(t)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr ReadyzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.ModelGeneration != 1 || !rr.ModelsLoaded {
+		t.Errorf("bundled identity = (gen %d, loaded %v), want (1, true)", rr.ModelGeneration, rr.ModelsLoaded)
+	}
+}
+
+// TestRetryAfterJitter: the 429 hint is jittered, bounded, and not a
+// constant — so a router shedding one burst across many clients doesn't
+// resynchronize their retries onto the same second.
+func TestRetryAfterJitter(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 2})
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		sec := srv.retryAfterSeconds()
+		if sec < 1 || sec > 30 {
+			t.Fatalf("Retry-After %ds outside [1, 30]", sec)
+		}
+		seen[sec] = true
+	}
+	// With no latency history the estimate is 1s ×U[0.5,1.5): ceil lands on
+	// 1 or 2, and 200 draws make missing either side astronomically unlikely.
+	if len(seen) < 2 {
+		t.Errorf("Retry-After constant across 200 draws (%v), want jitter", seen)
+	}
+}
+
+// TestModelIdentityHeaders: every data response carries the generation
+// and backend headers the router's exact cache keys on.
+func TestModelIdentityHeaders(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := evioBody(t, simulateEvents(1.0, 30, 5))
+	resp, err := http.Post(ts.URL+"/v1/localize", ContentTypeEvio, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderModelGeneration); got != "0" {
+		t.Errorf("%s = %q, want 0", HeaderModelGeneration, got)
+	}
+	if got := resp.Header.Get(HeaderBackend); got != "float32" {
+		t.Errorf("%s = %q, want float32", HeaderBackend, got)
+	}
+}
+
+// TestCanonicalBitwiseStable: with ?canonical=1 the only nondeterministic
+// response fields (wall-clock timings) are zeroed, so identical requests
+// yield identical bytes — the property the router's bitwise cache needs.
+func TestCanonicalBitwiseStable(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := evioBody(t, simulateEvents(1.0, 30, 5))
+	fetch := func() []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/localize?seed=2&canonical=1", ContentTypeEvio, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.Bytes()
+	}
+	a, b := fetch(), fetch()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical responses differ:\n%s\n%s", a, b)
+	}
+	var lr LocalizeResponse
+	if err := json.Unmarshal(a, &lr); err != nil {
+		t.Fatal(err)
+	}
+	var zero LocalizeResponse
+	if lr.TimingMs != zero.TimingMs || lr.QueueMs != 0 {
+		t.Errorf("canonical timings not zeroed: timing %+v, queue %g", lr.TimingMs, lr.QueueMs)
+	}
+}
+
+// TestLoadgenMultiTarget: the open-loop generator round-robins across
+// targets, tallies each one separately, and the per-target counts sum to
+// the fleet-wide totals.
+func TestLoadgenMultiTarget(t *testing.T) {
+	var urls []string
+	for i := 0; i < 2; i++ {
+		srv := New(Config{MaxConcurrent: 2, QueueDepth: 16})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL+"/v1/localize")
+	}
+
+	body := evioBody(t, simulateEvents(0.5, 20, 3))
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Targets:     urls,
+		Body:        body,
+		QPS:         40,
+		Duration:    time.Second,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("failed = %d, want 0", rep.Failed)
+	}
+	if rep.OfferedQPS != 40 {
+		t.Errorf("OfferedQPS = %g, want 40", rep.OfferedQPS)
+	}
+	if rep.GoodQPS <= 0 {
+		t.Errorf("GoodQPS = %g, want > 0", rep.GoodQPS)
+	}
+	if len(rep.PerTarget) != 2 {
+		t.Fatalf("PerTarget rows = %d, want 2", len(rep.PerTarget))
+	}
+	var sent, ok int64
+	for _, tc := range rep.PerTarget {
+		if tc.Sent == 0 {
+			t.Errorf("target %s got no traffic (round-robin broken)", tc.URL)
+		}
+		sent += tc.Sent
+		ok += tc.OK
+	}
+	if sent != rep.Sent || ok != rep.OK {
+		t.Errorf("per-target sums (%d sent, %d ok) != totals (%d, %d)", sent, ok, rep.Sent, rep.OK)
+	}
+
+	var out bytes.Buffer
+	rep.WriteText(&out)
+	if !bytes.Contains(out.Bytes(), []byte("target")) {
+		t.Errorf("multi-target report missing per-target rows:\n%s", out.String())
+	}
+}
+
+// TestRunSaturation: the sweep runs every step with an isolated registry
+// and records the offered rate per row.
+func TestRunSaturation(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 2, QueueDepth: 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := evioBody(t, simulateEvents(0.5, 20, 3))
+	steps := []float64{10, 30}
+	reps, err := RunSaturation(context.Background(), LoadConfig{
+		TargetURL:   ts.URL + "/v1/localize",
+		Body:        body,
+		Duration:    500 * time.Millisecond,
+		Concurrency: 4,
+	}, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(steps) {
+		t.Fatalf("got %d reports, want %d", len(reps), len(steps))
+	}
+	for i, rep := range reps {
+		if rep.OfferedQPS != steps[i] {
+			t.Errorf("step %d OfferedQPS = %g, want %g", i, rep.OfferedQPS, steps[i])
+		}
+		if rep.Metrics == reps[(i+1)%len(reps)].Metrics {
+			t.Error("saturation steps share a registry; percentiles would mix load levels")
+		}
+	}
+	var out bytes.Buffer
+	WriteSaturationText(&out, reps)
+	if !bytes.Contains(out.Bytes(), []byte("offered")) {
+		t.Errorf("saturation table missing header:\n%s", out.String())
+	}
+}

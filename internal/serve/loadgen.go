@@ -20,6 +20,12 @@ type LoadConfig struct {
 	// TargetURL is the full endpoint URL, e.g.
 	// "http://127.0.0.1:8080/v1/localize".
 	TargetURL string
+	// Targets, when non-empty, overrides TargetURL with an open-loop
+	// multi-target mode: requests round-robin across the listed endpoint
+	// URLs while latency still aggregates into one fleet-wide histogram,
+	// so an N-replica fleet is measured as one service. Per-target
+	// outcome counts land in LoadReport.PerTarget.
+	Targets []string
 	// Body is the request payload, sent verbatim on every request.
 	Body []byte
 	// ContentType of Body (default ContentTypeEvio).
@@ -39,6 +45,15 @@ type LoadConfig struct {
 	Metrics *obs.Registry
 }
 
+// TargetCount is one target's outcome tally in a multi-target run.
+type TargetCount struct {
+	URL      string
+	Sent     int64
+	OK       int64
+	Rejected int64
+	Failed   int64
+}
+
 // LoadReport summarizes one load-generator run. Latency percentiles come
 // from the same obs histogram machinery the server itself reports with.
 type LoadReport struct {
@@ -48,19 +63,41 @@ type LoadReport struct {
 	Failed   int64 // transport errors and non-200/429 statuses
 	Skipped  int64 // ticks dropped because all workers were busy
 	Elapsed  time.Duration
+	// OfferedQPS is the configured open-loop rate the run aimed for.
+	OfferedQPS float64
 	// AchievedQPS is completed requests (all outcomes) per second.
 	AchievedQPS float64
-	// Latency summarizes per-request wall time (obs √2-bucket histogram).
+	// GoodQPS is successful (2xx) requests per second — the number that
+	// saturates as offered load exceeds fleet capacity.
+	GoodQPS float64
+	// Latency summarizes per-request wall time (obs √2-bucket histogram);
+	// in multi-target mode it is fleet-wide, across every target.
 	Latency obs.HistogramSnapshot
+	// PerTarget breaks outcomes down by target URL (multi-target mode;
+	// single-target runs report one row).
+	PerTarget []TargetCount
 	// Metrics is the registry the run recorded into.
 	Metrics *obs.Registry
 }
 
-// RunLoad fires cfg.Body at cfg.TargetURL at cfg.QPS until cfg.Duration (or
+// targetTally accumulates one target's outcomes with atomics so every
+// loadgen worker can record without locking.
+type targetTally struct {
+	url                        string
+	sent, ok, rejected, failed atomic.Int64
+}
+
+// RunLoad fires cfg.Body at the target(s) at cfg.QPS until cfg.Duration (or
 // ctx cancellation) and reports outcome counts plus latency percentiles.
+// With multiple targets, requests round-robin across them (open loop: the
+// offered rate is fleet-total, not per-target).
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
-	if cfg.TargetURL == "" {
-		return nil, fmt.Errorf("serve: loadgen needs a target URL")
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		if cfg.TargetURL == "" {
+			return nil, fmt.Errorf("serve: loadgen needs a target URL")
+		}
+		targets = []string{cfg.TargetURL}
 	}
 	if cfg.QPS <= 0 {
 		cfg.QPS = 20
@@ -83,9 +120,14 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		reg = obs.NewRegistry()
 	}
 
-	rep := &LoadReport{Metrics: reg}
+	rep := &LoadReport{Metrics: reg, OfferedQPS: cfg.QPS}
 	hist := reg.Stage("loadgen_latency")
 	var sent, ok2xx, rejected, failed, skipped atomic.Int64
+	tallies := make([]*targetTally, len(targets))
+	for i, u := range targets {
+		tallies[i] = &targetTally{url: u}
+	}
+	var rr atomic.Int64 // round-robin cursor across targets
 
 	jobs := make(chan struct{})
 	var wg sync.WaitGroup
@@ -94,18 +136,22 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		go func() {
 			defer wg.Done()
 			for range jobs {
+				tally := tallies[int(rr.Add(1)-1)%len(tallies)]
 				t0 := time.Now()
 				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-					cfg.TargetURL, bytes.NewReader(cfg.Body))
+					tally.url, bytes.NewReader(cfg.Body))
 				if err != nil {
 					failed.Add(1)
+					tally.failed.Add(1)
 					continue
 				}
 				req.Header.Set("Content-Type", cfg.ContentType)
 				sent.Add(1)
+				tally.sent.Add(1)
 				resp, err := client.Do(req)
 				if err != nil {
 					failed.Add(1)
+					tally.failed.Add(1)
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
@@ -114,10 +160,13 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 				switch {
 				case resp.StatusCode >= 200 && resp.StatusCode < 300:
 					ok2xx.Add(1)
+					tally.ok.Add(1)
 				case resp.StatusCode == http.StatusTooManyRequests:
 					rejected.Add(1)
+					tally.rejected.Add(1)
 				default:
 					failed.Add(1)
+					tally.failed.Add(1)
 				}
 			}
 		}()
@@ -155,9 +204,45 @@ loop:
 	rep.Elapsed = time.Since(start)
 	if rep.Elapsed > 0 {
 		rep.AchievedQPS = float64(rep.OK+rep.Rejected+rep.Failed) / rep.Elapsed.Seconds()
+		rep.GoodQPS = float64(rep.OK) / rep.Elapsed.Seconds()
 	}
 	rep.Latency = hist.Snapshot()
+	for _, t := range tallies {
+		rep.PerTarget = append(rep.PerTarget, TargetCount{
+			URL:      t.url,
+			Sent:     t.sent.Load(),
+			OK:       t.ok.Load(),
+			Rejected: t.rejected.Load(),
+			Failed:   t.failed.Load(),
+		})
+	}
 	return rep, ctx.Err()
+}
+
+// RunSaturation sweeps the offered rate across qpsSteps, running the base
+// config at each step (fresh registry per step so percentiles don't mix
+// load levels), and returns one report per step. The resulting curve —
+// offered vs. good QPS with tail latency — is how fleet capacity is read:
+// good QPS tracks offered until saturation, then flattens while p99 and
+// the 429 rate climb.
+func RunSaturation(ctx context.Context, base LoadConfig, qpsSteps []float64) ([]*LoadReport, error) {
+	if len(qpsSteps) == 0 {
+		return nil, fmt.Errorf("serve: saturation sweep needs at least one QPS step")
+	}
+	var out []*LoadReport
+	for _, qps := range qpsSteps {
+		cfg := base
+		cfg.QPS = qps
+		cfg.Metrics = nil // one registry per step
+		rep, err := RunLoad(ctx, cfg)
+		if rep != nil {
+			out = append(out, rep)
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // WriteText renders the report for terminals and CI logs.
@@ -168,4 +253,22 @@ func (r *LoadReport) WriteText(w io.Writer) {
 		r.OK, r.Rejected, r.Failed, r.Skipped)
 	fmt.Fprintf(w, "  latency ms: p50 %.2f, p90 %.2f, p99 %.2f, max %.2f (n=%d)\n",
 		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.MaxMs, r.Latency.Count)
+	if len(r.PerTarget) > 1 {
+		for _, t := range r.PerTarget {
+			fmt.Fprintf(w, "  target %-40s sent %6d, ok %6d, rejected %5d, failed %5d\n",
+				t.URL, t.Sent, t.OK, t.Rejected, t.Failed)
+		}
+	}
+}
+
+// WriteSaturationText renders a sweep as one table, a row per step.
+func WriteSaturationText(w io.Writer, reports []*LoadReport) {
+	fmt.Fprintf(w, "saturation sweep (%d steps)\n", len(reports))
+	fmt.Fprintf(w, "  %10s %12s %10s %8s %8s %8s %10s %10s %10s\n",
+		"offered", "achieved", "good", "ok", "rej429", "failed", "p50(ms)", "p90(ms)", "p99(ms)")
+	for _, r := range reports {
+		fmt.Fprintf(w, "  %10.1f %12.1f %10.1f %8d %8d %8d %10.2f %10.2f %10.2f\n",
+			r.OfferedQPS, r.AchievedQPS, r.GoodQPS, r.OK, r.Rejected, r.Failed,
+			r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms)
+	}
 }

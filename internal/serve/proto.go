@@ -18,6 +18,33 @@ const (
 	ContentTypeJSON = "application/json"
 )
 
+// Response headers stamped on every /v1/* body, identifying which weights
+// and arithmetic produced it (the cache key axes of a fleet front door).
+const (
+	HeaderModelGeneration = "X-Adapt-Model-Generation"
+	HeaderBackend         = "X-Adapt-Backend"
+)
+
+// ReadyzResponse is the JSON body of GET /readyz. The HTTP status keeps
+// the binary load-balancer contract (200 send / 503 drain); the body lets
+// a smarter front door weight replicas by live queue shape and verify the
+// fleet serves one (model generation, backend) before caching results.
+type ReadyzResponse struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	// InFlight requests hold compute slots; QueueDepth more are admitted
+	// and waiting. MaxConcurrent and QueueLimit are the respective bounds.
+	InFlight      int64 `json:"in_flight"`
+	QueueDepth    int64 `json:"queue_depth"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	QueueLimit    int   `json:"queue_limit"`
+	// ModelGeneration counts installs (0 = no install yet); ModelsLoaded
+	// reports whether a bundle is live; Backend is the pinned arithmetic.
+	ModelGeneration uint64 `json:"model_generation"`
+	ModelsLoaded    bool   `json:"models_loaded"`
+	Backend         string `json:"backend"`
+}
+
 // HitJSON is one detector hit in the JSON request schema. Units match
 // detector.Hit: centimeters and MeV.
 type HitJSON struct {

@@ -136,7 +136,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	<-done
 
 	s.metrics.Counter("serve_replay_ok").Inc()
-	writeJSON(w, http.StatusOK, &ReplayResponse{
+	resp := &ReplayResponse{
 		Events:         len(events),
 		Records:        st.Records,
 		TruncatedBytes: st.TruncatedBytes,
@@ -144,5 +144,10 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		ML:             set.bundle != nil,
 		Alerts:         alerts,
 		QueueMs:        wait.Seconds() * 1e3,
-	})
+	}
+	if canonicalRequested(r) {
+		resp.QueueMs = 0
+	}
+	s.setModelHeaders(w, set)
+	writeJSON(w, http.StatusOK, resp)
 }

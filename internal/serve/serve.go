@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"strconv"
@@ -189,13 +190,17 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 
 // retryAfterSeconds estimates how soon an overloaded client should retry:
 // the queue's current depth times the p50 request latency, spread over the
-// compute slots, clamped to [1, 30] seconds.
+// compute slots — then jittered uniformly over [0.5, 1.5]× before clamping
+// to [1, 30] seconds. The jitter matters at fleet scale: when a router
+// sheds a burst across many clients, identical Retry-After values would
+// resynchronize every rejected request onto the same second and turn one
+// overload into a thundering-herd oscillation.
 func (s *Server) retryAfterSeconds() int {
-	p50 := s.metrics.Stage("serve_localize").Percentile(0.5)
-	if p50 <= 0 {
-		return 1
+	est := 1.0
+	if p50 := s.metrics.Stage("serve_localize").Percentile(0.5); p50 > 0 {
+		est = p50.Seconds() * float64(s.adm.queued()) / float64(s.cfg.MaxConcurrent)
 	}
-	est := p50.Seconds() * float64(s.adm.queued()) / float64(s.cfg.MaxConcurrent)
+	est *= 0.5 + rand.Float64()
 	sec := int(math.Ceil(est))
 	if sec < 1 {
 		sec = 1
@@ -234,6 +239,26 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, endpoint stri
 		writeError(w, http.StatusServiceUnavailable, "deadline expired while queued: %v", err)
 		return nil, queueWait
 	}
+}
+
+// setModelHeaders stamps which model generation and inference backend
+// produced a response. A fleet front door keys its exact result cache on
+// exactly this pair: the body of a deterministic endpoint is a pure
+// function of (request bytes, generation, backend).
+func (s *Server) setModelHeaders(w http.ResponseWriter, set *modelSet) {
+	w.Header().Set(HeaderModelGeneration, strconv.FormatUint(set.gen, 10))
+	w.Header().Set(HeaderBackend, string(s.backend))
+}
+
+// canonicalRequested reports whether ?canonical=1 asked for a canonical
+// response: per-run timing fields (timing_ms, queue_ms) zeroed so the body
+// is a pure function of the request and the models. Everything scientific
+// is deterministic already; the timing fields are the only noise, and
+// zeroing them makes "routed equals direct" and "cache hit equals miss"
+// checks exact byte comparisons instead of field-by-field ones.
+func canonicalRequested(r *http.Request) bool {
+	v := r.URL.Query().Get("canonical")
+	return v == "1" || v == "true"
 }
 
 // decodeEvents reads the request body as either evio binary or the JSON
@@ -306,7 +331,13 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	set := s.store.current()
 	res := s.inst.LocalizeEventsWithClassifier(events, set.bundle, set.classifier(), seed)
 	s.metrics.Counter("serve_localize_ok").Inc()
-	writeJSON(w, http.StatusOK, localizeResponse(res, set.bundle != nil, wait.Seconds()*1e3))
+	resp := localizeResponse(res, set.bundle != nil, wait.Seconds()*1e3)
+	if canonicalRequested(r) {
+		resp.TimingMs = TimingMs{}
+		resp.QueueMs = 0
+	}
+	s.setModelHeaders(w, set)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -380,7 +411,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			resp.Background[i] = p > float32(resp.Threshold)
 		}
 	}
+	if canonicalRequested(r) {
+		resp.QueueMs = 0
+	}
 	s.metrics.Counter("serve_classify_ok").Inc()
+	s.setModelHeaders(w, set)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -428,14 +463,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz reports readiness as JSON while keeping the 200/503 load
+// balancer contract: 200 means "send traffic", 503 means "draining". The
+// body carries the live queue shape (in-flight, waiting, limits) and the
+// model identity (generation, backend) so a fleet router can weight
+// replicas by reported load and key its exact result cache, instead of
+// treating readiness as a single bit.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+	set := s.store.current()
+	queueLimit := s.cfg.QueueDepth
+	if queueLimit < 0 { // "no waiting room" reports a zero-size queue
+		queueLimit = 0
 	}
-	fmt.Fprintln(w, "ready")
+	resp := ReadyzResponse{
+		Ready:           !s.draining.Load(),
+		Draining:        s.draining.Load(),
+		InFlight:        s.adm.computing(),
+		QueueDepth:      s.adm.waiting(),
+		MaxConcurrent:   s.cfg.MaxConcurrent,
+		QueueLimit:      queueLimit,
+		ModelGeneration: set.gen,
+		ModelsLoaded:    set.bundle != nil,
+		Backend:         string(s.backend),
+	}
+	status := http.StatusOK
+	if resp.Draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -22,6 +22,11 @@ type modelSet struct {
 	path string
 	// loaded is when this generation was installed.
 	loaded time.Time
+	// gen numbers this generation: 0 for the initial empty set, then one
+	// per install. Responses carry it (X-Adapt-Model-Generation) and
+	// /readyz reports it, so a fleet front door can key an exact result
+	// cache on which weights actually produced a body.
+	gen uint64
 }
 
 // classifier returns the batcher as the pipeline's background classifier,
@@ -46,6 +51,8 @@ type modelStore struct {
 	backend    adapt.Backend
 	newBatcher func(cls adapt.BkgClassifier) *Batcher
 	metrics    *obs.Registry
+	// genc issues generation numbers; install n gets generation n.
+	genc atomic.Uint64
 	// reloadMu serializes reloads so two concurrent /admin/reload calls
 	// cannot interleave load-then-swap.
 	reloadMu sync.Mutex
@@ -65,7 +72,7 @@ func (s *modelStore) current() *modelSet { return s.cur.Load() }
 // generation live — when the bundle cannot implement the store's backend
 // (int8/fpga-sim without a quantized model).
 func (s *modelStore) install(bundle *models.Bundle, path string) error {
-	set := &modelSet{bundle: bundle, path: path, loaded: time.Now()}
+	set := &modelSet{bundle: bundle, path: path, loaded: time.Now(), gen: s.genc.Add(1)}
 	if bundle != nil {
 		cls, err := adapt.NewClassifier(s.backend, bundle)
 		if err != nil {

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Fleet smoke test, mirrored by the CI fleet-smoke job (`make fleet-smoke`):
+# boot three shared-nothing adaptserve replicas behind adaptrouter, then
+# assert the router's core contracts end to end:
+#   - a routed localization is bitwise-identical to a direct replica call
+#     (?canonical=1 zeroes the only nondeterministic fields);
+#   - an identical repeat is a cache hit (X-Adapt-Router-Cache: hit) with
+#     byte-identical body;
+#   - kill -9 one replica mid-load and require ZERO failed requests — the
+#     router retries transport errors on survivors and ejects the corpse;
+#   - /metrics exposes the cache hit ratio, retry, and ejection counters;
+#   - SIGTERM drains the router cleanly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/adaptserve" ./cmd/adaptserve
+go build -o "$workdir/adaptrouter" ./cmd/adaptrouter
+go build -o "$workdir/adaptsim" ./cmd/adaptsim
+"$workdir/adaptrouter" -version
+
+echo "== generate a request payload"
+"$workdir/adaptsim" -fluence 1.0 -polar 30 -seed 7 -binary "$workdir/events.evio" >/dev/null
+
+# wait_addr LOGFILE PID PREFIX -> echoes the listen address
+wait_addr() {
+    local logf=$1 pid=$2 prefix=$3 addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n "s/^$prefix: listening on \([^,]*\).*$/\1/p" "$logf" | head -1)"
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        kill -0 "$pid" 2>/dev/null || { echo "$prefix died:" >&2; cat "$logf" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "$prefix never reported its address" >&2
+    cat "$logf" >&2
+    return 1
+}
+
+echo "== start 3 replicas"
+replica_urls=()
+replica_pids=()
+for i in 1 2 3; do
+    "$workdir/adaptserve" -addr 127.0.0.1:0 >"$workdir/replica$i.log" 2>&1 &
+    pid=$!
+    disown "$pid" # suppress job-control noise when the test kill -9s it
+    pids+=("$pid")
+    replica_pids+=("$pid")
+    addr="$(wait_addr "$workdir/replica$i.log" "$pid" adaptserve)"
+    replica_urls+=("http://$addr")
+    echo "   replica $i at http://$addr"
+done
+
+echo "== start the router"
+replicas_csv="$(IFS=,; echo "${replica_urls[*]}")"
+"$workdir/adaptrouter" -addr 127.0.0.1:0 -replicas "$replicas_csv" \
+    -probe-interval 200ms -fail-threshold 2 -retry-budget 3 \
+    >"$workdir/router.log" 2>&1 &
+router_pid=$!
+pids+=("$router_pid")
+router="http://$(wait_addr "$workdir/router.log" "$router_pid" adaptrouter)"
+echo "   router at $router"
+
+echo "== router health and fleet view"
+curl -fsS "$router/healthz" | grep -q ok
+curl -fsS "$router/readyz" | grep -q '"healthy_replicas":3'
+curl -fsS "$router/fleet" | grep -q '"healthy":true'
+
+echo "== routed response is bitwise-identical to a direct replica call"
+q="/v1/localize?seed=7&canonical=1"
+curl -fsS -X POST -H 'Content-Type: application/x-adapt-evio' \
+    --data-binary @"$workdir/events.evio" "${replica_urls[0]}$q" >"$workdir/direct.json"
+curl -fsS -D "$workdir/routed.hdr" -X POST -H 'Content-Type: application/x-adapt-evio' \
+    --data-binary @"$workdir/events.evio" "$router$q" >"$workdir/routed.json"
+cmp "$workdir/direct.json" "$workdir/routed.json" \
+    || { echo "routed body differs from direct"; exit 1; }
+grep -qi '^x-adapt-router-cache: miss' "$workdir/routed.hdr" \
+    || { echo "first routed request was not a cache miss:"; cat "$workdir/routed.hdr"; exit 1; }
+
+echo "== identical repeat is a cache hit with identical bytes"
+curl -fsS -D "$workdir/hit.hdr" -X POST -H 'Content-Type: application/x-adapt-evio' \
+    --data-binary @"$workdir/events.evio" "$router$q" >"$workdir/hit.json"
+grep -qi '^x-adapt-router-cache: hit' "$workdir/hit.hdr" \
+    || { echo "repeat was not a cache hit:"; cat "$workdir/hit.hdr"; exit 1; }
+cmp "$workdir/routed.json" "$workdir/hit.json" \
+    || { echo "cache hit not bitwise-identical to miss"; exit 1; }
+
+echo "== kill one replica mid-load: zero failed requests"
+# Distinct seeds defeat the cache so every request exercises routing; the
+# retry budget absorbs the connection errors while the dead replica's
+# failure streak ejects it.
+(
+    i=0
+    end=$((SECONDS + 6))
+    while [ $SECONDS -lt $end ]; do
+        i=$((i + 1))
+        curl -fsS -o /dev/null -X POST -H 'Content-Type: application/x-adapt-evio' \
+            --data-binary @"$workdir/events.evio" \
+            "$router/v1/localize?seed=$i&canonical=1" || echo "request $i FAILED" >>"$workdir/failures.log"
+    done
+    echo "$i" >"$workdir/requests.count"
+) &
+load_pid=$!
+sleep 2
+echo "   killing replica 2 (pid ${replica_pids[1]})"
+kill -9 "${replica_pids[1]}"
+wait "$load_pid"
+count="$(cat "$workdir/requests.count")"
+echo "   $count requests while a replica died"
+[ "$count" -ge 10 ] || { echo "load loop sent too few requests ($count)"; exit 1; }
+if [ -s "$workdir/failures.log" ]; then
+    echo "requests failed during replica death:"
+    cat "$workdir/failures.log"
+    exit 1
+fi
+curl -fsS "$router/readyz" | grep -q '"healthy_replicas":2' \
+    || { echo "dead replica not ejected"; curl -fsS "$router/readyz"; exit 1; }
+
+echo "== router metrics exposition"
+metrics="$(curl -fsS "$router/metrics")"
+echo "$metrics" | grep -q '^adapt_build_info'
+echo "$metrics" | grep -q '^adapt_router_cache_hit_ratio'
+echo "$metrics" | grep -q '^adapt_router_cache_hits_total'
+echo "$metrics" | grep -q '^adapt_router_retries_total'
+echo "$metrics" | grep -Eq '^adapt_router_ejections_total [1-9]' \
+    || { echo "no ejection recorded in metrics"; exit 1; }
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$router_pid"
+rc=0
+wait "$router_pid" || rc=$?
+[ "$rc" -eq 0 ] || { echo "router exited $rc:"; cat "$workdir/router.log"; exit 1; }
+grep -q "drained cleanly" "$workdir/router.log" \
+    || { echo "no clean-drain log line:"; cat "$workdir/router.log"; exit 1; }
+
+echo "fleet smoke: OK"
