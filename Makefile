@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover fmt vet lint serve-smoke fleet-smoke stream-smoke merge-smoke backend-parity fuzz-smoke check clean
+.PHONY: all build test race bench cover fmt vet lint serve-smoke fleet-smoke stream-smoke merge-smoke backend-parity skymap-smoke fuzz-smoke check clean
 
 all: build test
 
@@ -77,6 +77,13 @@ merge-smoke:
 backend-parity:
 	./scripts/backend_parity.sh
 
+## skymap-smoke: downlink sky-map determinism end to end — journal replay
+## reproduces alert map payloads bitwise at any worker count, adaptmap
+## round-trips every payload exactly, and /v1/skymap through adaptrouter is
+## bitwise-identical and cacheable (CI skymap-smoke job)
+skymap-smoke:
+	./scripts/skymap_smoke.sh
+
 ## fuzz-smoke: short native-fuzz runs of the untrusted-input decoders and
 ## the int8 arithmetic kernels (CI)
 FUZZTIME ?= 10s
@@ -86,6 +93,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzMerge -fuzztime=$(FUZZTIME) -run '^$$' ./internal/merge
 	$(GO) test -fuzz=FuzzRequantize -fuzztime=$(FUZZTIME) -run '^$$' ./internal/nn/quant
 	$(GO) test -fuzz=FuzzDotInt8 -fuzztime=$(FUZZTIME) -run '^$$' ./internal/nn/quant
+	$(GO) test -fuzz=FuzzSkymapDecode -fuzztime=$(FUZZTIME) -run '^$$' ./internal/skymap
 
 ## check: everything CI checks
 check: build fmt vet race

@@ -44,6 +44,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/recon"
+	"repro/internal/skymap"
 	"repro/internal/xrand"
 )
 
@@ -347,7 +348,10 @@ func (inst *Instrument) NewOnboard(m *Models, meanBackgroundRate float64) *Onboa
 // each alert: bands sets the map resolution (16–24 typical) and
 // temperature the empirically fitted systematic inflation (8 reproduces
 // near-nominal credible-region coverage on the default instrument; see the
-// coverage study in internal/expt).
+// coverage study in internal/expt). Every alert also carries the encoded
+// downlink map payload (Alert.SkyMapPayload, internal/skymap format),
+// tempered at the same temperature (temperature ≤ 0 uses the payload
+// default).
 func (inst *Instrument) NewOnboardWithSkyMaps(m *Models, meanBackgroundRate float64, bands int, temperature float64) *Onboard {
 	cfg := core.DefaultConfig(meanBackgroundRate)
 	cfg.Recon = inst.Recon
@@ -361,7 +365,31 @@ func (inst *Instrument) NewOnboardWithSkyMaps(m *Models, meanBackgroundRate floa
 	cfg.Metrics = inst.Metrics
 	cfg.SkyMapBands = bands
 	cfg.SkyMapTemperature = temperature
+	cfg.SkyMapPayload = true
+	if temperature > 0 {
+		cfg.SkyMapPayloadOpts.Temperature = temperature
+	}
 	return &Onboard{sys: core.NewSystem(cfg)}
+}
+
+// DownlinkMap is a decoded downlink-grade quantized sky map (the payload
+// attached to alerts and served by /v1/skymap). See internal/skymap for
+// the format contract.
+type DownlinkMap = skymap.Map
+
+// SkyMapOptions configures downlink map construction (resolution, tile
+// budget, tempering); the zero value means the calibrated defaults.
+type SkyMapOptions = skymap.Options
+
+// DecodeSkyMap parses and validates an encoded downlink map payload.
+func DecodeSkyMap(b []byte) (*DownlinkMap, error) { return skymap.Decode(b) }
+
+// BuildSkyMap renders a downlink map from a localization result's
+// surviving rings using inst's solver configuration. The payload
+// (DownlinkMap.Encode) is a pure function of (rings, opts) —
+// bitwise-identical at any parallelism.
+func (inst *Instrument) BuildSkyMap(res Result, opts SkyMapOptions) *DownlinkMap {
+	return skymap.FromRings(&inst.Loc, res.ActiveRings, nil, opts)
 }
 
 // ProcessExposure scans an exposure's events for bursts and returns one

@@ -22,6 +22,7 @@ import (
 	"repro/internal/localize"
 	"repro/internal/pipeline"
 	"repro/internal/recon"
+	"repro/internal/skymap"
 	"repro/internal/stream"
 	"repro/internal/xrand"
 )
@@ -346,5 +347,52 @@ func BenchmarkAblationDEtaLoss(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		expt.AblationDEtaLoss(io.Discard, sc)
+	}
+}
+
+// BenchmarkSkymapBuild measures downlink-map construction (hierarchical
+// evaluation, refinement selection, quantization, embedded contours) from
+// the benchmark scene's rings at several worker counts. The output is
+// bitwise-identical at every worker count (skymap.TestWorkerCountInvariance).
+func BenchmarkSkymapBuild(b *testing.B) {
+	_, rings := benchScene()
+	cfg := localize.DefaultConfig()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				skymap.FromRings(&cfg, rings, nil, skymap.Options{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkSkymapEncode measures payload serialization (the downlink hot
+// path: one encode per alert, and one per served /v1/skymap response).
+func BenchmarkSkymapEncode(b *testing.B) {
+	_, rings := benchScene()
+	cfg := localize.DefaultConfig()
+	m := skymap.FromRings(&cfg, rings, nil, skymap.Options{})
+	b.SetBytes(int64(m.EncodedSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Encode()
+	}
+}
+
+// BenchmarkSkymapDecode measures payload parsing plus derived-grid
+// reconstruction (the ground-segment path, and the fuzzed attack surface).
+func BenchmarkSkymapDecode(b *testing.B) {
+	_, rings := benchScene()
+	cfg := localize.DefaultConfig()
+	payload := skymap.FromRings(&cfg, rings, nil, skymap.Options{}).Encode()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := skymap.Decode(payload); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -58,6 +58,8 @@ func main() {
 	backendName := flag.String("backend", "float32", "inference backend: float32, int8, or fpga-sim (int8/fpga-sim need a bundle from adapttrain -quantize)")
 	lossy := flag.Bool("lossy", false, "use the non-blocking detector-feed path (drops events under overload) instead of lossless ingestion")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for localization (0 = GOMAXPROCS)")
+	skymap := flag.Bool("skymap", false, "attach a quantized downlink sky-map payload (skymap_b64) plus calibrated credible areas to every alert record")
+	skymapTemp := flag.Float64("skymap-temp", 0, "sky-map tempering temperature (0 = the calibrated default, 1 = statistical-only)")
 
 	// Recording and output.
 	journalDir := flag.String("journal", "", "record admitted events to a flight journal in this directory")
@@ -119,6 +121,11 @@ func main() {
 	cfg.WindowSec = *window
 	cfg.Workers = *parallelism
 	cfg.AlertBuffer = 1024
+	if *skymapTemp < 0 {
+		log.Fatal("-skymap-temp must be >= 0 (0 = calibrated default)")
+	}
+	cfg.SkyMap = *skymap
+	cfg.SkyMapOpts.Temperature = *skymapTemp
 
 	var journal *flightlog.Journal
 	if *journalDir != "" {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/recon"
 	"repro/internal/sky"
+	"repro/internal/skymap"
 	"repro/internal/xrand"
 )
 
@@ -106,6 +107,14 @@ type Config struct {
 	// alert maps (see expt.CoverageStudy for how it is fitted); ≤1 means
 	// the statistical-only map.
 	SkyMapTemperature float64
+	// SkyMapPayload, when true, attaches the downlink-grade quantized map
+	// payload (internal/skymap) to every successfully localized alert,
+	// independently of SkyMapBands.
+	SkyMapPayload bool
+	// SkyMapPayloadOpts configures the payload builder; the zero value
+	// means the skymap defaults (8 coarse bands, 4× refinement, tempered
+	// at the fitted skymap.DefaultTemperature).
+	SkyMapPayloadOpts skymap.Options
 	// Workers caps pipeline parallelism per localized burst (0 = process
 	// default, 1 = serial). Campaign drivers that fan out whole trials set
 	// 1 here so the two levels of parallelism don't multiply.
@@ -142,6 +151,11 @@ type Alert struct {
 	// SkyMap is the posterior map for the downlink notice (nil unless
 	// Config.SkyMapBands > 0 and localization succeeded).
 	SkyMap *sky.Map
+	// SkyMapPayload is the encoded downlink map (internal/skymap format;
+	// nil unless Config.SkyMapPayload and localization succeeded). It is a
+	// pure function of the localized rings, bitwise-identical at any
+	// worker count.
+	SkyMapPayload []byte
 	// Area90Deg2 is the 90% credible area in square degrees (0 when no
 	// map was built) — the headline number of a localization notice.
 	Area90Deg2 float64
@@ -205,22 +219,38 @@ func (s *System) ProcessExposure(events []*detector.Event, rng *xrand.RNG) []Ale
 			NEvents:      len(window),
 			Result:       res,
 		}
-		if s.cfg.SkyMapBands > 0 && res.Loc.OK {
+		if (s.cfg.SkyMapBands > 0 || s.cfg.SkyMapPayload) && res.Loc.OK {
 			rings := res.ActiveRings
-			var m *sky.Map
+			var probs []float64
 			if s.cfg.Bundle != nil {
 				polar := geom.Deg(geom.Polar(res.Loc.Dir))
 				pipeline.ApplyDEtaCalibrated(s.cfg.Bundle, rings, polar)
-				probs := pipeline.BackgroundProbs(s.cfg.Bundle, rings, polar)
-				m = sky.MixtureLikelihood(&s.cfg.Loc, rings, probs, sky.NewGrid(s.cfg.SkyMapBands))
-			} else {
-				m = sky.Likelihood(&s.cfg.Loc, rings, sky.NewGrid(s.cfg.SkyMapBands))
+				probs = pipeline.BackgroundProbs(s.cfg.Bundle, rings, polar)
 			}
-			if s.cfg.SkyMapTemperature > 1 {
-				m = m.Tempered(s.cfg.SkyMapTemperature)
+			if s.cfg.SkyMapBands > 0 {
+				var m *sky.Map
+				if probs != nil {
+					m = sky.MixtureLikelihood(&s.cfg.Loc, rings, probs, sky.NewGrid(s.cfg.SkyMapBands))
+				} else {
+					m = sky.Likelihood(&s.cfg.Loc, rings, sky.NewGrid(s.cfg.SkyMapBands))
+				}
+				if s.cfg.SkyMapTemperature > 1 {
+					m = m.Tempered(s.cfg.SkyMapTemperature)
+				}
+				alert.SkyMap = m
+				alert.Area90Deg2 = m.CredibleAreaDeg2(0.9)
 			}
-			alert.SkyMap = m
-			alert.Area90Deg2 = m.CredibleAreaDeg2(0.9)
+			if s.cfg.SkyMapPayload {
+				opts := s.cfg.SkyMapPayloadOpts
+				if opts.Workers == 0 {
+					opts.Workers = s.cfg.Workers
+				}
+				pm := skymap.FromRings(&s.cfg.Loc, rings, probs, opts)
+				alert.SkyMapPayload = pm.Encode()
+				if alert.SkyMap == nil {
+					alert.Area90Deg2 = float64(pm.Area90)
+				}
+			}
 		}
 		alerts = append(alerts, alert)
 		skip = trig + s.cfg.BurstWindowSec

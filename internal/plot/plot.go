@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/geom"
@@ -149,6 +150,7 @@ func SkyMap(w io.Writer, rings []*recon.Ring, marks map[byte]geom.Vec, size int)
 		}
 	}
 	shades := []byte(" .:-=+%")
+	order := markOrder(marks)
 	for row := 0; row < size; row++ {
 		line := make([]byte, size)
 		for col := 0; col < size; col++ {
@@ -162,8 +164,8 @@ func SkyMap(w io.Writer, rings []*recon.Ring, marks map[byte]geom.Vec, size int)
 				idx = int(density[row][col] / maxD * float64(len(shades)-1))
 			}
 			line[col] = shades[idx]
-			for mark, dir := range marks {
-				if geom.AngleBetween(d, dir) < math.Pi/float64(size) {
+			for _, mark := range order {
+				if geom.AngleBetween(d, marks[mark]) < math.Pi/float64(size) {
 					line[col] = mark
 				}
 			}
@@ -171,6 +173,74 @@ func SkyMap(w io.Writer, rings []*recon.Ring, marks map[byte]geom.Vec, size int)
 		fmt.Fprintf(w, "  %s\n", doubleWide(line))
 	}
 	fmt.Fprintf(w, "  (orthographic view from zenith; shading = Compton-ring density)\n")
+}
+
+// markOrder fixes the marker draw order (ascending label byte) so that
+// where markers overlap the same cell the winner is deterministic — a map
+// range here would make repeated renders differ.
+func markOrder(marks map[byte]geom.Vec) []byte {
+	order := make([]byte, 0, len(marks))
+	for mark := range marks {
+		order = append(order, mark)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	return order
+}
+
+// Density renders an arbitrary nonnegative sky-density function in the
+// same orthographic zenith projection as SkyMap: shading is the density
+// normalized to its on-screen maximum, plus labeled marker directions.
+// cmd/adaptmap uses it to render decoded downlink map payloads.
+func Density(w io.Writer, f func(geom.Vec) float64, marks map[byte]geom.Vec, size int, caption string) {
+	if size < 11 {
+		size = 11
+	}
+	if size%2 == 0 {
+		size++
+	}
+	density := make([][]float64, size)
+	maxD := 0.0
+	for r := range density {
+		density[r] = make([]float64, size)
+	}
+	for row := 0; row < size; row++ {
+		for col := 0; col < size; col++ {
+			d, ok := cellDir(row, col, size)
+			if !ok {
+				continue
+			}
+			v := f(d)
+			if math.IsNaN(v) || v < 0 {
+				v = 0
+			}
+			density[row][col] = v
+			maxD = math.Max(maxD, v)
+		}
+	}
+	shades := []byte(" .:-=+%")
+	order := markOrder(marks)
+	for row := 0; row < size; row++ {
+		line := make([]byte, size)
+		for col := 0; col < size; col++ {
+			d, ok := cellDir(row, col, size)
+			if !ok {
+				line[col] = ' '
+				continue
+			}
+			idx := 0
+			if maxD > 0 {
+				idx = int(density[row][col] / maxD * float64(len(shades)-1))
+			}
+			line[col] = shades[idx]
+			for _, mark := range order {
+				if geom.AngleBetween(d, marks[mark]) < math.Pi/float64(size) {
+					line[col] = mark
+				}
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", doubleWide(line))
+	}
+	fmt.Fprintf(w, "  (%s)\n", caption)
 }
 
 // cellDir maps a map cell to the sky direction it views; ok is false

@@ -178,6 +178,7 @@ func New(cfg Config) (*Router, error) {
 	rt.mux = http.NewServeMux()
 	rt.mux.HandleFunc("/v1/localize", rt.handleProxy)
 	rt.mux.HandleFunc("/v1/classify", rt.handleProxy)
+	rt.mux.HandleFunc("/v1/skymap", rt.handleProxy)
 	rt.mux.HandleFunc("/v1/replay", rt.handleProxy)
 	rt.mux.HandleFunc("/admin/reload", rt.handleReload)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)

@@ -133,6 +133,46 @@ type ClassifyResponse struct {
 	QueueMs    float64 `json:"queue_ms"`
 }
 
+// SkymapRequest is the JSON body of POST /v1/skymap (an evio body carries
+// the events instead; the parameters then come from the query string:
+// ?seed, ?temp, ?bands, ?refine).
+type SkymapRequest struct {
+	// Seed drives the solver's random sampling; 0 means 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Temperature is the posterior tempering divisor (0 = the calibrated
+	// skymap default; 1 = the statistical-only map).
+	Temperature float64 `json:"temperature,omitempty"`
+	// CoarseBands / RefineFactor override the payload resolution
+	// (0 = defaults; bounded by the skymap format limits).
+	CoarseBands  int         `json:"coarse_bands,omitempty"`
+	RefineFactor int         `json:"refine_factor,omitempty"`
+	Events       []EventJSON `json:"events"`
+}
+
+// SkymapResponse is the JSON body returned by POST /v1/skymap. The field
+// name skymap_b64 matches the stream alert record, so one decoder handles
+// both transports.
+type SkymapResponse struct {
+	// OK mirrors the solver: false means too few usable rings (no map).
+	OK bool `json:"ok"`
+	// SkyMapB64 is the encoded downlink map (internal/skymap binary
+	// format) in standard base64; PayloadBytes is its decoded size.
+	SkyMapB64    string `json:"skymap_b64,omitempty"`
+	PayloadBytes int    `json:"payload_bytes,omitempty"`
+	// Temperature echoes the tempering the map was built with.
+	Temperature float64 `json:"temperature,omitempty"`
+	// PeakDir is the map's maximum-density direction; Area68Deg2 and
+	// Area90Deg2 are the embedded tempered credible areas.
+	PeakDir    *Vec3   `json:"peak_dir,omitempty"`
+	Area68Deg2 float64 `json:"area68_deg2,omitempty"`
+	Area90Deg2 float64 `json:"area90_deg2,omitempty"`
+	Rings      int     `json:"rings"`
+	Kept       int     `json:"kept"`
+	// ML reports whether a model bundle was in the loop (mixture surface).
+	ML      bool    `json:"ml"`
+	QueueMs float64 `json:"queue_ms"`
+}
+
 // ReplayResponse is the JSON body returned by POST /v1/replay.
 type ReplayResponse struct {
 	// Events and Records count what the journal body held.

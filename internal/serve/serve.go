@@ -20,10 +20,13 @@ import (
 	"repro/internal/detector"
 	"repro/internal/evio"
 	"repro/internal/features"
+	"repro/internal/geom"
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/pipeline"
 	"repro/internal/recon"
+	"repro/internal/skymap"
 )
 
 // Config sizes the service.
@@ -125,6 +128,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/localize", s.handleLocalize)
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/v1/skymap", s.handleSkymap)
 	s.mux.HandleFunc("/v1/replay", s.handleReplay)
 	s.mux.HandleFunc("/admin/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -415,6 +419,120 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		resp.QueueMs = 0
 	}
 	s.metrics.Counter("serve_classify_ok").Inc()
+	s.setModelHeaders(w, set)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSkymap localizes the posted events and returns the downlink-grade
+// quantized sky map built from the surviving rings (internal/skymap). The
+// whole path — solver, refinement, quantization, encoding — is a pure
+// function of (request bytes, model generation, backend), so with
+// ?canonical=1 the response is bitwise-deterministic and a fleet front
+// door can serve it from its exact result cache.
+func (s *Server) handleSkymap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	stop := s.metrics.StartStage("serve_skymap")
+	defer stop()
+	s.metrics.Counter("serve_skymap_requests").Inc()
+
+	var req SkymapRequest
+	events, ok := s.decodeEvents(w, r, &req, &req.Events)
+	if !ok {
+		s.metrics.Counter("serve_skymap_bad_request").Inc()
+		return
+	}
+	if len(events) == 0 {
+		s.metrics.Counter("serve_skymap_bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "no events in request")
+		return
+	}
+	q := r.URL.Query()
+	seed := req.Seed
+	if v := q.Get("seed"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			seed = n
+		}
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if v := q.Get("temp"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			req.Temperature = f
+		}
+	}
+	if v := q.Get("bands"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			req.CoarseBands = n
+		}
+	}
+	if v := q.Get("refine"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			req.RefineFactor = n
+		}
+	}
+	switch {
+	case req.Temperature < 0:
+		s.metrics.Counter("serve_skymap_bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "temperature must be positive (0 = default)")
+		return
+	case req.CoarseBands != 0 && (req.CoarseBands < 2 || req.CoarseBands > skymap.MaxCoarseBands):
+		s.metrics.Counter("serve_skymap_bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "coarse_bands must be in [2, %d]", skymap.MaxCoarseBands)
+		return
+	case req.RefineFactor != 0 && (req.RefineFactor < 1 || req.RefineFactor > skymap.MaxRefineFactor):
+		s.metrics.Counter("serve_skymap_bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "refine_factor must be in [1, %d]", skymap.MaxRefineFactor)
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	release, wait := s.admit(ctx, w, "skymap")
+	if release == nil {
+		return
+	}
+	defer release()
+
+	set := s.store.current()
+	res := s.inst.LocalizeEventsWithClassifier(events, set.bundle, set.classifier(), seed)
+	resp := &SkymapResponse{
+		OK:      res.Loc.OK,
+		Rings:   res.Rings,
+		Kept:    res.Kept,
+		ML:      set.bundle != nil,
+		QueueMs: wait.Seconds() * 1e3,
+	}
+	if res.Loc.OK {
+		rings := res.ActiveRings
+		var probs []float64
+		if set.bundle != nil {
+			polar := geom.Deg(geom.Polar(res.Loc.Dir))
+			pipeline.ApplyDEtaCalibrated(set.bundle, rings, polar)
+			probs = pipeline.BackgroundProbs(set.bundle, rings, polar)
+		}
+		opts := skymap.Options{
+			Temperature:  req.Temperature,
+			CoarseBands:  req.CoarseBands,
+			RefineFactor: req.RefineFactor,
+			Workers:      s.inst.Workers,
+		}
+		pm := skymap.FromRings(&s.inst.Loc, rings, probs, opts)
+		resp.SkyMapB64 = pm.EncodeBase64()
+		resp.PayloadBytes = pm.EncodedSize()
+		resp.Temperature = float64(pm.Temperature)
+		pk := pm.Peak()
+		resp.PeakDir = &Vec3{X: pk.X, Y: pk.Y, Z: pk.Z}
+		resp.Area68Deg2 = float64(pm.Area68)
+		resp.Area90Deg2 = float64(pm.Area90)
+	}
+	if canonicalRequested(r) {
+		resp.QueueMs = 0
+	}
+	s.metrics.Counter("serve_skymap_ok").Inc()
 	s.setModelHeaders(w, set)
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -20,7 +21,9 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/detector"
 	"repro/internal/evio"
+	"repro/internal/geom"
 	"repro/internal/models"
+	"repro/internal/skymap"
 	"repro/internal/xrand"
 )
 
@@ -672,5 +675,99 @@ func TestAdmissionUnit(t *testing.T) {
 	a.release()
 	if q := a.queued(); q != 0 {
 		t.Errorf("queued = %d after all releases", q)
+	}
+}
+
+// TestSkymapEndpoint drives POST /v1/skymap: the canonical response must
+// be bitwise-deterministic across repeated requests (the property the
+// router's exact result cache relies on), the payload must decode and
+// round-trip, and its peak must agree with /v1/localize on the same body.
+func TestSkymapEndpoint(t *testing.T) {
+	bundle := tinyBundle(t)
+	events := simulateEvents(1.0, 30, 7)
+	body := evioBody(t, events)
+
+	srv := New(Config{Bundle: bundle})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(url string) ([]byte, int) {
+		resp, err := ts.Client().Post(url, ContentTypeEvio, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, resp.StatusCode
+	}
+
+	url := ts.URL + "/v1/skymap?seed=9&canonical=1"
+	raw1, code1 := post(url)
+	raw2, code2 := post(url)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("status %d / %d", code1, code2)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("canonical /v1/skymap responses are not bitwise identical")
+	}
+
+	var sr SkymapResponse
+	if err := json.Unmarshal(raw1, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.OK || sr.SkyMapB64 == "" {
+		t.Fatalf("no map in response: %+v", sr)
+	}
+	m, err := skymap.DecodeBase64(sr.SkyMapB64)
+	if err != nil {
+		t.Fatalf("payload does not decode: %v", err)
+	}
+	if m.EncodeBase64() != sr.SkyMapB64 {
+		t.Fatal("payload does not round-trip through the endpoint")
+	}
+	if sr.PayloadBytes != m.EncodedSize() {
+		t.Errorf("payload_bytes %d, actual %d", sr.PayloadBytes, m.EncodedSize())
+	}
+	if sr.Temperature != skymap.DefaultTemperature {
+		t.Errorf("default temperature %v, want %v", sr.Temperature, skymap.DefaultTemperature)
+	}
+	if sr.Area68Deg2 <= 0 || sr.Area68Deg2 > sr.Area90Deg2 {
+		t.Errorf("areas (%v, %v) not ordered", sr.Area68Deg2, sr.Area90Deg2)
+	}
+
+	// The localized direction the same request produces lies inside the
+	// map's tempered 90% credible region. (The map is the background-aware
+	// mixture surface, so its peak can sit a few pixels from the solver's
+	// point estimate; containment is the contract a notice consumer needs.)
+	lr, resp := postLocalize(t, ts.Client(), ts.URL, body, ContentTypeEvio)
+	if lr == nil {
+		t.Fatalf("localize status %d", resp.StatusCode)
+	}
+	if !m.Contains(geom.Vec{X: lr.Dir.X, Y: lr.Dir.Y, Z: lr.Dir.Z}, 0.90) {
+		t.Error("localized direction outside the map's 90% credible region")
+	}
+
+	// The statistical map (temp=1) is narrower than the tempered default.
+	rawT, codeT := post(ts.URL + "/v1/skymap?seed=9&canonical=1&temp=1")
+	if codeT != http.StatusOK {
+		t.Fatalf("temp=1 status %d", codeT)
+	}
+	var srT SkymapResponse
+	if err := json.Unmarshal(rawT, &srT); err != nil {
+		t.Fatal(err)
+	}
+	if srT.Temperature != 1 || srT.Area90Deg2 >= sr.Area90Deg2 {
+		t.Errorf("temp=1 map (T=%v, area90=%v) not narrower than default (area90=%v)",
+			srT.Temperature, srT.Area90Deg2, sr.Area90Deg2)
+	}
+
+	// Out-of-range parameters are a client error, not a panic.
+	for _, q := range []string{"temp=-1", "bands=1", "bands=99", "refine=9"} {
+		if _, code := post(ts.URL + "/v1/skymap?" + q); code != http.StatusBadRequest {
+			t.Errorf("%s accepted with status %d", q, code)
+		}
 	}
 }

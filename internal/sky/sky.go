@@ -110,12 +110,23 @@ type Map struct {
 	LogL []float64
 }
 
+// LikelihoodEvaluator returns the rings' joint robust log-likelihood as a
+// function of direction — the continuous surface that Likelihood samples
+// onto a grid and that the hierarchical payload builder (internal/skymap)
+// samples adaptively.
+func LikelihoodEvaluator(cfg *localize.Config, rings []*recon.Ring) func(geom.Vec) float64 {
+	return func(d geom.Vec) float64 {
+		return localize.LogLikelihood(cfg, rings, d)
+	}
+}
+
 // Likelihood evaluates the rings' joint robust log-likelihood at every
 // pixel center.
 func Likelihood(cfg *localize.Config, rings []*recon.Ring, g *Grid) *Map {
+	eval := LikelihoodEvaluator(cfg, rings)
 	m := &Map{Grid: g, LogL: make([]float64, g.NumPixels())}
 	for i := range m.LogL {
-		m.LogL[i] = localize.LogLikelihood(cfg, rings, g.Dir(i))
+		m.LogL[i] = eval(g.Dir(i))
 	}
 	return m
 }
@@ -129,6 +140,18 @@ func Likelihood(cfg *localize.Config, rings []*recon.Ring, g *Grid) *Map {
 // it keeps residual background rings from biasing the map, which hard
 // capping alone cannot once pulls shrink below the cap.
 func MixtureLikelihood(cfg *localize.Config, rings []*recon.Ring, bkgProb []float64, g *Grid) *Map {
+	eval := MixtureEvaluator(cfg, rings, bkgProb)
+	m := &Map{Grid: g, LogL: make([]float64, g.NumPixels())}
+	for i := range m.LogL {
+		m.LogL[i] = eval(g.Dir(i))
+	}
+	return m
+}
+
+// MixtureEvaluator returns MixtureLikelihood's background-aware joint
+// log-likelihood as a function of direction. It panics when bkgProb and
+// rings disagree in length.
+func MixtureEvaluator(cfg *localize.Config, rings []*recon.Ring, bkgProb []float64) func(geom.Vec) float64 {
 	if len(bkgProb) != len(rings) {
 		panic("sky: bkgProb length mismatch")
 	}
@@ -137,18 +160,15 @@ func MixtureLikelihood(cfg *localize.Config, rings []*recon.Ring, bkgProb []floa
 	// being mis-reconstructed junk; this floor keeps any single ring from
 	// vetoing a sky region outright (the mixture analogue of hard capping).
 	const pMin = 0.02
-	m := &Map{Grid: g, LogL: make([]float64, g.NumPixels())}
-	for i := range m.LogL {
-		d := g.Dir(i)
+	return func(d geom.Vec) float64 {
 		var ll float64
 		for j, r := range rings {
 			pull := r.Pull(d)
 			p := pMin + (1-pMin)*bkgProb[j]
 			ll += math.Log((1-p)*math.Exp(-pull*pull/2) + p*floor)
 		}
-		m.LogL[i] = ll
+		return ll
 	}
-	return m
 }
 
 // Best returns the maximum-likelihood pixel direction and its log-likelihood.
@@ -185,14 +205,23 @@ func (m *Map) Posterior() []float64 {
 }
 
 // CredibleRegion returns the smallest set of pixels whose posterior sums to
-// at least p, highest-probability first.
+// at least p, highest-probability first. Equal-probability pixels at the
+// credible boundary are ordered by pixel index, so the region is a pure
+// function of the posterior — identical across runs and platforms even when
+// the boundary falls inside a tie.
 func (m *Map) CredibleRegion(p float64) []int {
 	post := m.Posterior()
 	idx := make([]int, len(post))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return post[idx[a]] > post[idx[b]] })
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := post[idx[a]], post[idx[b]]
+		if pa != pb {
+			return pa > pb
+		}
+		return idx[a] < idx[b]
+	})
 	var out []int
 	var acc float64
 	for _, i := range idx {
@@ -229,11 +258,13 @@ func (m *Map) Contains(d geom.Vec, p float64) bool {
 
 // Tempered returns a copy of the map with the log-likelihood divided by T:
 // the standard posterior-tempering form of an empirical systematic-error
-// inflation (T = 1 is the statistical-only map; larger T widens every
-// credible region).
+// inflation (T = 1 is the identity, the statistical-only map; larger T
+// widens every credible region). A non-positive temperature is a caller
+// bug — there is no physically meaningful T ≤ 0, and silently substituting
+// one would hide a miscalibrated configuration — so it panics.
 func (m *Map) Tempered(t float64) *Map {
 	if t <= 0 {
-		t = 1
+		panic("sky: non-positive temperature")
 	}
 	out := &Map{Grid: m.Grid, LogL: make([]float64, len(m.LogL))}
 	for i, l := range m.LogL {

@@ -143,15 +143,113 @@ func TestTemperedWidensRegions(t *testing.T) {
 	if a8 <= a1 {
 		t.Errorf("tempering did not widen the region: %v vs %v", a8, a1)
 	}
-	// Non-positive temperature behaves as identity.
-	if got := m.Tempered(0).CredibleAreaDeg2(0.9); got != a1 {
-		t.Errorf("T<=0 changed the map: %v vs %v", got, a1)
-	}
 	// The peak does not move under tempering.
 	b1, _ := m.Best()
 	b8, _ := m.Tempered(8).Best()
 	if b1 != b8 {
 		t.Error("tempering moved the peak")
+	}
+}
+
+func TestTemperedEdgeCases(t *testing.T) {
+	cfg := localize.DefaultConfig()
+	rng := xrand.New(9)
+	s := geom.FromSpherical(geom.Rad(15), geom.Rad(200))
+	m := Likelihood(&cfg, ringsAround(s, 60, 0.04, rng), NewGrid(14))
+
+	// T = 1 is the exact identity: same log-likelihoods, same posterior.
+	t1 := m.Tempered(1)
+	for i := range m.LogL {
+		if t1.LogL[i] != m.LogL[i] {
+			t.Fatalf("Tempered(1) changed LogL[%d]: %v vs %v", i, t1.LogL[i], m.LogL[i])
+		}
+	}
+
+	// Tempering preserves the normalization invariant: the posterior of a
+	// tempered map still sums to 1 (it is a different distribution, not a
+	// rescaled one).
+	for _, temp := range []float64{1, 2, 8, 32} {
+		var total float64
+		for _, p := range m.Tempered(temp).Posterior() {
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("Tempered(%v) posterior sums to %v", temp, total)
+		}
+	}
+
+	// Non-positive temperatures are a caller bug: panic, never silently
+	// substitute.
+	for _, temp := range []float64{0, -1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Tempered(%v) did not panic", temp)
+				}
+			}()
+			m.Tempered(temp)
+		}()
+	}
+}
+
+// TestCredibleAreaMonotone property-checks that the credible area never
+// shrinks as the requested probability level grows — the defining ordering
+// of nested credible regions.
+func TestCredibleAreaMonotone(t *testing.T) {
+	cfg := localize.DefaultConfig()
+	rng := xrand.New(10)
+	s := geom.FromSpherical(geom.Rad(40), geom.Rad(-60))
+	m := Likelihood(&cfg, ringsAround(s, 50, 0.08, rng), NewGrid(16))
+	f := func(a, b float64) bool {
+		// Map two arbitrary floats into (0, 1) levels with p1 <= p2.
+		p1 := math.Abs(math.Mod(a, 1))
+		p2 := math.Abs(math.Mod(b, 1))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return m.CredibleAreaDeg2(p1) <= m.CredibleAreaDeg2(p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCredibleRegionTieDeterminism pins the tie contract: when the
+// credible boundary falls inside a run of equal-probability pixels, the
+// region must include the lowest-indexed ones — a pure function of the
+// posterior, not of sort internals.
+func TestCredibleRegionTieDeterminism(t *testing.T) {
+	g := NewGrid(6)
+	// A perfectly flat map: every pixel ties. The posterior is then
+	// proportional to pixel solid angle, which is equal within each band,
+	// so ties abound at every boundary.
+	m := &Map{Grid: g, LogL: make([]float64, g.NumPixels())}
+	region := m.CredibleRegion(0.5)
+	again := m.CredibleRegion(0.5)
+	if len(region) != len(again) {
+		t.Fatalf("tie-broken region size changed: %d vs %d", len(region), len(again))
+	}
+	for i := range region {
+		if region[i] != again[i] {
+			t.Fatalf("tie-broken region differs at %d: %d vs %d", i, region[i], again[i])
+		}
+	}
+	// Among equal-probability pixels the lowest indices win. Pixels within
+	// one band have identical solid angle (hence identical posterior on a
+	// flat map); verify the selected set within each band is a prefix-free
+	// ordered choice: sorted region indices per band must be the smallest
+	// indices of that band that appear at all.
+	inRegion := make(map[int]bool, len(region))
+	for _, i := range region {
+		inRegion[i] = true
+	}
+	post := m.Posterior()
+	for _, i := range region {
+		for j := 0; j < i; j++ {
+			if post[j] == post[i] && !inRegion[j] {
+				t.Fatalf("pixel %d in region but equal-probability lower index %d is not", i, j)
+			}
+		}
 	}
 }
 

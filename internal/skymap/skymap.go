@@ -1,0 +1,478 @@
+// Package skymap renders posterior sky surfaces into downlink-grade
+// payloads: a hierarchical equal-area pixelization (coarse bands over the
+// whole visible hemisphere, fine tiles only where the posterior
+// concentrates), log-probability quantized to uint8/uint16 with a per-map
+// scale, and the tempered 68%/90% credible contours embedded in the
+// header. This is the product a GRB telemetry link actually carries —
+// compare the HEALPix maps attached to GCN notices — where internal/sky
+// holds the full-resolution float surface a ground analysis works with.
+//
+// Determinism is the load-bearing contract: Build is a pure function of
+// (evaluator, options) at any worker count, and Encode is a pure function
+// of the map, so the serving fleet can cache payloads exactly and a flight
+// journal replay reproduces live alert maps bitwise.
+package skymap
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/localize"
+	"repro/internal/par"
+	"repro/internal/recon"
+	"repro/internal/sky"
+)
+
+// Defaults and format bounds. The bounds are enforced by Decode so a
+// hostile payload cannot request an enormous grid allocation.
+const (
+	// DefaultCoarseBands is the whole-sky context layer resolution
+	// (~4·bands² pixels; 8 bands ≈ 256 pixels ≈ 9°-scale).
+	DefaultCoarseBands = 8
+	// DefaultRefineFactor multiplies the band count for the fine layer
+	// (8×4 = 32 bands ≈ 2°-scale pixels near the mode).
+	DefaultRefineFactor = 4
+	// DefaultMaxTiles caps how many coarse pixels are refined.
+	DefaultMaxTiles = 32
+	// DefaultRefineFraction is the coarse posterior mass the refined tiles
+	// must cover (tile count permitting).
+	DefaultRefineFraction = 0.999
+	// DefaultDynamicRange is how many natural-log units below the peak the
+	// quantization floor sits; density further down clips to the floor.
+	DefaultDynamicRange = 18.0
+	// DefaultTemperature is the empirically fitted posterior-tempering
+	// systematic inflation (see EXPERIMENTS.md "Credible-region coverage":
+	// analytic regions undercover, T=16 restores near-nominal coverage).
+	DefaultTemperature = 16.0
+
+	// MaxCoarseBands and MaxRefineFactor bound what Decode accepts.
+	MaxCoarseBands  = 32
+	MaxRefineFactor = 8
+)
+
+// Options configures Build. The zero value of every field means the
+// documented default.
+type Options struct {
+	// CoarseBands is the context layer's polar band count [2, MaxCoarseBands].
+	CoarseBands int
+	// RefineFactor multiplies CoarseBands for the fine layer
+	// [1, MaxRefineFactor]; 1 disables genuine refinement.
+	RefineFactor int
+	// MaxTiles caps the number of refined coarse pixels.
+	MaxTiles int
+	// RefineFraction is the coarse posterior mass to cover with fine tiles
+	// (0 < f ≤ 1); refinement stops at MaxTiles regardless.
+	RefineFraction float64
+	// DynamicRange is the quantization depth in natural-log units below
+	// the peak.
+	DynamicRange float64
+	// Temperature divides the log-likelihood before quantization (the
+	// sky.Map.Tempered calibration); 0 means DefaultTemperature, 1 means
+	// the statistical-only map, and negative values panic.
+	Temperature float64
+	// Workers caps evaluation parallelism (0 = process default, 1 =
+	// serial). The map is bitwise-identical for any value.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CoarseBands == 0 {
+		o.CoarseBands = DefaultCoarseBands
+	}
+	if o.RefineFactor == 0 {
+		o.RefineFactor = DefaultRefineFactor
+	}
+	if o.MaxTiles == 0 {
+		o.MaxTiles = DefaultMaxTiles
+	}
+	if o.RefineFraction == 0 {
+		o.RefineFraction = DefaultRefineFraction
+	}
+	if o.DynamicRange == 0 {
+		o.DynamicRange = DefaultDynamicRange
+	}
+	if o.Temperature == 0 {
+		o.Temperature = DefaultTemperature
+	}
+	if o.CoarseBands < 2 || o.CoarseBands > MaxCoarseBands {
+		panic("skymap: CoarseBands out of range")
+	}
+	if o.RefineFactor < 1 || o.RefineFactor > MaxRefineFactor {
+		panic("skymap: RefineFactor out of range")
+	}
+	if o.Temperature < 0 {
+		panic("skymap: negative temperature")
+	}
+	if o.RefineFraction < 0 || o.RefineFraction > 1 {
+		panic("skymap: RefineFraction out of range")
+	}
+	if o.MaxTiles < 1 {
+		o.MaxTiles = 1
+	}
+	if o.DynamicRange < 0 {
+		panic("skymap: negative dynamic range")
+	}
+	return o
+}
+
+// Tile is one refined coarse pixel: quantized fine-layer values for every
+// fine pixel whose center falls inside coarse pixel Coarse, in ascending
+// fine-index order. The fine indices themselves are not stored — the
+// coarse→fine assignment is a pure function of the two grids, so the
+// decoder recomputes it.
+type Tile struct {
+	Coarse int
+	Values []uint16
+}
+
+// Map is a hierarchical quantized posterior sky map: the decoded (or
+// freshly built) form of a payload. All header fields are stored at the
+// serialized float32 precision so encode→decode→encode is byte-identical.
+type Map struct {
+	// CoarseBands and RefineFactor fix both grid geometries.
+	CoarseBands  int
+	RefineFactor int
+	// Temperature is the tempering divisor baked into the values (1 =
+	// statistical-only).
+	Temperature float32
+	// LogFloor is the quantization floor: quantized value 0 means the log
+	// density sits LogFloor (< 0) natural-log units below the peak.
+	LogFloor float32
+	// PeakDir is the maximum-density pixel center (unit vector).
+	PeakDir [3]float32
+	// Thr68/Thr90 are the credible contours embedded for the downlink
+	// consumer: a direction is inside the p region iff its relative log
+	// density is ≥ the threshold. Area68/Area90 are the region areas in
+	// square degrees.
+	Thr68, Thr90   float32
+	Area68, Area90 float32
+	// Coarse holds one uint8 per coarse pixel (whole-sky context layer).
+	Coarse []uint8
+	// Tiles are the refined coarse pixels, ascending by Coarse index.
+	Tiles []Tile
+
+	// Derived lookup state (rebuilt by finish, never serialized).
+	coarse, fine *sky.Grid
+	fineVal      map[int]uint16
+}
+
+// finish (re)builds the derived grids and the fine-pixel lookup.
+func (m *Map) finish() {
+	m.coarse = sky.NewGrid(m.CoarseBands)
+	m.fine = sky.NewGrid(m.CoarseBands * m.RefineFactor)
+	members := tileMembers(m.coarse, m.fine)
+	m.fineVal = make(map[int]uint16)
+	for _, t := range m.Tiles {
+		for k, j := range members[t.Coarse] {
+			if k < len(t.Values) {
+				m.fineVal[j] = t.Values[k]
+			}
+		}
+	}
+}
+
+// tileMembers assigns every fine pixel to the coarse pixel containing its
+// center: members[c] lists c's fine pixels in ascending fine-index order.
+// The assignment is a pure function of the two grids.
+func tileMembers(coarse, fine *sky.Grid) map[int][]int {
+	members := make(map[int][]int, coarse.NumPixels())
+	for j := 0; j < fine.NumPixels(); j++ {
+		c := coarse.Find(fine.Dir(j))
+		members[c] = append(members[c], j)
+	}
+	return members
+}
+
+// quantize maps a relative log density v ∈ [floor, 0] onto [0, qmax].
+// NaN and everything at or below the floor clip to 0; 0 and above clip to
+// qmax.
+func quantize(v, floor float64, qmax int) int {
+	if !(v > floor) { // NaN-safe
+		return 0
+	}
+	if v >= 0 {
+		return qmax
+	}
+	q := int(math.Round((v - floor) / -floor * float64(qmax)))
+	if q < 0 {
+		q = 0
+	}
+	if q > qmax {
+		q = qmax
+	}
+	return q
+}
+
+// dequantize inverts quantize: q=0 → floor, q=qmax → 0.
+func dequantize(q, qmax int, floor float64) float64 {
+	return floor * (1 - float64(q)/float64(qmax))
+}
+
+// Build evaluates the log-likelihood surface eval hierarchically and
+// quantizes it into a Map: every coarse pixel is evaluated, then the
+// smallest set of coarse pixels covering RefineFraction of the coarse
+// posterior mass (at most MaxTiles, ties broken by pixel index) is
+// re-evaluated on the fine grid. The result is a pure function of (eval,
+// opts) — identical at any Workers value.
+func Build(eval func(geom.Vec) float64, opts Options) *Map {
+	opts = opts.withDefaults()
+	coarse := sky.NewGrid(opts.CoarseBands)
+	fine := sky.NewGrid(opts.CoarseBands * opts.RefineFactor)
+	pool := par.NewPool(opts.Workers)
+	temp := opts.Temperature
+
+	// Coarse layer: tempered log-likelihood at every pixel center, each
+	// value in its fixed slot.
+	cl := make([]float64, coarse.NumPixels())
+	pool.ForRange(context.Background(), len(cl), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cl[i] = eval(coarse.Dir(i)) / temp
+		}
+	})
+
+	// Refinement selection: coarse posterior mass, highest first, ties by
+	// pixel index.
+	mx := math.Inf(-1)
+	for _, v := range cl {
+		if v > mx {
+			mx = v
+		}
+	}
+	if math.IsInf(mx, -1) || math.IsNaN(mx) {
+		mx = 0 // degenerate surface: fall through to a flat selection
+	}
+	mass := make([]float64, len(cl))
+	var total float64
+	for i, v := range cl {
+		mass[i] = math.Exp(v-mx) * coarse.PixelSr(i)
+		total += mass[i]
+	}
+	if !(total > 0) {
+		for i := range mass {
+			mass[i] = coarse.PixelSr(i)
+		}
+		total = 2 * math.Pi
+	}
+	order := make([]int, len(mass))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ma, mb := mass[order[a]], mass[order[b]]
+		if ma != mb {
+			return ma > mb
+		}
+		return order[a] < order[b]
+	})
+	var refined []int
+	var acc float64
+	for _, i := range order {
+		if len(refined) >= opts.MaxTiles {
+			break
+		}
+		refined = append(refined, i)
+		acc += mass[i]
+		if acc >= opts.RefineFraction*total {
+			break
+		}
+	}
+	sort.Ints(refined)
+
+	// Fine layer: evaluate only the member pixels of refined tiles.
+	members := tileMembers(coarse, fine)
+	var fineIdx []int
+	for _, c := range refined {
+		fineIdx = append(fineIdx, members[c]...)
+	}
+	fl := make([]float64, len(fineIdx))
+	pool.ForRange(context.Background(), len(fineIdx), func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			fl[k] = eval(fine.Dir(fineIdx[k])) / temp
+		}
+	})
+
+	// Global peak: the maximum evaluated density. Fine pixels win ties —
+	// they are the resolution the notice quotes.
+	peak := mx
+	peakFine := -1
+	for k, v := range fl {
+		if v > peak {
+			peak, peakFine = v, fineIdx[k]
+		}
+	}
+	peakCoarse := 0
+	if peakFine < 0 {
+		for i, v := range cl {
+			if v == peak {
+				peakCoarse = i
+				break
+			}
+		}
+	}
+	if math.IsInf(peak, -1) || math.IsNaN(peak) {
+		peak = 0
+	}
+
+	// Quantize both layers relative to the peak.
+	floor := -opts.DynamicRange
+	m := &Map{
+		CoarseBands:  opts.CoarseBands,
+		RefineFactor: opts.RefineFactor,
+		Temperature:  float32(temp),
+		LogFloor:     float32(floor),
+		Coarse:       make([]uint8, len(cl)),
+	}
+	for i, v := range cl {
+		m.Coarse[i] = uint8(quantize(v-peak, floor, 255))
+	}
+	k := 0
+	for _, c := range refined {
+		tile := Tile{Coarse: c, Values: make([]uint16, len(members[c]))}
+		for kk := range tile.Values {
+			tile.Values[kk] = uint16(quantize(fl[k]-peak, floor, 65535))
+			k++
+		}
+		m.Tiles = append(m.Tiles, tile)
+	}
+
+	var pd geom.Vec
+	if peakFine >= 0 {
+		pd = fine.Dir(peakFine)
+	} else {
+		pd = coarse.Dir(peakCoarse)
+	}
+	m.PeakDir = [3]float32{float32(pd.X), float32(pd.Y), float32(pd.Z)}
+
+	m.finish()
+
+	// Embed the tempered credible contours, computed from the *quantized*
+	// data so the decoder reproduces them exactly.
+	thr68, area68 := m.contour(0.68)
+	thr90, area90 := m.contour(0.90)
+	m.Thr68, m.Area68 = float32(thr68), float32(area68)
+	m.Thr90, m.Area90 = float32(thr90), float32(area90)
+	return m
+}
+
+// FromRings builds the downlink map for a localized burst from its
+// surviving rings: the background-aware mixture surface when per-ring
+// background probabilities are supplied, the plain robust likelihood
+// otherwise.
+func FromRings(cfg *localize.Config, rings []*recon.Ring, bkgProb []float64, opts Options) *Map {
+	var eval func(geom.Vec) float64
+	if bkgProb != nil {
+		eval = sky.MixtureEvaluator(cfg, rings, bkgProb)
+	} else {
+		eval = sky.LikelihoodEvaluator(cfg, rings)
+	}
+	return Build(eval, opts)
+}
+
+// cell is one effective-resolution element of the hierarchical map: a fine
+// pixel inside a refined tile, or an unrefined coarse pixel.
+type cell struct {
+	logd float64 // relative log density (≤ 0)
+	sr   float64 // solid angle
+	fine bool
+	idx  int
+}
+
+// cells lists the map's effective elements in a fixed deterministic order:
+// unrefined coarse pixels ascending, then tile fine pixels ascending.
+func (m *Map) cells() []cell {
+	refined := make(map[int]bool, len(m.Tiles))
+	for _, t := range m.Tiles {
+		refined[t.Coarse] = true
+	}
+	floor := float64(m.LogFloor)
+	var out []cell
+	for i, q := range m.Coarse {
+		if refined[i] {
+			continue
+		}
+		out = append(out, cell{logd: dequantize(int(q), 255, floor), sr: m.coarse.PixelSr(i), idx: i})
+	}
+	members := tileMembers(m.coarse, m.fine)
+	for _, t := range m.Tiles {
+		mem := members[t.Coarse]
+		for k, q := range t.Values {
+			out = append(out, cell{logd: dequantize(int(q), 65535, floor), sr: m.fine.PixelSr(mem[k]), fine: true, idx: mem[k]})
+		}
+	}
+	return out
+}
+
+const deg2PerSr = (180 / math.Pi) * (180 / math.Pi)
+
+// contour computes the highest-posterior-density credible contour at level
+// p from the quantized data: cells are ranked by density (ties: fine
+// before coarse, then pixel index) and accumulated until their posterior
+// mass reaches p. It returns the relative log-density threshold of the
+// last included cell and the included area in square degrees.
+func (m *Map) contour(p float64) (thr float64, areaDeg2 float64) {
+	cs := m.cells()
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].logd != cs[b].logd {
+			return cs[a].logd > cs[b].logd
+		}
+		if cs[a].fine != cs[b].fine {
+			return cs[a].fine
+		}
+		return cs[a].idx < cs[b].idx
+	})
+	var total float64
+	for _, c := range cs {
+		total += math.Exp(c.logd) * c.sr
+	}
+	var acc, sr float64
+	thr = 0
+	for _, c := range cs {
+		acc += math.Exp(c.logd) * c.sr
+		sr += c.sr
+		thr = c.logd
+		if acc >= p*total {
+			break
+		}
+	}
+	return thr, sr * deg2PerSr
+}
+
+// CredibleAreaDeg2 returns the area of the p credible region in square
+// degrees, recomputed from the quantized payload (for p = 0.68 / 0.90 it
+// equals the embedded Area68/Area90 by construction).
+func (m *Map) CredibleAreaDeg2(p float64) float64 {
+	_, area := m.contour(p)
+	return area
+}
+
+// LogDensity returns the relative log posterior density (≤ 0, peak = 0)
+// at direction d: the fine layer where d falls inside an evaluated fine
+// pixel, the coarse context layer elsewhere.
+func (m *Map) LogDensity(d geom.Vec) float64 {
+	if q, ok := m.fineVal[m.fine.Find(d)]; ok {
+		return dequantize(int(q), 65535, float64(m.LogFloor))
+	}
+	return dequantize(int(m.Coarse[m.coarse.Find(d)]), 255, float64(m.LogFloor))
+}
+
+// Contains reports whether direction d lies inside the p credible region.
+func (m *Map) Contains(d geom.Vec, p float64) bool {
+	thr, _ := m.contour(p)
+	return m.LogDensity(d) >= thr
+}
+
+// Peak returns the map's maximum-density direction.
+func (m *Map) Peak() geom.Vec {
+	return geom.Vec{X: float64(m.PeakDir[0]), Y: float64(m.PeakDir[1]), Z: float64(m.PeakDir[2])}
+}
+
+// NumFine returns the total fine-pixel count across tiles.
+func (m *Map) NumFine() int {
+	n := 0
+	for _, t := range m.Tiles {
+		n += len(t.Values)
+	}
+	return n
+}

@@ -25,17 +25,20 @@
 package stream
 
 import (
+	"encoding/base64"
 	"math"
 	"sync"
 
 	"repro/internal/detector"
 	"repro/internal/evio"
 	"repro/internal/flightlog"
+	"repro/internal/geom"
 	"repro/internal/localize"
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/recon"
+	"repro/internal/skymap"
 	"repro/internal/xrand"
 )
 
@@ -114,6 +117,15 @@ type Config struct {
 	// bitwise-reproducible only if the override is itself a pure function
 	// of its inputs (the serving batcher is).
 	BkgOverride pipeline.BkgClassifier
+
+	// SkyMap, when true, attaches the downlink-grade quantized sky map
+	// payload (internal/skymap) to every successfully localized alert and
+	// its record. The payload is a pure function of the admitted event
+	// sequence, so journal replay reproduces it bitwise.
+	SkyMap bool
+	// SkyMapOpts configures the payload builder (zero = calibrated
+	// defaults).
+	SkyMapOpts skymap.Options
 
 	// Seed drives the localization solver's random sampling; alert k uses
 	// the deterministic substream Split(k+1).
@@ -197,6 +209,12 @@ type Alert struct {
 	NEvents int
 	// Result is the pipeline outcome for the window.
 	Result pipeline.Result
+	// SkyMapPayload is the encoded downlink map (nil unless Config.SkyMap
+	// and localization succeeded).
+	SkyMapPayload []byte
+	// Area68Deg2/Area90Deg2 are the payload's tempered credible areas in
+	// square degrees (0 when no map was built).
+	Area68Deg2, Area90Deg2 float64
 }
 
 // Record is the deterministic downlink form of an alert: every field is a
@@ -214,6 +232,12 @@ type Record struct {
 	ErrorRadiusDeg   float64    `json:"error_radius_deg"`
 	RingsKept        int        `json:"rings_kept"`
 	NNIterations     int        `json:"nn_iterations"`
+	// SkyMapB64 carries the encoded downlink map (internal/skymap format)
+	// in standard base64, with its tempered credible areas alongside;
+	// empty/zero when map generation is off.
+	SkyMapB64  string  `json:"skymap_b64,omitempty"`
+	Area68Deg2 float64 `json:"area68_deg2,omitempty"`
+	Area90Deg2 float64 `json:"area90_deg2,omitempty"`
 }
 
 // Record converts the alert to its downlink form.
@@ -231,6 +255,11 @@ func (a *Alert) Record() Record {
 	if a.Result.Loc.OK {
 		rec.Dir = [3]float64{a.Result.Loc.Dir.X, a.Result.Loc.Dir.Y, a.Result.Loc.Dir.Z}
 		rec.ErrorRadiusDeg = a.Result.ErrorRadiusDeg
+	}
+	if len(a.SkyMapPayload) > 0 {
+		rec.SkyMapB64 = base64.StdEncoding.EncodeToString(a.SkyMapPayload)
+		rec.Area68Deg2 = a.Area68Deg2
+		rec.Area90Deg2 = a.Area90Deg2
 	}
 	return rec
 }
@@ -489,6 +518,23 @@ func (p *Processor) fire() {
 		BackgroundRateHz: pb.rate,
 		NEvents:          countWindow(p.ring, pb.trig-p.cfg.PreTriggerSec, pb.deadline),
 		Result:           res,
+	}
+	if p.cfg.SkyMap && res.Loc.OK {
+		rings := res.ActiveRings
+		var probs []float64
+		if p.cfg.Bundle != nil {
+			polar := geom.Deg(geom.Polar(res.Loc.Dir))
+			pipeline.ApplyDEtaCalibrated(p.cfg.Bundle, rings, polar)
+			probs = pipeline.BackgroundProbs(p.cfg.Bundle, rings, polar)
+		}
+		sopts := p.cfg.SkyMapOpts
+		if sopts.Workers == 0 {
+			sopts.Workers = p.cfg.Workers
+		}
+		pm := skymap.FromRings(&p.cfg.Loc, rings, probs, sopts)
+		alert.SkyMapPayload = pm.Encode()
+		alert.Area68Deg2 = float64(pm.Area68)
+		alert.Area90Deg2 = float64(pm.Area90)
 	}
 	p.seq++
 	select {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/flightlog"
 	"repro/internal/obs"
+	"repro/internal/skymap"
 	"repro/internal/xrand"
 )
 
@@ -368,6 +369,81 @@ func TestReplayDeterministic(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Errorf("alert %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSkyMapAlertsReplayBitwise turns downlink map generation on, records
+// a live session to a journal, and requires a replay to reproduce every
+// alert record — including the encoded sky map payload — bitwise. The map
+// is part of the downlink contract, so it must be as deterministic as the
+// localization itself.
+func TestSkyMapAlertsReplayBitwise(t *testing.T) {
+	events, meanRate := simSession(t, 17)
+	dir := t.TempDir()
+	j, err := flightlog.Open(flightlog.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(meanRate)
+	cfg.SkyMap = true
+	cfg.Journal = j
+	var live []Record
+	for _, a := range feedAndDrain(cfg, events) {
+		live = append(live, a.Record())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 {
+		t.Fatal("no alerts from the live session")
+	}
+	for i, rec := range live {
+		if !rec.OK {
+			continue
+		}
+		if rec.SkyMapB64 == "" {
+			t.Fatalf("alert %d: localized but carries no sky map", i)
+		}
+		m, err := skymap.DecodeBase64(rec.SkyMapB64)
+		if err != nil {
+			t.Fatalf("alert %d: payload does not decode: %v", i, err)
+		}
+		if float64(m.Area90) != rec.Area90Deg2 || float64(m.Area68) != rec.Area68Deg2 {
+			t.Errorf("alert %d: record areas (%v, %v) disagree with payload (%v, %v)",
+				i, rec.Area68Deg2, rec.Area90Deg2, m.Area68, m.Area90)
+		}
+		if rec.Area68Deg2 > rec.Area90Deg2 {
+			t.Errorf("alert %d: 68%% area exceeds 90%% area", i)
+		}
+	}
+
+	// Replay with different worker counts: the records — payload bytes
+	// included — must be identical to the live run.
+	for _, workers := range []int{1, 4} {
+		rcfg := cfg
+		rcfg.Journal = nil
+		rcfg.Workers = workers
+		p := New(rcfg)
+		done := make(chan []Record)
+		go func() {
+			var out []Record
+			for a := range p.Alerts() {
+				out = append(out, a.Record())
+			}
+			done <- out
+		}()
+		if _, err := ReplayJournal(dir, p); err != nil {
+			t.Fatal(err)
+		}
+		replayed := <-done
+		if len(replayed) != len(live) {
+			t.Fatalf("workers=%d: replay produced %d alerts, live %d", workers, len(replayed), len(live))
+		}
+		for i := range live {
+			if replayed[i] != live[i] {
+				t.Errorf("workers=%d alert %d: replay record differs from live", workers, i)
+			}
 		}
 	}
 }

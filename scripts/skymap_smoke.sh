@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Sky-map smoke test, mirrored by the CI skymap-smoke job
+# (`make skymap-smoke`): the downlink-map determinism contract end to end
+# through the CLIs.
+#   - adaptstream with -skymap records a flight journal and attaches a
+#     quantized map payload (skymap_b64) to every alert; replaying the
+#     journal must reproduce the alert records — payloads included — byte
+#     for byte, at different worker counts;
+#   - adaptmap decodes every payload and its decode→encode round trip must
+#     be byte-identical (non-zero exit otherwise);
+#   - a /v1/skymap response routed through adaptrouter is bitwise-identical
+#     to a direct replica call, and an identical repeat is a cache hit with
+#     identical bytes — the exact-result-cache contract extended to maps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/adaptstream" ./cmd/adaptstream
+go build -o "$workdir/adaptmap" ./cmd/adaptmap
+go build -o "$workdir/adaptserve" ./cmd/adaptserve
+go build -o "$workdir/adaptrouter" ./cmd/adaptrouter
+go build -o "$workdir/adaptsim" ./cmd/adaptsim
+"$workdir/adaptmap" -version
+
+echo "== live stream run with downlink maps, recording a journal"
+"$workdir/adaptstream" -seed 7 -exposure 3 -burst-at 1.2 -fluence 2 -skymap \
+    -journal "$workdir/fl" -alerts "$workdir/live.jsonl" 2>"$workdir/live.log"
+[ -s "$workdir/live.jsonl" ] || { echo "live run emitted no alerts"; cat "$workdir/live.log"; exit 1; }
+grep -q '"skymap_b64":"' "$workdir/live.jsonl" \
+    || { echo "alert records carry no sky-map payload"; exit 1; }
+
+echo "== journal replay reproduces the map payloads bitwise (workers 1 and 4)"
+"$workdir/adaptstream" -seed 7 -replay "$workdir/fl" -skymap -parallelism 1 \
+    -alerts "$workdir/replay1.jsonl" 2>"$workdir/replay1.log"
+"$workdir/adaptstream" -seed 7 -replay "$workdir/fl" -skymap -parallelism 4 \
+    -alerts "$workdir/replay4.jsonl" 2>"$workdir/replay4.log"
+cmp "$workdir/live.jsonl" "$workdir/replay1.jsonl" || {
+    echo "serial replay diverged from the live run:"
+    diff "$workdir/live.jsonl" "$workdir/replay1.jsonl" || true
+    exit 1
+}
+cmp "$workdir/live.jsonl" "$workdir/replay4.jsonl" || {
+    echo "4-worker replay diverged from the live run:"
+    diff "$workdir/live.jsonl" "$workdir/replay4.jsonl" || true
+    exit 1
+}
+
+echo "== adaptmap decodes every alert payload; round trips must be exact"
+"$workdir/adaptmap" -alerts "$workdir/live.jsonl" -render=false >"$workdir/decode.txt"
+grep -q 'round-trip:  OK' "$workdir/decode.txt" \
+    || { echo "no round-trip confirmation:"; cat "$workdir/decode.txt"; exit 1; }
+
+# wait_addr LOGFILE PID PREFIX -> echoes the listen address
+wait_addr() {
+    local logf=$1 pid=$2 prefix=$3 addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n "s/^$prefix: listening on \([^,]*\).*$/\1/p" "$logf" | head -1)"
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        kill -0 "$pid" 2>/dev/null || { echo "$prefix died:" >&2; cat "$logf" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "$prefix never reported its address" >&2
+    cat "$logf" >&2
+    return 1
+}
+
+echo "== serve: /v1/skymap routed vs direct, and cache-hit identity"
+"$workdir/adaptsim" -fluence 1.0 -polar 30 -seed 7 -binary "$workdir/events.evio" >/dev/null
+"$workdir/adaptserve" -addr 127.0.0.1:0 >"$workdir/replica.log" 2>&1 &
+replica_pid=$!
+disown "$replica_pid" # suppress job-control noise from cleanup's kill -9
+pids+=("$replica_pid")
+replica="http://$(wait_addr "$workdir/replica.log" "$replica_pid" adaptserve)"
+"$workdir/adaptrouter" -addr 127.0.0.1:0 -replicas "$replica" >"$workdir/router.log" 2>&1 &
+router_pid=$!
+disown "$router_pid"
+pids+=("$router_pid")
+router="http://$(wait_addr "$workdir/router.log" "$router_pid" adaptrouter)"
+
+q="/v1/skymap?seed=7&canonical=1"
+curl -fsS -X POST -H 'Content-Type: application/x-adapt-evio' \
+    --data-binary @"$workdir/events.evio" "$replica$q" >"$workdir/direct.json"
+curl -fsS -D "$workdir/routed.hdr" -X POST -H 'Content-Type: application/x-adapt-evio' \
+    --data-binary @"$workdir/events.evio" "$router$q" >"$workdir/routed.json"
+cmp "$workdir/direct.json" "$workdir/routed.json" \
+    || { echo "routed /v1/skymap differs from direct"; exit 1; }
+grep -qi '^x-adapt-router-cache: miss' "$workdir/routed.hdr" \
+    || { echo "first routed request was not a cache miss:"; cat "$workdir/routed.hdr"; exit 1; }
+curl -fsS -D "$workdir/hit.hdr" -X POST -H 'Content-Type: application/x-adapt-evio' \
+    --data-binary @"$workdir/events.evio" "$router$q" >"$workdir/hit.json"
+grep -qi '^x-adapt-router-cache: hit' "$workdir/hit.hdr" \
+    || { echo "repeat was not a cache hit:"; cat "$workdir/hit.hdr"; exit 1; }
+cmp "$workdir/routed.json" "$workdir/hit.json" \
+    || { echo "cache hit not bitwise-identical to miss"; exit 1; }
+
+echo "== the served payload decodes and round-trips"
+b64="$(sed -n 's/.*"skymap_b64":"\([^"]*\)".*/\1/p' "$workdir/routed.json")"
+[ -n "$b64" ] || { echo "no skymap_b64 in the /v1/skymap response"; cat "$workdir/routed.json"; exit 1; }
+"$workdir/adaptmap" -b64 "$b64" -render=false >"$workdir/served.txt"
+grep -q 'round-trip:  OK' "$workdir/served.txt" \
+    || { echo "served payload failed the round trip:"; cat "$workdir/served.txt"; exit 1; }
+
+echo "skymap smoke: OK ($(wc -l <"$workdir/live.jsonl") alert map(s) reproduced bitwise)"
