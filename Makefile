@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover fmt vet lint serve-smoke fleet-smoke stream-smoke merge-smoke backend-parity skymap-smoke fuzz-smoke check clean
+.PHONY: all build test race bench cover fmt vet lint serve-smoke fleet-smoke stream-smoke merge-smoke backend-parity skymap-smoke chaos-smoke fuzz-smoke check clean
 
 all: build test
 
@@ -84,6 +84,12 @@ backend-parity:
 skymap-smoke:
 	./scripts/skymap_smoke.sh
 
+## chaos-smoke: run the built-in multi-fault "flight" chaos scenario through
+## adaptsim -scenario and require the mission scorecard and alert records to
+## reproduce bitwise across runs and worker counts (CI chaos-smoke job)
+chaos-smoke:
+	./scripts/chaos_smoke.sh
+
 ## fuzz-smoke: short native-fuzz runs of the untrusted-input decoders and
 ## the int8 arithmetic kernels (CI)
 FUZZTIME ?= 10s
@@ -94,6 +100,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzRequantize -fuzztime=$(FUZZTIME) -run '^$$' ./internal/nn/quant
 	$(GO) test -fuzz=FuzzDotInt8 -fuzztime=$(FUZZTIME) -run '^$$' ./internal/nn/quant
 	$(GO) test -fuzz=FuzzSkymapDecode -fuzztime=$(FUZZTIME) -run '^$$' ./internal/skymap
+	$(GO) test -fuzz=FuzzScenarioParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/chaos
 
 ## check: everything CI checks
 check: build fmt vet race

@@ -1,10 +1,21 @@
-// Command adaptsim simulates a GRB exposure on the ADAPT detector and
-// writes the detected events (and optionally the reconstructed Compton
-// rings) as JSON lines, for inspection or downstream tooling.
+// Command adaptsim simulates GRB exposures on the ADAPT detector. It has
+// two modes:
 //
-// Usage:
+// Plain simulation (default): one burst exposure, written as JSON-lines
+// events (or reconstructed Compton rings, or the evio binary format):
 //
 //	adaptsim -fluence 1.0 -polar 20 -seed 7 -rings > events.jsonl
+//
+// Scenario mode (-scenario): run a chaos campaign scenario — a flight-like
+// stress composition of bursts, background modulation, detector faults, and
+// overload — through the full merge → stream pipeline and emit the
+// machine-readable mission scorecard. The scorecard is a pure function of
+// (spec, seed): byte-identical across runs and worker counts.
+//
+//	adaptsim -scenario flight -seed 11 > scorecard.json
+//	adaptsim -scenario my-scenario.json -alerts alerts.jsonl -report
+//	adaptsim -scenario-list
+//	adaptsim -scenario saa -tune-trigger 16   # trigger-threshold search
 package main
 
 import (
@@ -16,8 +27,11 @@ import (
 
 	"repro/adapt"
 	"repro/internal/buildinfo"
+	"repro/internal/chaos"
 	"repro/internal/evio"
+	"repro/internal/obs"
 	"repro/internal/recon"
+	"repro/internal/tune"
 )
 
 type eventRecord struct {
@@ -42,50 +56,248 @@ type ringRecord struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adaptsim: ")
+
+	// Plain-simulation parameters.
 	fluence := flag.Float64("fluence", 1.0, "burst fluence in MeV/cm²")
 	polar := flag.Float64("polar", 0, "source polar angle in degrees (0 = zenith)")
 	azimuth := flag.Float64("azimuth", 0, "source azimuth in degrees")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	rings := flag.Bool("rings", false, "emit reconstructed Compton rings instead of raw events")
 	binOut := flag.String("binary", "", "write events in the evio binary format to this file instead of JSON to stdout")
+
+	// Scenario mode.
+	scenario := flag.String("scenario", "", "run a chaos scenario: a JSON spec file path, or a built-in name (see -scenario-list)")
+	scenarioList := flag.Bool("scenario-list", false, "list the built-in chaos scenarios as JSON and exit")
+	scorecardPath := flag.String("scorecard", "", "write the scenario scorecard JSON to this file (default stdout)")
+	alertsPath := flag.String("alerts", "", "write scenario alert records as JSON lines to this file")
+	modelPath := flag.String("model", "", "model bundle for the ML pipeline (empty = analytic pipeline)")
+	backendName := flag.String("backend", "float32", "inference backend: float32, int8, or fpga-sim (int8/fpga-sim need a bundle from adapttrain -quantize)")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines for localization (0 = GOMAXPROCS); scorecards are identical at any setting")
+	tuneTrigger := flag.Int("tune-trigger", 0, "random-search this many trigger candidates against the scenario objective and emit the best one's scorecard")
+	tuneSeed := flag.Uint64("tune-seed", 1, "trigger-search seed")
+
+	// Observability.
+	report := flag.Bool("report", false, "print the metrics report to stderr when done")
+	metricsJSON := flag.String("metrics-json", "", "write the metrics registry as JSON to this file")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
 	if *version {
 		fmt.Println(buildinfo.Line("adaptsim"))
 		return
 	}
+	if *scenarioList {
+		listScenarios()
+		return
+	}
 
-	inst := adapt.DefaultInstrument()
-	obs := inst.Observe(adapt.Burst{Fluence: *fluence, PolarDeg: *polar, AzimuthDeg: *azimuth}, *seed)
+	reg := obs.NewRegistry()
+	if *scenario != "" {
+		runScenario(reg, *scenario, *seed, *parallelism, *modelPath, *backendName,
+			*scorecardPath, *alertsPath, *tuneTrigger, *tuneSeed)
+	} else {
+		runPlain(reg, *fluence, *polar, *azimuth, *seed, *rings, *binOut)
+	}
 
-	if *binOut != "" {
-		f, err := os.Create(*binOut)
+	if *report {
+		reg.WriteText(os.Stderr)
+	}
+	if *metricsJSON != "" {
+		blob, err := json.MarshalIndent(reg, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := evio.WriteAll(f, obs.Events); err != nil {
+		if err := os.WriteFile(*metricsJSON, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// listScenarios emits the built-in library as a JSON array.
+func listScenarios() {
+	type entry struct {
+		Name             string  `json:"name"`
+		Description      string  `json:"description"`
+		DurationSec      float64 `json:"duration_sec"`
+		Lanes            int     `json:"lanes"`
+		Bursts           int     `json:"bursts"`
+		Dropouts         int     `json:"dropouts"`
+		Drifts           int     `json:"drifts"`
+		SAAWindows       int     `json:"saa_windows"`
+		Overload         bool    `json:"overload"`
+		FalseAlertBudget int     `json:"false_alert_budget"`
+	}
+	var out []entry
+	for _, s := range chaos.Library() {
+		n := len(s.Bursts)
+		if s.RandomBursts != nil {
+			n += s.RandomBursts.Count
+		}
+		lanes := s.Lanes
+		if lanes == 0 {
+			lanes = 1
+		}
+		out = append(out, entry{
+			Name:             s.Name,
+			Description:      s.Description,
+			DurationSec:      s.DurationSec,
+			Lanes:            lanes,
+			Bursts:           n,
+			Dropouts:         len(s.Dropouts),
+			Drifts:           len(s.Drifts),
+			SAAWindows:       len(s.Background.SAA),
+			Overload:         s.Overload != nil,
+			FalseAlertBudget: s.FalseAlertBudget,
+		})
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(blob))
+}
+
+// loadScenario resolves -scenario: an existing file path wins, otherwise
+// the built-in library.
+func loadScenario(arg string) (*chaos.Spec, error) {
+	if data, err := os.ReadFile(arg); err == nil {
+		return chaos.ParseSpec(data)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("read %s: %w", arg, err)
+	}
+	return chaos.Builtin(arg)
+}
+
+// runScenario prepares and runs one chaos scenario (optionally tuning the
+// trigger first) and writes the scorecard and alert records.
+func runScenario(reg *obs.Registry, arg string, seed uint64, parallelism int, modelPath, backendName, scorecardPath, alertsPath string, tuneTrials int, tuneSeed uint64) {
+	spec, err := loadScenario(arg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backend, err := adapt.ParseBackend(backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bundle *adapt.Models
+	if modelPath != "" {
+		m, err := adapt.LoadModels(modelPath)
+		if err != nil {
+			log.Fatalf("load models: %v", err)
+		}
+		bundle = m
+	}
+	if parallelism > 0 {
+		adapt.SetDefaultParallelism(parallelism)
+	}
+
+	prep, err := chaos.Prepare(spec, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "adaptsim: scenario %q prepared: %d bursts, calibrated quiet rate %.0f events/s\n",
+		spec.Name, len(prep.Bursts()), prep.InitialRate())
+
+	opts := chaos.Options{Workers: parallelism, Bundle: bundle, Backend: backend, Metrics: reg}
+
+	trigger := spec.Trigger
+	if tuneTrials > 0 {
+		// Search without the registry so candidate runs don't pollute the
+		// final run's metrics; the winning candidate is re-run with them.
+		searchOpts := opts
+		searchOpts.Metrics = nil
+		results := tune.SearchTrigger(tune.DefaultTriggerSpace(), tune.TriggerOptions{
+			Seed:   tuneSeed,
+			Trials: tuneTrials,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "adaptsim: "+format+"\n", args...)
+			},
+		}, prep.Objective(searchOpts))
+		best := results[0]
+		fmt.Fprintf(os.Stderr, "adaptsim: best trigger: %s (objective %.4f)\n", best.Candidate, best.Score)
+		if best.Candidate != (tune.TriggerCandidate{}) {
+			trigger = chaos.TriggerSpec{
+				WindowSec:      best.Candidate.WindowSec,
+				SigmaThreshold: best.Candidate.SigmaThreshold,
+				RateAlpha:      best.Candidate.RateAlpha,
+			}
+		}
+	}
+
+	card, recs, err := prep.RunTrigger(trigger, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if alertsPath != "" {
+		f, err := os.Create(alertsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		for _, r := range recs {
+			if err := enc.Encode(r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	out := os.Stdout
+	if scorecardPath != "" {
+		f, err := os.Create(scorecardPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if _, err := out.Write(card.Encode()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "adaptsim: scenario %q: efficiency %.2f (%d/%d bursts), %d false alert(s) against budget %d, objective %.4f\n",
+		card.Scenario, card.DetectionEfficiency, card.BurstsDetected, card.BurstsInjected,
+		card.FalseAlerts, card.FalseAlertBudget, card.Objective)
+}
+
+// runPlain is the original single-burst simulation mode, now with metrics.
+func runPlain(reg *obs.Registry, fluence, polar, azimuth float64, seed uint64, rings bool, binOut string) {
+	inst := adapt.DefaultInstrument()
+	stop := reg.StartStage("sim_observe")
+	obsr := inst.Observe(adapt.Burst{Fluence: fluence, PolarDeg: polar, AzimuthDeg: azimuth}, seed)
+	stop()
+
+	if binOut != "" {
+		f, err := os.Create(binOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := evio.WriteAll(f, obsr.Events); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", len(obs.Events), *binOut)
+		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", len(obsr.Events), binOut)
 		return
 	}
 
 	enc := json.NewEncoder(os.Stdout)
 	nGRB, nBkg := 0, 0
-	for _, ev := range obs.Events {
+	for _, ev := range obsr.Events {
 		if ev.Source.String() == "grb" {
 			nGRB++
 		} else {
 			nBkg++
 		}
-		if *rings {
+		if rings {
 			r, ok := recon.Reconstruct(&inst.Recon, ev)
 			if !ok {
 				continue
 			}
+			reg.Counter("sim_rings_reconstructed").Inc()
 			rec := ringRecord{
 				Background: r.Background,
 				Eta:        r.Eta, DEta: r.DEta, TrueEta: r.TrueEta,
@@ -105,6 +317,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	reg.Counter("sim_events_grb").Add(int64(nGRB))
+	reg.Counter("sim_events_background").Add(int64(nBkg))
 	fmt.Fprintf(os.Stderr, "simulated %d GRB + %d background detected events (fluence %.2f MeV/cm², polar %.0f°)\n",
-		nGRB, nBkg, *fluence, *polar)
+		nGRB, nBkg, fluence, polar)
 }

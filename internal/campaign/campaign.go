@@ -46,6 +46,24 @@ func DefaultPopulation() Population {
 	return Population{FluenceMin: 0.25, FluenceMax: 8, Slope: 1.5, MaxPolarDeg: 80}
 }
 
+// Validate reports whether the population is a usable sampling
+// distribution. Campaign configs built in Go are normally correct by
+// construction; chaos scenario specs, which arrive as untrusted JSON,
+// validate their random-burst populations through this before sampling.
+func (p Population) Validate() error {
+	switch {
+	case !(p.FluenceMin > 0) || math.IsInf(p.FluenceMin, 0):
+		return fmt.Errorf("campaign: FluenceMin must be positive and finite, got %g", p.FluenceMin)
+	case !(p.FluenceMax > p.FluenceMin) || math.IsInf(p.FluenceMax, 0):
+		return fmt.Errorf("campaign: FluenceMax must exceed FluenceMin, got %g <= %g", p.FluenceMax, p.FluenceMin)
+	case !(p.Slope > 0) || math.IsInf(p.Slope, 0):
+		return fmt.Errorf("campaign: Slope must be positive and finite, got %g", p.Slope)
+	case !(p.MaxPolarDeg > 0) || p.MaxPolarDeg > 90:
+		return fmt.Errorf("campaign: MaxPolarDeg must be in (0, 90], got %g", p.MaxPolarDeg)
+	}
+	return nil
+}
+
 // Sample draws one burst from the population.
 func (p Population) Sample(rng *xrand.RNG) detector.Burst {
 	// N(>S) ∝ S^−a ⇒ pdf ∝ S^−(a+1); sample via the power-law helper with

@@ -159,3 +159,21 @@ func TestSensitivityMonotone(t *testing.T) {
 }
 
 func burst(f float64) detector.Burst { return detector.Burst{Fluence: f} }
+
+func TestPopulationValidate(t *testing.T) {
+	if err := DefaultPopulation().Validate(); err != nil {
+		t.Fatalf("default population invalid: %v", err)
+	}
+	bad := []Population{
+		{FluenceMin: 0, FluenceMax: 8, Slope: 1.5, MaxPolarDeg: 80},
+		{FluenceMin: 2, FluenceMax: 1, Slope: 1.5, MaxPolarDeg: 80},
+		{FluenceMin: 0.25, FluenceMax: 8, Slope: 0, MaxPolarDeg: 80},
+		{FluenceMin: 0.25, FluenceMax: 8, Slope: 1.5, MaxPolarDeg: 120},
+		{FluenceMin: math.Inf(1), FluenceMax: math.Inf(1), Slope: 1.5, MaxPolarDeg: 80},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("population %d validated but should not: %+v", i, p)
+		}
+	}
+}

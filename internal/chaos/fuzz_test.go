@@ -1,0 +1,41 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScenarioParse hammers the JSON spec parser with arbitrary bytes. The
+// parser fronts untrusted scenario files, so it must never panic, and any
+// spec it accepts must be valid, encodable, and stable under one more
+// parse/encode round trip (the canonical-form contract chaos-smoke's
+// byte-diff relies on).
+func FuzzScenarioParse(f *testing.F) {
+	for _, s := range Library() {
+		f.Add(s.Encode())
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","duration_sec":1,"background":{}}`))
+	f.Add([]byte(`{"name":"x","duration_sec":1e309,"background":{"rate_hz":-1}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseSpec accepted a spec Validate rejects: %v", verr)
+		}
+		enc := s.Encode()
+		s2, err := ParseSpec(enc)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-parse: %v\n%s", err, enc)
+		}
+		if !bytes.Equal(enc, s2.Encode()) {
+			t.Fatalf("encoding not canonical:\n%s\nvs\n%s", enc, s2.Encode())
+		}
+	})
+}

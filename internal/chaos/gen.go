@@ -1,0 +1,238 @@
+package chaos
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/background"
+	"repro/internal/detector"
+	"repro/internal/xrand"
+)
+
+// Substream keys. Every random draw in a scenario comes from a fixed Split
+// of the root seed, so the generated exposure is a pure function of
+// (spec, seed) regardless of evaluation order or worker count.
+const (
+	keyBackground  = 1     // envelope-rate background simulation
+	keyThinLane    = 2     // thinning accept/reject + lane assignment
+	keyRandomBurst = 3     // population sampling + onset placement
+	keyCalibrate   = 0xCA1 // quiet-rate calibration (convention shared with the binaries)
+	keyBurstSim    = 100   // + burst index: burst photon simulation
+	keyBurstLane   = 200   // + burst index: burst lane assignment
+)
+
+// BurstTruth is the ground truth for one injected burst, kept for scoring.
+type BurstTruth struct {
+	// TimeSec is the burst onset in true (corrected) time.
+	TimeSec float64 `json:"time_sec"`
+	// Fluence / PolarDeg / AzimuthDeg echo the injected burst parameters.
+	Fluence    float64 `json:"fluence"`
+	PolarDeg   float64 `json:"polar_deg"`
+	AzimuthDeg float64 `json:"azimuth_deg"`
+	// Events is how many detected events the burst contributed before
+	// faults.
+	Events int `json:"events"`
+	// Random marks population-sampled (vs explicitly placed) bursts.
+	Random bool `json:"random,omitempty"`
+}
+
+// laneEvent pairs an event with its true arrival time; the event's own
+// ArrivalTime becomes the lane's faulty clock reading during generation.
+type laneEvent struct {
+	ev     *detector.Event
+	atTrue float64
+}
+
+// backfillFeed is one recovered-journal merge source: the events a lane
+// lost to a Backfill dropout, replayed in journal order with the lane's
+// own (faulty) clock.
+type backfillFeed struct {
+	lane   int
+	events []*detector.Event
+}
+
+// generated is the fully materialized exposure: per-lane feeds (raw lane
+// clock times, ordered by occurrence), backfill feeds, and accounting.
+type generated struct {
+	lanes     [][]*detector.Event // index = lane; ArrivalTime = raw lane clock
+	backfills []backfillFeed      // one per Backfill dropout with recovered events
+	bursts    []BurstTruth
+
+	eventsGenerated int // detected events before faults
+	dropoutLost     int // events lost to non-backfill dropouts
+	backfillEvents  int // events routed through backfill sources
+}
+
+// generate materializes the scenario: simulate background and bursts on the
+// true-time axis, deal events across lanes, then apply faults lane by lane
+// (dropout extraction, clock warps, static offsets). Every step draws from
+// fixed substreams of root, so the result is a pure function of (spec, seed).
+func generate(spec *Spec, root *xrand.RNG) *generated {
+	det := detector.DefaultConfig()
+	lanes := spec.lanes()
+
+	baseRate := spec.Background.RateHz
+	if baseRate == 0 {
+		baseRate = background.DefaultModel().RatePerSecond
+	}
+	env := spec.Background.envelope()
+
+	// Background: simulate at the envelope rate, then thin each event down
+	// to the instantaneous rate. Thinning consumes the substream in the
+	// simulator's generation order, which is itself deterministic.
+	bg := background.DefaultModel()
+	bg.RatePerSecond = baseRate * env
+	bgEvents := bg.Simulate(&det, spec.DurationSec, root.Split(keyBackground))
+	thin := root.Split(keyThinLane)
+	perLane := make([][]laneEvent, lanes)
+	total := 0
+	for _, ev := range bgEvents {
+		keep := thin.Float64() < spec.Background.rateFactor(ev.ArrivalTime)/env
+		lane := thin.IntN(lanes) // always drawn, so acceptance doesn't shift later draws' lanes
+		if !keep {
+			continue
+		}
+		perLane[lane] = append(perLane[lane], laneEvent{ev, ev.ArrivalTime})
+		total++
+	}
+
+	// Bursts: explicit placements first, then population-sampled ones, each
+	// on its own substream. Burst event times are light-curve offsets from
+	// the onset.
+	var gBursts []BurstTruth
+	addBurst := func(idx int, b detector.Burst, onset float64, random bool) {
+		evs := detector.SimulateBurst(&det, b, root.Split(uint64(keyBurstSim+idx)))
+		laneRNG := root.Split(uint64(keyBurstLane + idx))
+		added := 0
+		for _, ev := range evs {
+			t := onset + ev.ArrivalTime
+			ev.ArrivalTime = t
+			lane := laneRNG.IntN(lanes) // always drawn, even for out-of-window tails
+			if t >= spec.DurationSec {
+				continue // light-curve tail past the exposure
+			}
+			perLane[lane] = append(perLane[lane], laneEvent{ev, t})
+			total++
+			added++
+		}
+		gBursts = append(gBursts, BurstTruth{
+			TimeSec:    onset,
+			Fluence:    b.Fluence,
+			PolarDeg:   b.PolarDeg,
+			AzimuthDeg: b.AzimuthDeg,
+			Events:     added,
+			Random:     random,
+		})
+	}
+
+	idx := 0
+	for _, b := range spec.Bursts {
+		addBurst(idx, detector.Burst{
+			Fluence:    b.Fluence,
+			PolarDeg:   b.PolarDeg,
+			AzimuthDeg: b.AzimuthDeg,
+		}, b.TimeSec, false)
+		idx++
+	}
+	if r := spec.RandomBursts; r != nil {
+		pop := r.population()
+		sampler := root.Split(keyRandomBurst)
+		for j := 0; j < r.Count; j++ {
+			b := pop.Sample(sampler)
+			onset := sampler.Uniform(r.StartSec, r.EndSec)
+			addBurst(idx, b, onset, true)
+			idx++
+		}
+	}
+
+	// Scoring wants bursts in onset order; sampling order is an RNG detail.
+	sort.SliceStable(gBursts, func(i, j int) bool { return gBursts[i].TimeSec < gBursts[j].TimeSec })
+
+	// Each lane delivers events in occurrence order — sort by true time
+	// (ties keep the deterministic append order).
+	for lane := range perLane {
+		evs := perLane[lane]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].atTrue < evs[j].atTrue })
+	}
+
+	g := &generated{
+		lanes:           make([][]*detector.Event, lanes),
+		bursts:          gBursts,
+		eventsGenerated: total,
+	}
+
+	// Faults, per lane: extract dropout windows (true time), then warp the
+	// surviving clock readings, then add the static offset the merge will
+	// correct. Order preserved throughout — a drifted lane delivers in
+	// occurrence order with corrupted timestamps, which is exactly how a
+	// non-monotonic clock step turns into merge late drops.
+	for lane := range perLane {
+		var kept []laneEvent
+		backfillOf := make(map[int][]laneEvent) // dropout index → recovered events
+		for _, le := range perLane[lane] {
+			lost := false
+			for di, d := range spec.Dropouts {
+				if d.Lane == lane && le.atTrue >= d.StartSec && le.atTrue < d.EndSec {
+					if d.Backfill {
+						backfillOf[di] = append(backfillOf[di], le)
+						g.backfillEvents++
+					} else {
+						g.dropoutLost++
+					}
+					lost = true
+					break
+				}
+			}
+			if !lost {
+				kept = append(kept, le)
+			}
+		}
+
+		warp := func(le laneEvent) float64 {
+			t := le.atTrue
+			for _, d := range spec.Drifts {
+				if d.Lane == lane {
+					t = d.warp(t)
+				}
+			}
+			return t + spec.laneOffset(lane)
+		}
+		feed := make([]*detector.Event, len(kept))
+		for i, le := range kept {
+			le.ev.ArrivalTime = warp(le)
+			feed[i] = le.ev
+		}
+		g.lanes[lane] = feed
+
+		// Backfill feeds replay the lane's journal for the outage window:
+		// same warped clock, same offset, delivered in journal (time)
+		// order, racing the live feeds through the merge.
+		for di := 0; di < len(spec.Dropouts); di++ {
+			evs, ok := backfillOf[di]
+			if !ok {
+				continue
+			}
+			bf := make([]*detector.Event, len(evs))
+			for i, le := range evs {
+				le.ev.ArrivalTime = warp(le)
+				bf[i] = le.ev
+			}
+			sort.SliceStable(bf, func(i, j int) bool { return bf[i].ArrivalTime < bf[j].ArrivalTime })
+			g.backfills = append(g.backfills, backfillFeed{lane: lane, events: bf})
+		}
+	}
+	return g
+}
+
+// calibrateRate measures the quiet-sky detected-event rate (events/second)
+// for the scenario's base background, seeding the trigger's rate estimator
+// the way a flight would upload a calibrated value.
+func calibrateRate(spec *Spec, root *xrand.RNG) float64 {
+	det := detector.DefaultConfig()
+	bg := background.DefaultModel()
+	if spec.Background.RateHz != 0 {
+		bg.RatePerSecond = spec.Background.RateHz
+	}
+	n := len(bg.Simulate(&det, 1.0, root.Split(keyCalibrate)))
+	return math.Max(float64(n), 1)
+}

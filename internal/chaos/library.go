@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Built-in scenario library. Rates are deliberately below the flight
+// default background (32 kHz thrown) so a full-library sweep stays cheap
+// enough for CI; the faults, not the raw rate, are what these scenarios
+// stress. Every scenario validates, so Builtin never returns an invalid
+// spec.
+
+// builtins constructs the library fresh on every call — callers may
+// mutate the returned specs (the tuner does) without poisoning the
+// library.
+func builtins() []*Spec {
+	return []*Spec{
+		{
+			Name:        "calm",
+			Description: "quiet sky, no bursts: a pure false-alert soak",
+			DurationSec: 8,
+			Lanes:       2,
+			Background:  BackgroundSpec{RateHz: 12000},
+		},
+		{
+			Name:        "storm",
+			Description: "overlapping and back-to-back bursts on a steady background",
+			DurationSec: 8,
+			Lanes:       2,
+			Background:  BackgroundSpec{RateHz: 12000},
+			Bursts: []BurstSpec{
+				{TimeSec: 2.0, Fluence: 4, PolarDeg: 20},
+				{TimeSec: 2.4, Fluence: 3, PolarDeg: 55, AzimuthDeg: 120},
+				{TimeSec: 5.5, Fluence: 2.5, PolarDeg: 35, AzimuthDeg: -60},
+			},
+			FalseAlertBudget: 1,
+		},
+		{
+			Name:        "orbit",
+			Description: "sinusoidal orbital background modulation under a mid-exposure burst",
+			DurationSec: 8,
+			Lanes:       2,
+			Background: BackgroundSpec{
+				RateHz:       12000,
+				ModFraction:  0.3,
+				ModPeriodSec: 4,
+			},
+			Bursts:           []BurstSpec{{TimeSec: 4.2, Fluence: 3, PolarDeg: 30}},
+			FalseAlertBudget: 1,
+		},
+		{
+			Name:        "saa",
+			Description: "SAA-like passage tripling the background, with bursts inside and outside it",
+			DurationSec: 8,
+			Lanes:       2,
+			Background: BackgroundSpec{
+				RateHz: 12000,
+				SAA:    []SAASpec{{StartSec: 2, EndSec: 4, RateFactor: 3}},
+			},
+			Bursts: []BurstSpec{
+				{TimeSec: 3.0, Fluence: 4, PolarDeg: 25},
+				{TimeSec: 5.5, Fluence: 3, PolarDeg: 45, AzimuthDeg: 90},
+			},
+			FalseAlertBudget: 2,
+		},
+		{
+			Name:        "dropout",
+			Description: "detector lane drops out mid-exposure and rejoins; its events are lost",
+			DurationSec: 8,
+			Lanes:       2,
+			Background:  BackgroundSpec{RateHz: 12000},
+			Dropouts:    []DropoutSpec{{Lane: 1, StartSec: 2, EndSec: 4}},
+			Bursts: []BurstSpec{
+				{TimeSec: 3.0, Fluence: 4, PolarDeg: 30},
+				{TimeSec: 5.5, Fluence: 3, PolarDeg: 40, AzimuthDeg: 45},
+			},
+			FalseAlertBudget: 1,
+		},
+		{
+			Name:             "backfill",
+			Description:      "dropout recovered from the lane journal, backfill racing the live feeds",
+			DurationSec:      8,
+			Lanes:            2,
+			Background:       BackgroundSpec{RateHz: 12000},
+			Dropouts:         []DropoutSpec{{Lane: 0, StartSec: 2, EndSec: 3.5, Backfill: true}},
+			Bursts:           []BurstSpec{{TimeSec: 2.5, Fluence: 4, PolarDeg: 30}},
+			FalseAlertBudget: 1,
+		},
+		{
+			Name:             "drift",
+			Description:      "lane clock steps backward and drifts beyond the static skew correction",
+			DurationSec:      8,
+			Lanes:            2,
+			Background:       BackgroundSpec{RateHz: 12000},
+			Drifts:           []DriftSpec{{Lane: 1, StartSec: 3, StepSec: -0.05, DriftPerSec: 0.01}},
+			Bursts:           []BurstSpec{{TimeSec: 5.0, Fluence: 3, PolarDeg: 30}},
+			FalseAlertBudget: 1,
+		},
+		{
+			Name:        "overload",
+			Description: "sustained serve-layer overload sheds events ahead of the trigger",
+			DurationSec: 8,
+			Lanes:       2,
+			Background:  BackgroundSpec{RateHz: 12000},
+			Overload:    &OverloadSpec{StartSec: 2, EndSec: 5, CapacityHz: 4000, BurstEvents: 256},
+			Bursts: []BurstSpec{
+				{TimeSec: 3.0, Fluence: 5, PolarDeg: 25},
+				{TimeSec: 6.0, Fluence: 3, PolarDeg: 40, AzimuthDeg: -30},
+			},
+			FalseAlertBudget: 1,
+		},
+		{
+			Name:        "flight",
+			Description: "multi-fault orbit: modulation, SAA passage, dropout+backfill, offsets, overload, overlapping bursts",
+			DurationSec: 9,
+			Lanes:       3,
+			LaneOffsets: []float64{0, 0.12, -0.08},
+			Background: BackgroundSpec{
+				RateHz:       12000,
+				ModFraction:  0.25,
+				ModPeriodSec: 5,
+				SAA:          []SAASpec{{StartSec: 4.5, EndSec: 6.5, RateFactor: 2.5}},
+			},
+			Dropouts: []DropoutSpec{{Lane: 2, StartSec: 2.5, EndSec: 4, Backfill: true}},
+			Overload: &OverloadSpec{StartSec: 6.8, EndSec: 8.2, CapacityHz: 6000, BurstEvents: 256},
+			Bursts: []BurstSpec{
+				{TimeSec: 3.0, Fluence: 4, PolarDeg: 20},                    // during the dropout
+				{TimeSec: 3.3, Fluence: 3, PolarDeg: 50, AzimuthDeg: 100},   // overlapping the first
+				{TimeSec: 5.2, Fluence: 3.5, PolarDeg: 35, AzimuthDeg: -45}, // inside the SAA passage
+			},
+			FalseAlertBudget: 2,
+		},
+	}
+}
+
+// Library returns the built-in scenarios in curated order (calm first,
+// flight last). The slice and its specs are fresh copies.
+func Library() []*Spec { return builtins() }
+
+// Names returns the built-in scenario names, sorted.
+func Names() []string {
+	specs := builtins()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin returns a fresh copy of the named built-in scenario.
+func Builtin(name string) (*Spec, error) {
+	for _, s := range builtins() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("chaos: no built-in scenario %q (have %s)", name, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,228 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detector"
+	"repro/internal/merge"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// Chaos metric names published through internal/obs. Per-phase counters use
+// PhaseMetric.
+const (
+	CtrGenerated   = "chaos_events_generated"
+	CtrDropoutLost = "chaos_dropout_lost"
+	CtrBackfill    = "chaos_backfill_events"
+	CtrLateDropped = "chaos_merge_late_dropped"
+	CtrShed        = "chaos_overload_shed"
+	CtrDetected    = "chaos_bursts_detected"
+	CtrFalseAlerts = "chaos_false_alerts"
+)
+
+// PhaseMetric names a per-fault-phase counter, e.g.
+// chaos_phase_dropout0_late_drops.
+func PhaseMetric(phase, what string) string {
+	return "chaos_phase_" + phase + "_" + what
+}
+
+// Prepared is a scenario with its exposure fully generated and its quiet
+// rate calibrated, ready to run. Generation is the expensive half and does
+// not depend on the trigger configuration, so the trigger tuner prepares
+// once and runs many candidates against the same exposure.
+type Prepared struct {
+	Spec *Spec
+	Seed uint64
+
+	gen         *generated
+	initialRate float64
+}
+
+// Prepare validates the spec and materializes the exposure for the given
+// seed. The result is a pure function of (spec, seed).
+func Prepare(spec *Spec, seed uint64) (*Prepared, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(seed)
+	return &Prepared{
+		Spec:        spec,
+		Seed:        seed,
+		gen:         generate(spec, root),
+		initialRate: calibrateRate(spec, root),
+	}, nil
+}
+
+// InitialRate exposes the calibrated quiet-sky detected-event rate
+// (events/second) that seeds the trigger's rate estimator.
+func (p *Prepared) InitialRate() float64 { return p.initialRate }
+
+// Bursts returns the injected-burst ground truth, in onset order.
+func (p *Prepared) Bursts() []BurstTruth { return p.gen.bursts }
+
+// Options configures one run of a prepared scenario. The zero value runs
+// the no-ML pipeline single-threaded with no metrics.
+type Options struct {
+	// Workers parallelizes the per-alert localization pipeline (≤0 = 1).
+	// The scorecard is bitwise-identical at any worker count.
+	Workers int
+	// Bundle/Backend select the ML models and inference implementation for
+	// the background classifier (nil bundle = no-ML pipeline).
+	Bundle  *models.Bundle
+	Backend pipeline.Backend
+	// Metrics receives merge/stream/chaos counters (nil = off). Metrics
+	// include wall-clock stage timings and are NOT part of the
+	// deterministic scorecard.
+	Metrics *obs.Registry
+}
+
+// Run drives the full merge → stream pipeline over the prepared exposure
+// with the spec's trigger configuration and scores the outcome. The
+// scorecard and records are pure functions of (spec, seed): byte-identical
+// across repeated runs and across worker counts.
+func (p *Prepared) Run(opts Options) (*Scorecard, []stream.Record, error) {
+	return p.RunTrigger(p.Spec.Trigger, opts)
+}
+
+// RunTrigger is Run with an explicit trigger configuration, overriding the
+// spec's. The trigger tuner uses it to evaluate candidates against one
+// prepared exposure.
+func (p *Prepared) RunTrigger(tr TriggerSpec, opts Options) (*Scorecard, []stream.Record, error) {
+	if err := tr.validate(); err != nil {
+		return nil, nil, err
+	}
+	// stream.New panics on an invalid backend/bundle combination;
+	// pre-validate so a bad flag surfaces as an error.
+	if _, err := pipeline.NewClassifier(opts.Backend, opts.Bundle); err != nil {
+		return nil, nil, fmt.Errorf("chaos: %w", err)
+	}
+
+	phases := buildPhases(p.Spec)
+
+	cfg := stream.DefaultConfig(p.initialRate)
+	if tr.WindowSec > 0 {
+		cfg.WindowSec = tr.WindowSec
+	}
+	if tr.SigmaThreshold > 0 {
+		cfg.SigmaThreshold = tr.SigmaThreshold
+	}
+	if tr.RateAlpha > 0 {
+		cfg.RateAlpha = tr.RateAlpha
+	}
+	cfg.Workers = opts.Workers
+	cfg.Bundle = opts.Bundle
+	cfg.Backend = opts.Backend
+	cfg.Seed = p.Seed
+	cfg.Metrics = opts.Metrics
+	// The scorer must see every alert; the default lossy depth of 16 is a
+	// flight-downlink concern, not a scoring one.
+	cfg.AlertBuffer = 4096
+	cfg.BufferEvents = 1 << 17
+
+	var shed int64
+	if o := p.Spec.Overload; o != nil {
+		gate := o.gate()
+		cfg.Admit = func(ev *detector.Event) bool {
+			if gate(ev.ArrivalTime) {
+				return true
+			}
+			shed++
+			phases.observe(ev.ArrivalTime, phaseShed)
+			return false
+		}
+	}
+
+	var lateDropped int64
+	sources := make([]merge.Source, 0, len(p.gen.lanes)+len(p.gen.backfills))
+	for i, lane := range p.gen.lanes {
+		sources = append(sources, merge.Source{
+			Name:      fmt.Sprintf("lane%d", i),
+			OffsetSec: p.Spec.laneOffset(i),
+			Feed:      merge.NewSlice(lane),
+		})
+	}
+	for i, bf := range p.gen.backfills {
+		sources = append(sources, merge.Source{
+			Name:      fmt.Sprintf("backfill%d", i),
+			OffsetSec: p.Spec.laneOffset(bf.lane),
+			Feed:      merge.NewSlice(bf.events),
+		})
+	}
+	m, err := merge.New(merge.Config{
+		Sources:      sources,
+		BufferEvents: 8192,
+		// StallTimeout 0: wait forever, keeping the fused order a pure
+		// function of source contents — the backfill race is real at the
+		// goroutine level but invisible in the output.
+		OnLateDrop: func(ev *detector.Event) {
+			lateDropped++
+			phases.observe(ev.ArrivalTime, phaseLate)
+		},
+		Metrics: opts.Metrics,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: assemble merge: %w", err)
+	}
+
+	proc := stream.New(cfg)
+	var alerts []stream.Alert
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for a := range proc.Alerts() {
+			alerts = append(alerts, a)
+		}
+	}()
+	mergeErr := m.Run(proc.Ingest)
+	proc.Close()
+	<-drained
+	if mergeErr != nil {
+		return nil, nil, fmt.Errorf("chaos: merge: %w", mergeErr)
+	}
+
+	card := score(p, tr, cfg, alerts, phases, scoreCounters{
+		lateDropped: lateDropped,
+		shed:        shed,
+	})
+	publish(opts.Metrics, card, phases)
+
+	recs := make([]stream.Record, len(alerts))
+	for i := range alerts {
+		recs[i] = alerts[i].Record()
+	}
+	return card, recs, nil
+}
+
+// gate returns the overload admission gate: a token bucket refilled at
+// CapacityHz, advancing on event time only, so its accept/shed sequence is
+// a pure function of the fused event-time sequence.
+func (o *OverloadSpec) gate() func(t float64) bool {
+	burst := float64(o.BurstEvents)
+	if burst <= 0 {
+		burst = 64
+	}
+	tokens := burst
+	last := math.Inf(-1)
+	return func(t float64) bool {
+		if t < o.StartSec || t >= o.EndSec {
+			return true
+		}
+		if math.IsInf(last, -1) {
+			last = t
+		}
+		if t > last {
+			tokens = math.Min(burst, tokens+(t-last)*o.CapacityHz)
+			last = t
+		}
+		if tokens >= 1 {
+			tokens--
+			return true
+		}
+		return false
+	}
+}

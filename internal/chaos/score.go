@@ -1,0 +1,301 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Detection matching window: an alert counts for a burst when its trigger
+// time lands in [onset − MatchEarlySec, onset + MatchLateSec]. The early
+// slack covers the pre-trigger rise, the late slack the light-curve tail —
+// the same convention the threshold campaign uses. Alerts matching no
+// burst are false alerts.
+const (
+	MatchEarlySec = 0.3
+	MatchLateSec  = 1.0
+)
+
+// FalseAlertPenalty is the objective's cost per false alert beyond the
+// budget: Objective = efficiency − FalseAlertPenalty·max(0, FA − budget).
+// A quarter efficiency point per excess alert makes one runaway trigger
+// configuration strictly worse than a slightly deafer one, which is the
+// mission trade the budget encodes.
+const FalseAlertPenalty = 0.25
+
+// Scorecard is the mission review for one scenario run. Every field is a
+// pure function of (spec, seed): event-time quantities only, no wall
+// clock, no worker count — so it reproduces byte-for-byte across runs and
+// parallelism settings. Wall-clock observability lives in the obs registry
+// instead.
+type Scorecard struct {
+	Scenario    string      `json:"scenario"`
+	Seed        uint64      `json:"seed"`
+	DurationSec float64     `json:"duration_sec"`
+	Lanes       int         `json:"lanes"`
+	Trigger     TriggerSpec `json:"trigger"`
+
+	EventsGenerated  int   `json:"events_generated"`
+	DropoutLost      int   `json:"dropout_lost"`
+	BackfillEvents   int   `json:"backfill_events"`
+	MergeLateDropped int64 `json:"merge_late_dropped"`
+	OverloadShed     int64 `json:"overload_shed"`
+
+	BurstsInjected      int     `json:"bursts_injected"`
+	BurstsDetected      int     `json:"bursts_detected"`
+	DetectionEfficiency float64 `json:"detection_efficiency"`
+	Alerts              int     `json:"alerts"`
+	FalseAlerts         int     `json:"false_alerts"`
+	FalseAlertBudget    int     `json:"false_alert_budget"`
+	WithinBudget        bool    `json:"within_budget"`
+	Objective           float64 `json:"objective"`
+
+	Localized   int     `json:"localized"`
+	LocErr68Deg float64 `json:"loc_err68_deg,omitempty"`
+
+	// Alert latency in event time: from burst onset to the end of the
+	// localization window (trigger + burst window), over detected bursts.
+	LatencyP50Sec float64 `json:"latency_p50_sec,omitempty"`
+	LatencyP90Sec float64 `json:"latency_p90_sec,omitempty"`
+	LatencyMaxSec float64 `json:"latency_max_sec,omitempty"`
+
+	Bursts []BurstScore `json:"bursts"`
+	Phases []PhaseScore `json:"phases,omitempty"`
+}
+
+// BurstScore is one injected burst's outcome.
+type BurstScore struct {
+	TimeSec    float64 `json:"time_sec"`
+	Fluence    float64 `json:"fluence"`
+	PolarDeg   float64 `json:"polar_deg"`
+	Events     int     `json:"events"`
+	Detected   bool    `json:"detected"`
+	AlertSeq   int     `json:"alert_seq"` // first matching alert, −1 if none
+	LatencySec float64 `json:"latency_sec,omitempty"`
+	LocOK      bool    `json:"loc_ok,omitempty"`
+	LocErrDeg  float64 `json:"loc_err_deg,omitempty"`
+}
+
+// PhaseScore attributes pipeline stress to one fault phase's time window.
+// The counters are event-time attributions: late drops and shed events by
+// their corrected event time, alerts by trigger time.
+type PhaseScore struct {
+	Name      string  `json:"name"`
+	StartSec  float64 `json:"start_sec"`
+	EndSec    float64 `json:"end_sec"`
+	LateDrops int64   `json:"late_drops"`
+	Shed      int64   `json:"shed"`
+	Alerts    int64   `json:"alerts"`
+}
+
+// Encode renders the scorecard as indented JSON with a trailing newline —
+// the machine-readable form adaptsim emits and chaos-smoke diffs.
+func (c *Scorecard) Encode() []byte {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		panic("chaos: encode scorecard: " + err.Error()) // plain data only
+	}
+	return append(b, '\n')
+}
+
+// phaseKind selects which per-phase counter an observation lands in.
+type phaseKind int
+
+const (
+	phaseLate phaseKind = iota
+	phaseShed
+	phaseAlert
+)
+
+// phaseWindow is one fault phase's attribution bucket. Each counter has a
+// single writer goroutine (late: merge loop, shed: stream consumer,
+// alerts: the scorer after both are done), so plain fields suffice.
+type phaseWindow struct {
+	name               string
+	startSec, endSec   float64
+	late, shed, alerts int64
+}
+
+// phaseSet is the scenario's fault phases, in spec order.
+type phaseSet struct {
+	windows []*phaseWindow
+}
+
+// buildPhases derives one attribution window per configured fault.
+func buildPhases(s *Spec) *phaseSet {
+	ps := &phaseSet{}
+	add := func(name string, start, end float64) {
+		ps.windows = append(ps.windows, &phaseWindow{name: name, startSec: start, endSec: end})
+	}
+	for i, w := range s.Background.SAA {
+		add(fmt.Sprintf("saa%d", i), w.StartSec, w.EndSec)
+	}
+	for i, d := range s.Dropouts {
+		add(fmt.Sprintf("dropout%d", i), d.StartSec, d.EndSec)
+	}
+	for i, d := range s.Drifts {
+		add(fmt.Sprintf("drift%d", i), d.StartSec, s.DurationSec)
+	}
+	if o := s.Overload; o != nil {
+		add("overload", o.StartSec, o.EndSec)
+	}
+	return ps
+}
+
+// observe attributes one event-time observation to every phase whose
+// window contains it.
+func (ps *phaseSet) observe(t float64, k phaseKind) {
+	for _, w := range ps.windows {
+		if t < w.startSec || t >= w.endSec {
+			continue
+		}
+		switch k {
+		case phaseLate:
+			w.late++
+		case phaseShed:
+			w.shed++
+		case phaseAlert:
+			w.alerts++
+		}
+	}
+}
+
+// scoreCounters carries the runner's fault accounting into the scorer.
+type scoreCounters struct {
+	lateDropped int64
+	shed        int64
+}
+
+// score matches alerts against injected bursts and assembles the
+// scorecard.
+func score(p *Prepared, tr TriggerSpec, cfg stream.Config, alerts []stream.Alert, phases *phaseSet, c scoreCounters) *Scorecard {
+	card := &Scorecard{
+		Scenario:         p.Spec.Name,
+		Seed:             p.Seed,
+		DurationSec:      p.Spec.DurationSec,
+		Lanes:            p.Spec.lanes(),
+		Trigger:          tr,
+		EventsGenerated:  p.gen.eventsGenerated,
+		DropoutLost:      p.gen.dropoutLost,
+		BackfillEvents:   p.gen.backfillEvents,
+		MergeLateDropped: c.lateDropped,
+		OverloadShed:     c.shed,
+		BurstsInjected:   len(p.gen.bursts),
+		Alerts:           len(alerts),
+		FalseAlertBudget: p.Spec.FalseAlertBudget,
+	}
+
+	matches := func(trig float64, b BurstTruth) bool {
+		return trig >= b.TimeSec-MatchEarlySec && trig <= b.TimeSec+MatchLateSec
+	}
+	for i := range alerts {
+		a := &alerts[i]
+		phases.observe(a.TriggerTime, phaseAlert)
+		hit := false
+		for _, b := range p.gen.bursts {
+			if matches(a.TriggerTime, b) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			card.FalseAlerts++
+		}
+	}
+
+	var latencies, locErrs []float64
+	for _, b := range p.gen.bursts {
+		bs := BurstScore{
+			TimeSec:  b.TimeSec,
+			Fluence:  b.Fluence,
+			PolarDeg: b.PolarDeg,
+			Events:   b.Events,
+			AlertSeq: -1,
+		}
+		for i := range alerts {
+			a := &alerts[i]
+			if !matches(a.TriggerTime, b) {
+				continue
+			}
+			bs.Detected = true
+			bs.AlertSeq = a.Seq
+			bs.LatencySec = a.TriggerTime + cfg.BurstWindowSec - b.TimeSec
+			latencies = append(latencies, bs.LatencySec)
+			if a.Result.Loc.OK {
+				src := geom.FromSpherical(geom.Rad(b.PolarDeg), geom.Rad(b.AzimuthDeg))
+				bs.LocOK = true
+				bs.LocErrDeg = geom.Deg(geom.AngleBetween(a.Result.Loc.Dir, src))
+				locErrs = append(locErrs, bs.LocErrDeg)
+				card.Localized++
+			}
+			break // first matching alert scores the burst
+		}
+		if bs.Detected {
+			card.BurstsDetected++
+		}
+		card.Bursts = append(card.Bursts, bs)
+	}
+
+	// Efficiency of a burst-free scenario is vacuously 1: such scenarios
+	// exist purely to price false alerts, and the objective must not
+	// reward deafness there.
+	card.DetectionEfficiency = 1
+	if card.BurstsInjected > 0 {
+		card.DetectionEfficiency = float64(card.BurstsDetected) / float64(card.BurstsInjected)
+	}
+	excess := card.FalseAlerts - card.FalseAlertBudget
+	card.WithinBudget = excess <= 0
+	card.Objective = card.DetectionEfficiency - FalseAlertPenalty*math.Max(0, float64(excess))
+
+	if len(latencies) > 0 {
+		card.LatencyP50Sec = stats.Containment(latencies, 0.50)
+		card.LatencyP90Sec = stats.Containment(latencies, 0.90)
+		mx := latencies[0]
+		for _, v := range latencies[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		card.LatencyMaxSec = mx
+	}
+	if len(locErrs) > 0 {
+		card.LocErr68Deg = stats.Containment(locErrs, 0.68)
+	}
+
+	for _, w := range phases.windows {
+		card.Phases = append(card.Phases, PhaseScore{
+			Name:      w.name,
+			StartSec:  w.startSec,
+			EndSec:    w.endSec,
+			LateDrops: w.late,
+			Shed:      w.shed,
+			Alerts:    w.alerts,
+		})
+	}
+	return card
+}
+
+// publish mirrors the scorecard's deterministic accounting into the obs
+// registry, alongside the merge/stream counters the run already emitted.
+func publish(m *obs.Registry, card *Scorecard, phases *phaseSet) {
+	if m == nil {
+		return
+	}
+	m.Counter(CtrGenerated).Add(int64(card.EventsGenerated))
+	m.Counter(CtrDropoutLost).Add(int64(card.DropoutLost))
+	m.Counter(CtrBackfill).Add(int64(card.BackfillEvents))
+	m.Counter(CtrLateDropped).Add(card.MergeLateDropped)
+	m.Counter(CtrShed).Add(card.OverloadShed)
+	m.Counter(CtrDetected).Add(int64(card.BurstsDetected))
+	m.Counter(CtrFalseAlerts).Add(int64(card.FalseAlerts))
+	for _, w := range phases.windows {
+		m.Counter(PhaseMetric(w.name, "late_drops")).Add(w.late)
+		m.Counter(PhaseMetric(w.name, "shed")).Add(w.shed)
+		m.Counter(PhaseMetric(w.name, "alerts")).Add(w.alerts)
+	}
+}

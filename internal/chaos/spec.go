@@ -1,0 +1,429 @@
+// Package chaos composes flight-like stress campaigns against the on-board
+// stack and scores them like a mission review.
+//
+// The existing smoke tests replay clean single-burst exposures; a real
+// orbit is messier: bursts overlap, the background breathes with the
+// orbital phase and spikes in SAA-like passages, detector panels drop out
+// and rejoin, clocks drift past the static skew correction, journals are
+// backfilled while live data keeps flowing, and the serve layer saturates.
+// This package turns each of those into a composable scenario primitive,
+// drives the real internal/merge → internal/stream pipeline with the
+// composed stress, and reports detection efficiency at a fixed false-alert
+// budget, event-time alert latency percentiles, and per-fault-phase
+// drop/late accounting.
+//
+// Determinism is the whole point: a scenario run is a pure function of
+// (spec, seed) — every random draw comes from fixed substreams of the
+// deterministic seeded RNG, the merge's fused order is a pure function of
+// source contents, the overload gate advances on event time only, and the
+// localization pipeline is bitwise-identical at any worker count. Two runs
+// of the same (spec, seed) therefore produce byte-identical scorecards and
+// alert records at any parallelism — which is what lets trigger-threshold
+// tuning (internal/tune) treat the scorer as a deterministic objective.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/campaign"
+)
+
+// Limits on spec contents, enforced by Validate. They bound what a parsed
+// scenario can ask the generator for (the parser accepts untrusted JSON).
+const (
+	MaxDurationSec = 600
+	MaxLanes       = 16
+	MaxBursts      = 64
+	MaxFaults      = 16
+	MaxRateHz      = 1e6
+)
+
+// Spec is one chaos scenario: a deterministic description of an exposure —
+// what arrives, through which detector lanes, and which faults strike when.
+// The zero value is not runnable; build specs in Go or parse them from
+// JSON with ParseSpec, then Validate.
+type Spec struct {
+	// Name labels the scenario in scorecards and metrics.
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description,omitempty"`
+	// DurationSec is the exposure length in seconds (0 < d ≤ MaxDurationSec).
+	DurationSec float64 `json:"duration_sec"`
+	// Lanes is the number of detector segments feeding the merge
+	// (default 1, ≤ MaxLanes). Generated events are dealt across lanes by a
+	// seeded RNG, so every lane sees a statistically equivalent stream.
+	Lanes int `json:"lanes,omitempty"`
+	// LaneOffsets gives each lane a static clock offset in seconds: lane
+	// raw times are true times plus the offset, and the merge is configured
+	// with the same offset, so the correction is exact. Empty means all
+	// zero; otherwise it must have exactly Lanes entries.
+	LaneOffsets []float64 `json:"lane_offsets,omitempty"`
+
+	// Background shapes the time-varying background environment.
+	Background BackgroundSpec `json:"background"`
+	// Bursts are the explicitly placed bursts.
+	Bursts []BurstSpec `json:"bursts,omitempty"`
+	// RandomBursts, when non-nil, adds population-sampled bursts on top of
+	// the explicit ones.
+	RandomBursts *RandomBurstSpec `json:"random_bursts,omitempty"`
+
+	// Dropouts are detector-lane outage windows.
+	Dropouts []DropoutSpec `json:"dropouts,omitempty"`
+	// Drifts are per-lane clock faults beyond the static offset correction.
+	Drifts []DriftSpec `json:"drifts,omitempty"`
+	// Overload, when non-nil, models sustained serve-layer saturation as a
+	// deterministic event-time admission gate in front of the trigger.
+	Overload *OverloadSpec `json:"overload,omitempty"`
+
+	// Trigger overrides the stream trigger's flight defaults; zero fields
+	// keep the defaults. The tuner searches over these three fields.
+	Trigger TriggerSpec `json:"trigger,omitempty"`
+	// FalseAlertBudget is the number of false alerts the mission review
+	// tolerates for this scenario; the scorecard objective penalizes any
+	// excess.
+	FalseAlertBudget int `json:"false_alert_budget"`
+}
+
+// BackgroundSpec describes the time-varying background rate: a base rate
+// modulated sinusoidally (orbital phase) and multiplied inside SAA-like
+// passage windows. The instantaneous thrown-particle rate is
+//
+//	rate(t) = RateHz · (1 + ModFraction·sin(2πt/ModPeriodSec + ModPhaseRad)) · saa(t)
+//
+// realized by deterministic thinning of an envelope-rate Poisson stream.
+type BackgroundSpec struct {
+	// RateHz is the base thrown-particle rate (0 = the calibrated default
+	// model rate, background.DefaultModel().RatePerSecond).
+	RateHz float64 `json:"rate_hz,omitempty"`
+	// ModFraction is the sinusoidal modulation amplitude in [0, 1).
+	ModFraction float64 `json:"mod_fraction,omitempty"`
+	// ModPeriodSec is the modulation period (required when ModFraction > 0).
+	ModPeriodSec float64 `json:"mod_period_sec,omitempty"`
+	// ModPhaseRad is the modulation phase at t = 0.
+	ModPhaseRad float64 `json:"mod_phase_rad,omitempty"`
+	// SAA lists rate-multiplier passage windows.
+	SAA []SAASpec `json:"saa,omitempty"`
+}
+
+// SAASpec is one SAA-like passage: the background rate is multiplied by
+// RateFactor while t ∈ [StartSec, EndSec).
+type SAASpec struct {
+	StartSec   float64 `json:"start_sec"`
+	EndSec     float64 `json:"end_sec"`
+	RateFactor float64 `json:"rate_factor"`
+}
+
+// BurstSpec places one burst: onset time plus the simulator's burst
+// parameters (fluence in MeV/cm², source angles in degrees).
+type BurstSpec struct {
+	TimeSec    float64 `json:"time_sec"`
+	Fluence    float64 `json:"fluence"`
+	PolarDeg   float64 `json:"polar_deg"`
+	AzimuthDeg float64 `json:"azimuth_deg,omitempty"`
+}
+
+// RandomBurstSpec adds Count bursts sampled from the standard log N–log S
+// population (campaign.Population), with onsets uniform in
+// [StartSec, EndSec).
+type RandomBurstSpec struct {
+	Count       int     `json:"count"`
+	FluenceMin  float64 `json:"fluence_min"`
+	FluenceMax  float64 `json:"fluence_max"`
+	Slope       float64 `json:"slope"`
+	MaxPolarDeg float64 `json:"max_polar_deg"`
+	StartSec    float64 `json:"start_sec"`
+	EndSec      float64 `json:"end_sec"`
+}
+
+// population converts the spec to the campaign sampling distribution.
+func (r *RandomBurstSpec) population() campaign.Population {
+	return campaign.Population{
+		FluenceMin:  r.FluenceMin,
+		FluenceMax:  r.FluenceMax,
+		Slope:       r.Slope,
+		MaxPolarDeg: r.MaxPolarDeg,
+	}
+}
+
+// DropoutSpec silences one lane for a window: events the lane would have
+// delivered in [StartSec, EndSec) (true time) are lost. With Backfill set,
+// the lost events are instead recovered from the lane's journal by a
+// separate merge source that races the live feeds — the watermarked merge
+// must weave them back in without reordering or losing anything.
+type DropoutSpec struct {
+	Lane     int     `json:"lane"`
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+	Backfill bool    `json:"backfill,omitempty"`
+}
+
+// DriftSpec corrupts one lane's clock beyond the static offset correction,
+// starting at StartSec (true time): a one-time step of StepSec followed by
+// a linear drift of DriftPerSec seconds per second. A negative step makes
+// the lane locally non-monotonic, which the merge surfaces as late drops
+// rather than reordering.
+type DriftSpec struct {
+	Lane        int     `json:"lane"`
+	StartSec    float64 `json:"start_sec"`
+	StepSec     float64 `json:"step_sec,omitempty"`
+	DriftPerSec float64 `json:"drift_per_sec,omitempty"`
+}
+
+// warp maps a true event time to the lane's faulty clock.
+func (d DriftSpec) warp(t float64) float64 {
+	if t < d.StartSec {
+		return t
+	}
+	return t + d.StepSec + d.DriftPerSec*(t-d.StartSec)
+}
+
+// OverloadSpec models sustained serve-layer overload: while
+// t ∈ [StartSec, EndSec), admission to the trigger is capped at CapacityHz
+// events/second with BurstEvents of instantaneous headroom (a token bucket
+// advancing on event time — deterministic for a given fused stream).
+// Events beyond capacity are shed and counted, exactly like the serve
+// layer's bounded admission rejecting with 429 under load.
+type OverloadSpec struct {
+	StartSec    float64 `json:"start_sec"`
+	EndSec      float64 `json:"end_sec"`
+	CapacityHz  float64 `json:"capacity_hz"`
+	BurstEvents int     `json:"burst_events,omitempty"`
+}
+
+// TriggerSpec overrides the stream trigger's flight defaults. Zero fields
+// keep the defaults (0.1 s window, 8σ, rate EWMA α 0.05). These are the
+// three knobs trigger-threshold tuning searches over.
+type TriggerSpec struct {
+	WindowSec      float64 `json:"window_sec,omitempty"`
+	SigmaThreshold float64 `json:"sigma_threshold,omitempty"`
+	RateAlpha      float64 `json:"rate_alpha,omitempty"`
+}
+
+// ParseSpec decodes and validates a JSON scenario spec. Unknown fields are
+// rejected, so a typoed fault never silently becomes a clean run.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("chaos: parse spec: %w", err)
+	}
+	// Trailing garbage after the spec object is a malformed file, not data
+	// for a future parser.
+	if dec.More() {
+		return nil, fmt.Errorf("chaos: parse spec: trailing data after spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Encode renders the spec as indented JSON (the inverse of ParseSpec).
+func (s *Spec) Encode() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic("chaos: encode spec: " + err.Error()) // specs hold only plain data
+	}
+	return append(b, '\n')
+}
+
+// finite reports whether v is a usable finite number.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate checks the spec against the package limits and internal
+// consistency. A valid spec is safe to hand to the generator: every window
+// is well-formed, every lane index exists, and every rate and count is
+// bounded.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("chaos: spec needs a name")
+	}
+	if !finite(s.DurationSec) || s.DurationSec <= 0 || s.DurationSec > MaxDurationSec {
+		return fmt.Errorf("chaos: duration_sec must be in (0, %d], got %g", MaxDurationSec, s.DurationSec)
+	}
+	lanes := s.Lanes
+	if lanes == 0 {
+		lanes = 1
+	}
+	if lanes < 1 || lanes > MaxLanes {
+		return fmt.Errorf("chaos: lanes must be in [1, %d], got %d", MaxLanes, s.Lanes)
+	}
+	if len(s.LaneOffsets) != 0 && len(s.LaneOffsets) != lanes {
+		return fmt.Errorf("chaos: lane_offsets has %d entries for %d lanes", len(s.LaneOffsets), lanes)
+	}
+	for i, off := range s.LaneOffsets {
+		if !finite(off) || math.Abs(off) > 60 {
+			return fmt.Errorf("chaos: lane_offsets[%d] = %g out of range [-60, 60]", i, off)
+		}
+	}
+	if err := s.Background.validate(); err != nil {
+		return err
+	}
+	if len(s.Bursts) > MaxBursts {
+		return fmt.Errorf("chaos: %d bursts exceeds the limit of %d", len(s.Bursts), MaxBursts)
+	}
+	for i, b := range s.Bursts {
+		switch {
+		case !finite(b.TimeSec) || b.TimeSec < 0 || b.TimeSec >= s.DurationSec:
+			return fmt.Errorf("chaos: bursts[%d].time_sec = %g outside [0, %g)", i, b.TimeSec, s.DurationSec)
+		case !finite(b.Fluence) || b.Fluence <= 0 || b.Fluence > 1000:
+			return fmt.Errorf("chaos: bursts[%d].fluence = %g out of (0, 1000]", i, b.Fluence)
+		case !finite(b.PolarDeg) || b.PolarDeg < 0 || b.PolarDeg > 90:
+			return fmt.Errorf("chaos: bursts[%d].polar_deg = %g out of [0, 90]", i, b.PolarDeg)
+		case !finite(b.AzimuthDeg) || math.Abs(b.AzimuthDeg) > 360:
+			return fmt.Errorf("chaos: bursts[%d].azimuth_deg = %g out of [-360, 360]", i, b.AzimuthDeg)
+		}
+	}
+	if r := s.RandomBursts; r != nil {
+		if r.Count < 1 || r.Count > MaxBursts {
+			return fmt.Errorf("chaos: random_bursts.count must be in [1, %d], got %d", MaxBursts, r.Count)
+		}
+		if len(s.Bursts)+r.Count > MaxBursts {
+			return fmt.Errorf("chaos: %d explicit + %d random bursts exceeds the limit of %d",
+				len(s.Bursts), r.Count, MaxBursts)
+		}
+		if err := r.population().Validate(); err != nil {
+			return fmt.Errorf("chaos: random_bursts: %w", err)
+		}
+		if !finite(r.StartSec) || !finite(r.EndSec) || r.StartSec < 0 || r.EndSec <= r.StartSec || r.EndSec > s.DurationSec {
+			return fmt.Errorf("chaos: random_bursts window [%g, %g) invalid for duration %g",
+				r.StartSec, r.EndSec, s.DurationSec)
+		}
+	}
+	if len(s.Dropouts) > MaxFaults {
+		return fmt.Errorf("chaos: %d dropouts exceeds the limit of %d", len(s.Dropouts), MaxFaults)
+	}
+	for i, d := range s.Dropouts {
+		if d.Lane < 0 || d.Lane >= lanes {
+			return fmt.Errorf("chaos: dropouts[%d].lane = %d with %d lanes", i, d.Lane, lanes)
+		}
+		if !finite(d.StartSec) || !finite(d.EndSec) || d.StartSec < 0 || d.EndSec <= d.StartSec {
+			return fmt.Errorf("chaos: dropouts[%d] window [%g, %g) invalid", i, d.StartSec, d.EndSec)
+		}
+	}
+	if len(s.Drifts) > MaxFaults {
+		return fmt.Errorf("chaos: %d drifts exceeds the limit of %d", len(s.Drifts), MaxFaults)
+	}
+	for i, d := range s.Drifts {
+		if d.Lane < 0 || d.Lane >= lanes {
+			return fmt.Errorf("chaos: drifts[%d].lane = %d with %d lanes", i, d.Lane, lanes)
+		}
+		if !finite(d.StartSec) || d.StartSec < 0 {
+			return fmt.Errorf("chaos: drifts[%d].start_sec = %g invalid", i, d.StartSec)
+		}
+		if !finite(d.StepSec) || math.Abs(d.StepSec) > 10 {
+			return fmt.Errorf("chaos: drifts[%d].step_sec = %g out of [-10, 10]", i, d.StepSec)
+		}
+		// DriftPerSec > -1 keeps the warp monotone; steps are the sanctioned
+		// way to make a lane non-monotonic.
+		if !finite(d.DriftPerSec) || d.DriftPerSec <= -0.5 || d.DriftPerSec > 0.5 {
+			return fmt.Errorf("chaos: drifts[%d].drift_per_sec = %g out of (-0.5, 0.5]", i, d.DriftPerSec)
+		}
+	}
+	if o := s.Overload; o != nil {
+		if !finite(o.StartSec) || !finite(o.EndSec) || o.StartSec < 0 || o.EndSec <= o.StartSec {
+			return fmt.Errorf("chaos: overload window [%g, %g) invalid", o.StartSec, o.EndSec)
+		}
+		if !finite(o.CapacityHz) || o.CapacityHz <= 0 || o.CapacityHz > MaxRateHz {
+			return fmt.Errorf("chaos: overload.capacity_hz = %g out of (0, %g]", o.CapacityHz, float64(MaxRateHz))
+		}
+		if o.BurstEvents < 0 || o.BurstEvents > 1<<20 {
+			return fmt.Errorf("chaos: overload.burst_events = %d out of [0, 2^20]", o.BurstEvents)
+		}
+	}
+	if err := s.Trigger.validate(); err != nil {
+		return err
+	}
+	if s.FalseAlertBudget < 0 || s.FalseAlertBudget > 1<<20 {
+		return fmt.Errorf("chaos: false_alert_budget = %d out of [0, 2^20]", s.FalseAlertBudget)
+	}
+	return nil
+}
+
+func (b *BackgroundSpec) validate() error {
+	if !finite(b.RateHz) || b.RateHz < 0 || b.RateHz > MaxRateHz {
+		return fmt.Errorf("chaos: background.rate_hz = %g out of [0, %g]", b.RateHz, float64(MaxRateHz))
+	}
+	if !finite(b.ModFraction) || b.ModFraction < 0 || b.ModFraction >= 1 {
+		return fmt.Errorf("chaos: background.mod_fraction = %g out of [0, 1)", b.ModFraction)
+	}
+	if b.ModFraction > 0 && (!finite(b.ModPeriodSec) || b.ModPeriodSec <= 0) {
+		return fmt.Errorf("chaos: background.mod_period_sec = %g must be positive with modulation on", b.ModPeriodSec)
+	}
+	if !finite(b.ModPhaseRad) || math.Abs(b.ModPhaseRad) > 2*math.Pi {
+		return fmt.Errorf("chaos: background.mod_phase_rad = %g out of [-2π, 2π]", b.ModPhaseRad)
+	}
+	if len(b.SAA) > MaxFaults {
+		return fmt.Errorf("chaos: %d saa windows exceeds the limit of %d", len(b.SAA), MaxFaults)
+	}
+	for i, w := range b.SAA {
+		if !finite(w.StartSec) || !finite(w.EndSec) || w.StartSec < 0 || w.EndSec <= w.StartSec {
+			return fmt.Errorf("chaos: saa[%d] window [%g, %g) invalid", i, w.StartSec, w.EndSec)
+		}
+		if !finite(w.RateFactor) || w.RateFactor < 0 || w.RateFactor > 100 {
+			return fmt.Errorf("chaos: saa[%d].rate_factor = %g out of [0, 100]", i, w.RateFactor)
+		}
+	}
+	return nil
+}
+
+func (t TriggerSpec) validate() error {
+	if !finite(t.WindowSec) || t.WindowSec < 0 || t.WindowSec > 10 {
+		return fmt.Errorf("chaos: trigger.window_sec = %g out of [0, 10]", t.WindowSec)
+	}
+	if !finite(t.SigmaThreshold) || t.SigmaThreshold < 0 || t.SigmaThreshold > 100 {
+		return fmt.Errorf("chaos: trigger.sigma_threshold = %g out of [0, 100]", t.SigmaThreshold)
+	}
+	if !finite(t.RateAlpha) || t.RateAlpha < 0 || t.RateAlpha > 1 {
+		return fmt.Errorf("chaos: trigger.rate_alpha = %g out of [0, 1]", t.RateAlpha)
+	}
+	return nil
+}
+
+// lanes returns the effective lane count (the zero value means one).
+func (s *Spec) lanes() int {
+	if s.Lanes == 0 {
+		return 1
+	}
+	return s.Lanes
+}
+
+// laneOffset returns lane i's static clock offset.
+func (s *Spec) laneOffset(i int) float64 {
+	if len(s.LaneOffsets) == 0 {
+		return 0
+	}
+	return s.LaneOffsets[i]
+}
+
+// rateFactor evaluates the background modulation factor at true time t,
+// relative to the base rate.
+func (b *BackgroundSpec) rateFactor(t float64) float64 {
+	f := 1.0
+	if b.ModFraction > 0 {
+		f *= 1 + b.ModFraction*math.Sin(2*math.Pi*t/b.ModPeriodSec+b.ModPhaseRad)
+	}
+	for _, w := range b.SAA {
+		if t >= w.StartSec && t < w.EndSec {
+			f *= w.RateFactor
+		}
+	}
+	return f
+}
+
+// envelope returns an upper bound on rateFactor over the whole exposure,
+// used as the thinning envelope.
+func (b *BackgroundSpec) envelope() float64 {
+	f := 1 + b.ModFraction
+	saa := 1.0
+	for _, w := range b.SAA {
+		if w.RateFactor > saa {
+			saa = w.RateFactor
+		}
+	}
+	return f * saa
+}

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const validSpecJSON = `{
+  "name": "from-json",
+  "duration_sec": 4,
+  "lanes": 2,
+  "lane_offsets": [0, 0.1],
+  "background": {
+    "rate_hz": 5000,
+    "mod_fraction": 0.2,
+    "mod_period_sec": 3,
+    "saa": [{"start_sec": 1, "end_sec": 2, "rate_factor": 2.5}]
+  },
+  "bursts": [{"time_sec": 1.5, "fluence": 3, "polar_deg": 30, "azimuth_deg": 45}],
+  "random_bursts": {
+    "count": 2, "fluence_min": 0.5, "fluence_max": 4, "slope": 1.5,
+    "max_polar_deg": 60, "start_sec": 0.5, "end_sec": 3.5
+  },
+  "dropouts": [{"lane": 1, "start_sec": 1, "end_sec": 2, "backfill": true}],
+  "drifts": [{"lane": 0, "start_sec": 2, "step_sec": -0.02, "drift_per_sec": 0.01}],
+  "overload": {"start_sec": 2.5, "end_sec": 3.5, "capacity_hz": 2000, "burst_events": 32},
+  "trigger": {"window_sec": 0.2, "sigma_threshold": 6, "rate_alpha": 0.1},
+  "false_alert_budget": 2
+}`
+
+func TestParseSpecValid(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "from-json" || s.Lanes != 2 || len(s.Bursts) != 1 || s.RandomBursts.Count != 2 {
+		t.Errorf("parsed spec mangled: %+v", s)
+	}
+	if s.Overload == nil || s.Overload.CapacityHz != 2000 {
+		t.Errorf("overload not parsed: %+v", s.Overload)
+	}
+	// Round trip: encode and re-parse must reproduce the spec exactly.
+	rt, err := ParseSpec(s.Encode())
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if !reflect.DeepEqual(s, rt) {
+		t.Errorf("round trip changed the spec:\n%+v\nvs\n%+v", s, rt)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"unknown field", `{"name":"x","duration_sec":1,"background":{},"typo_field":1}`, "typo_field"},
+		{"trailing garbage", `{"name":"x","duration_sec":1,"background":{}} {"more":1}`, "trailing"},
+		{"not json", `not json at all`, "parse"},
+		{"missing name", `{"duration_sec":1,"background":{}}`, "name"},
+		{"zero duration", `{"name":"x","duration_sec":0,"background":{}}`, "duration"},
+		{"huge duration", `{"name":"x","duration_sec":1e9,"background":{}}`, "duration"},
+		{"nan-ish rate", `{"name":"x","duration_sec":1,"background":{"rate_hz":1e300}}`, "rate_hz"},
+		{"too many lanes", `{"name":"x","duration_sec":1,"lanes":99,"background":{}}`, "lanes"},
+		{"offset count", `{"name":"x","duration_sec":1,"lanes":2,"lane_offsets":[1],"background":{}}`, "lane_offsets"},
+		{"burst out of window", `{"name":"x","duration_sec":1,"background":{},"bursts":[{"time_sec":5,"fluence":1,"polar_deg":0}]}`, "time_sec"},
+		{"bad fluence", `{"name":"x","duration_sec":1,"background":{},"bursts":[{"time_sec":0.5,"fluence":-1,"polar_deg":0}]}`, "fluence"},
+		{"bad dropout lane", `{"name":"x","duration_sec":1,"background":{},"dropouts":[{"lane":3,"start_sec":0,"end_sec":1}]}`, "lane"},
+		{"inverted dropout", `{"name":"x","duration_sec":1,"background":{},"dropouts":[{"lane":0,"start_sec":1,"end_sec":0.5}]}`, "window"},
+		{"wild drift", `{"name":"x","duration_sec":1,"background":{},"drifts":[{"lane":0,"start_sec":0,"drift_per_sec":0.9}]}`, "drift_per_sec"},
+		{"bad overload", `{"name":"x","duration_sec":1,"background":{},"overload":{"start_sec":0,"end_sec":1,"capacity_hz":0}}`, "capacity_hz"},
+		{"bad population", `{"name":"x","duration_sec":1,"background":{},"random_bursts":{"count":1,"fluence_min":2,"fluence_max":1,"slope":1,"max_polar_deg":60,"start_sec":0,"end_sec":1}}`, "Fluence"},
+		{"bad mod", `{"name":"x","duration_sec":1,"background":{"mod_fraction":0.5}}`, "mod_period"},
+		{"bad saa", `{"name":"x","duration_sec":1,"background":{"saa":[{"start_sec":0,"end_sec":1,"rate_factor":-1}]}}`, "rate_factor"},
+		{"bad trigger", `{"name":"x","duration_sec":1,"background":{},"trigger":{"sigma_threshold":1000}}`, "sigma_threshold"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec([]byte(tc.json))
+		if err == nil {
+			t.Errorf("%s: accepted %s", tc.name, tc.json)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestRateFactorAndEnvelope(t *testing.T) {
+	b := BackgroundSpec{
+		RateHz:       1000,
+		ModFraction:  0.5,
+		ModPeriodSec: 4,
+		SAA:          []SAASpec{{StartSec: 10, EndSec: 12, RateFactor: 3}},
+	}
+	env := b.envelope()
+	want := 1.5 * 3.0
+	if env != want {
+		t.Errorf("envelope = %g, want %g", env, want)
+	}
+	// The factor must never exceed the envelope (thinning correctness).
+	for ts := 0.0; ts < 16; ts += 0.05 {
+		if f := b.rateFactor(ts); f > env || f < 0 {
+			t.Fatalf("rateFactor(%g) = %g outside [0, %g]", ts, f, env)
+		}
+	}
+	// Peak of the sinusoid at t = 1 (period 4): factor 1.5 outside the SAA.
+	if f := b.rateFactor(1); f < 1.49 || f > 1.5 {
+		t.Errorf("rateFactor at sinusoid peak = %g, want ≈1.5", f)
+	}
+	// Inside the SAA the passage multiplier applies on top: at t = 10 the
+	// sinusoid is at a zero crossing (sin(5π) = 0), so the factor is
+	// exactly the SAA multiplier.
+	if f := b.rateFactor(10); math.Abs(f-3) > 1e-9 {
+		t.Errorf("rateFactor inside SAA at modulation zero = %g, want 3", f)
+	}
+}
+
+func TestDriftWarp(t *testing.T) {
+	d := DriftSpec{Lane: 0, StartSec: 2, StepSec: -0.05, DriftPerSec: 0.01}
+	if got := d.warp(1.5); got != 1.5 {
+		t.Errorf("warp before start = %g, want identity", got)
+	}
+	if got := d.warp(2); got != 1.95 {
+		t.Errorf("warp at start = %g, want 1.95 (step applied)", got)
+	}
+	if got := d.warp(3); got != 3-0.05+0.01 {
+		t.Errorf("warp at start+1 = %g, want %g", got, 3-0.05+0.01)
+	}
+}

@@ -1,0 +1,31 @@
+package chaos
+
+import "repro/internal/tune"
+
+// Objective adapts a prepared scenario to the trigger tuner: each candidate
+// is evaluated by a full deterministic pipeline run over the prepared
+// exposure, scored by the scorecard objective (detection efficiency minus
+// the over-budget false-alert penalty). Because generation happens once at
+// Prepare and the run is a pure function of the candidate, the returned
+// objective is deterministic — random search over it reproduces exactly for
+// a fixed search seed.
+func (p *Prepared) Objective(opts Options) tune.TriggerObjective {
+	return func(c tune.TriggerCandidate) (float64, error) {
+		tr := TriggerSpec{
+			WindowSec:      c.WindowSec,
+			SigmaThreshold: c.SigmaThreshold,
+			RateAlpha:      c.RateAlpha,
+		}
+		// The search's baseline (zero) candidate means "whatever the spec
+		// configured", matching how adaptsim falls back when the baseline
+		// wins.
+		if tr == (TriggerSpec{}) {
+			tr = p.Spec.Trigger
+		}
+		card, _, err := p.RunTrigger(tr, opts)
+		if err != nil {
+			return 0, err
+		}
+		return card.Objective, nil
+	}
+}

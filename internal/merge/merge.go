@@ -109,6 +109,12 @@ type Config struct {
 	// SkewAlpha is the EWMA weight of the per-source clock-skew estimator
 	// (default 0.05).
 	SkewAlpha float64
+	// OnLateDrop, when non-nil, observes every event dropped behind the
+	// watermark, with its corrected time, before it is discarded. It is
+	// called synchronously from the merge loop, so it must be cheap and
+	// needs no locking against other OnLateDrop calls. The chaos campaign
+	// uses it to attribute late drops to fault phases.
+	OnLateDrop func(*detector.Event)
 	// Metrics receives the counters/gauges above (nil = off).
 	Metrics *obs.Registry
 }
@@ -428,6 +434,9 @@ func (m *Merger) Run(emit func(*detector.Event)) error {
 			best.ctrLate.Inc()
 			m.ctrLateAll.Inc()
 			m.lateDropped++
+			if m.cfg.OnLateDrop != nil {
+				m.cfg.OnLateDrop(best.head)
+			}
 			best.head = nil
 			continue
 		}

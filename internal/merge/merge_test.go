@@ -532,3 +532,42 @@ func BenchmarkMergeKWay(b *testing.B) {
 		})
 	}
 }
+
+func TestOnLateDropObservesDroppedEvents(t *testing.T) {
+	// Source 1 violates its own time order with a backward clock step: the
+	// out-of-order events fall behind the watermark and must be surfaced
+	// through the OnLateDrop hook before being discarded.
+	a := []*detector.Event{
+		{ArrivalTime: 0.10}, {ArrivalTime: 0.20}, {ArrivalTime: 0.30}, {ArrivalTime: 0.40},
+	}
+	b := []*detector.Event{
+		{ArrivalTime: 0.15}, {ArrivalTime: 0.35}, {ArrivalTime: 0.21}, {ArrivalTime: 0.22}, {ArrivalTime: 0.45},
+	}
+	var lateTimes []float64
+	cfg := Config{
+		Sources: []Source{
+			{Name: "a", Feed: NewSlice(a)},
+			{Name: "b", Feed: NewSlice(b)},
+		},
+		OnLateDrop: func(ev *detector.Event) { lateTimes = append(lateTimes, ev.ArrivalTime) },
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fused []float64
+	if err := m.Run(func(ev *detector.Event) { fused = append(fused, ev.ArrivalTime) }); err != nil {
+		t.Fatal(err)
+	}
+	if m.LateDropped() != int64(len(lateTimes)) {
+		t.Fatalf("hook saw %d drops, merger counted %d", len(lateTimes), m.LateDropped())
+	}
+	if len(lateTimes) != 2 || lateTimes[0] != 0.21 || lateTimes[1] != 0.22 {
+		t.Fatalf("late-dropped times = %v, want [0.21 0.22]", lateTimes)
+	}
+	for i := 1; i < len(fused); i++ {
+		if fused[i] < fused[i-1] {
+			t.Fatalf("fused output out of order at %d: %v", i, fused)
+		}
+	}
+}

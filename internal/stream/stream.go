@@ -46,6 +46,7 @@ import (
 const (
 	CtrIngested      = "stream_events_ingested"
 	CtrDropped       = "stream_events_dropped"
+	CtrShed          = "stream_events_shed"
 	CtrTriggers      = "stream_triggers"
 	CtrAlerts        = "stream_alerts_emitted"
 	CtrAlertsDropped = "stream_alerts_dropped"
@@ -109,6 +110,18 @@ type Config struct {
 	// AlertBuffer is the alert-channel capacity (default 16). Alerts are
 	// dropped (and counted) when the consumer lags this far behind.
 	AlertBuffer int
+
+	// Admit, when non-nil, gates every submitted event before any trigger
+	// state advances: an event it rejects is shed (counted under CtrShed)
+	// without being journaled, buffered, or seen by the rate estimator. It
+	// runs on the single consumer goroutine, so it may keep internal state;
+	// determinism is the gate's contract — a gate that is a pure function
+	// of the admitted event-time sequence (the chaos campaign's overload
+	// model is one) keeps the alert sequence a pure function of the input.
+	// Because shed events are never journaled, replaying a journal recorded
+	// through a gate reproduces the gated run's alerts bitwise with no gate
+	// configured.
+	Admit func(*detector.Event) bool
 
 	// BkgOverride, when non-nil, replaces the pipeline's background
 	// classifier for every fired window — the hook adaptserve uses to route
@@ -433,6 +446,10 @@ func (p *Processor) consume() {
 // step advances every piece of trigger state past one admitted event.
 func (p *Processor) step(ev *detector.Event) {
 	m := p.cfg.Metrics
+	if p.cfg.Admit != nil && !p.cfg.Admit(ev) {
+		m.Counter(CtrShed).Inc()
+		return
+	}
 	m.Counter(CtrIngested).Inc()
 
 	if p.cfg.Journal != nil {

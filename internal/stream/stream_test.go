@@ -447,3 +447,35 @@ func TestSkyMapAlertsReplayBitwise(t *testing.T) {
 		}
 	}
 }
+
+func TestAdmitGateShedsDeterministically(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.Metrics = obs.NewRegistry()
+	// Shed everything in [1, 2): the 10× excess at t=1.5 must not trigger.
+	cfg.Admit = func(ev *detector.Event) bool {
+		return ev.ArrivalTime < 1 || ev.ArrivalTime >= 2
+	}
+	events := steadyTicks(0, 3, 1000)
+	events = append(events, steadyTicks(1.5, 1.6, 10000)...)
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].ArrivalTime < events[j].ArrivalTime
+	})
+	alerts := feedAndDrain(cfg, events)
+	if len(alerts) != 0 {
+		t.Fatalf("gated burst still produced %d alerts", len(alerts))
+	}
+	shed := cfg.Metrics.Counter(CtrShed).Load()
+	ingested := cfg.Metrics.Counter(CtrIngested).Load()
+	wantShed := int64(0)
+	for _, ev := range events {
+		if ev.ArrivalTime >= 1 && ev.ArrivalTime < 2 {
+			wantShed++
+		}
+	}
+	if shed != wantShed {
+		t.Errorf("shed counter = %d, want %d", shed, wantShed)
+	}
+	if ingested != int64(len(events))-wantShed {
+		t.Errorf("ingested counter = %d, want %d", ingested, int64(len(events))-wantShed)
+	}
+}

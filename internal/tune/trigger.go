@@ -1,0 +1,123 @@
+package tune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Trigger-threshold search. The streaming trigger has three flight knobs —
+// sliding-window width, Poisson significance threshold, and the rate
+// estimator's EWMA weight — and the chaos campaign scores any setting of
+// them with a single deterministic number (detection efficiency at a fixed
+// false-alert budget). This file runs the same random-search strategy as
+// the architecture sweep above over those three knobs, against any such
+// objective.
+
+// TriggerCandidate is one trigger configuration under evaluation. The zero
+// value means "the flight defaults" (the stream package fills them in).
+type TriggerCandidate struct {
+	WindowSec      float64
+	SigmaThreshold float64
+	RateAlpha      float64
+}
+
+// String implements fmt.Stringer.
+func (c TriggerCandidate) String() string {
+	if c == (TriggerCandidate{}) {
+		return "flight defaults"
+	}
+	return fmt.Sprintf("window=%.3gs sigma=%.3g alpha=%.3g", c.WindowSec, c.SigmaThreshold, c.RateAlpha)
+}
+
+// TriggerSpace bounds the trigger random search. Window and alpha are
+// sampled log-uniformly (their useful ranges span decades), sigma
+// uniformly.
+type TriggerSpace struct {
+	WindowLog10Min, WindowLog10Max float64
+	SigmaMin, SigmaMax             float64
+	AlphaLog10Min, AlphaLog10Max   float64
+}
+
+// DefaultTriggerSpace brackets the flight defaults (0.1 s, 8σ, α 0.05) by
+// roughly an order of magnitude in each direction that still makes
+// physical sense for second-scale bursts.
+func DefaultTriggerSpace() TriggerSpace {
+	return TriggerSpace{
+		WindowLog10Min: -2, // 10 ms
+		WindowLog10Max: 0,  // 1 s
+		SigmaMin:       4,
+		SigmaMax:       16,
+		AlphaLog10Min:  -2.3, // ~0.005
+		AlphaLog10Max:  -0.6, // ~0.25
+	}
+}
+
+// Sample draws a random candidate from the space.
+func (s TriggerSpace) Sample(rng *xrand.RNG) TriggerCandidate {
+	return TriggerCandidate{
+		WindowSec:      math.Pow(10, rng.Uniform(s.WindowLog10Min, s.WindowLog10Max)),
+		SigmaThreshold: rng.Uniform(s.SigmaMin, s.SigmaMax),
+		RateAlpha:      math.Pow(10, rng.Uniform(s.AlphaLog10Min, s.AlphaLog10Max)),
+	}
+}
+
+// TriggerObjective scores one candidate; higher is better. The chaos
+// campaign's Prepared.Objective is the intended implementation: detection
+// efficiency minus the over-budget false-alert penalty, a pure function of
+// the candidate for a prepared (spec, seed).
+type TriggerObjective func(TriggerCandidate) (float64, error)
+
+// TriggerOptions configures a trigger search run.
+type TriggerOptions struct {
+	Seed   uint64
+	Trials int // random candidates beyond the baseline (default 10)
+	Logf   func(format string, args ...any)
+}
+
+// TriggerResult is one evaluated candidate.
+type TriggerResult struct {
+	Candidate TriggerCandidate
+	Score     float64
+	Err       error // evaluation failure; Score is −Inf
+}
+
+// SearchTrigger random-searches the space against the objective and
+// returns all results ordered best-first. Trial 0 is always the zero
+// candidate (the flight defaults), so the search can never recommend a
+// configuration that scored worse than what flies today. The sequence of
+// candidates is a pure function of the seed, so a deterministic objective
+// makes the whole search deterministic.
+func SearchTrigger(space TriggerSpace, opts TriggerOptions, objective TriggerObjective) []TriggerResult {
+	if opts.Trials <= 0 {
+		opts.Trials = 10
+	}
+	rng := xrand.New(opts.Seed)
+
+	results := make([]TriggerResult, 0, opts.Trials+1)
+	evaluate := func(trial int, cand TriggerCandidate) {
+		score, err := objective(cand)
+		if err != nil {
+			score = math.Inf(-1)
+		}
+		results = append(results, TriggerResult{Candidate: cand, Score: score, Err: err})
+		if opts.Logf != nil {
+			if err != nil {
+				opts.Logf("trigger trial %2d: %s → error: %v", trial, cand, err)
+			} else {
+				opts.Logf("trigger trial %2d: %s → objective %.4f", trial, cand, score)
+			}
+		}
+	}
+
+	evaluate(0, TriggerCandidate{})
+	for trial := 1; trial <= opts.Trials; trial++ {
+		evaluate(trial, space.Sample(rng.Split(uint64(trial))))
+	}
+	// Stable: earlier trials win ties, so the baseline beats an equal-scoring
+	// exotic candidate.
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+	return results
+}

@@ -1,0 +1,81 @@
+package tune
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestTriggerSpaceSampleBounds(t *testing.T) {
+	s := DefaultTriggerSpace()
+	rng := xrand.New(7)
+	for i := 0; i < 200; i++ {
+		c := s.Sample(rng)
+		if c.WindowSec < 0.01 || c.WindowSec > 1 {
+			t.Fatalf("WindowSec %g outside [0.01, 1]", c.WindowSec)
+		}
+		if c.SigmaThreshold < s.SigmaMin || c.SigmaThreshold > s.SigmaMax {
+			t.Fatalf("SigmaThreshold %g outside [%g, %g]", c.SigmaThreshold, s.SigmaMin, s.SigmaMax)
+		}
+		if c.RateAlpha <= 0 || c.RateAlpha > 0.26 {
+			t.Fatalf("RateAlpha %g outside (0, 0.26]", c.RateAlpha)
+		}
+	}
+}
+
+func TestSearchTriggerDeterministicAndSorted(t *testing.T) {
+	// Synthetic objective with a known optimum: prefer sigma near 6.
+	obj := func(c TriggerCandidate) (float64, error) {
+		if c == (TriggerCandidate{}) {
+			c.SigmaThreshold = 8 // the flight default the zero value stands for
+		}
+		return -math.Abs(c.SigmaThreshold - 6), nil
+	}
+	opts := TriggerOptions{Seed: 3, Trials: 12}
+	a := SearchTrigger(DefaultTriggerSpace(), opts, obj)
+	b := SearchTrigger(DefaultTriggerSpace(), opts, obj)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different search results")
+	}
+	if len(a) != 13 {
+		t.Fatalf("got %d results, want 13 (baseline + 12 trials)", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Score > a[i-1].Score {
+			t.Fatalf("results not sorted best-first at %d: %g > %g", i, a[i].Score, a[i-1].Score)
+		}
+	}
+	// The baseline (zero candidate) must have been evaluated.
+	found := false
+	for _, r := range a {
+		if r.Candidate == (TriggerCandidate{}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("baseline candidate missing from results")
+	}
+}
+
+func TestSearchTriggerObjectiveError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	obj := func(c TriggerCandidate) (float64, error) {
+		calls++
+		if calls == 2 {
+			return 0, boom
+		}
+		return 1, nil
+	}
+	res := SearchTrigger(DefaultTriggerSpace(), TriggerOptions{Seed: 1, Trials: 3}, obj)
+	if len(res) != 4 {
+		t.Fatalf("got %d results, want 4", len(res))
+	}
+	last := res[len(res)-1]
+	if !errors.Is(last.Err, boom) || !math.IsInf(last.Score, -1) {
+		t.Errorf("failed candidate not sorted last with −Inf score: %+v", last)
+	}
+}

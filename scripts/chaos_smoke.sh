@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Chaos-campaign smoke test, mirrored by the CI chaos-smoke job
+# (`make chaos-smoke`): run the built-in multi-fault "flight" scenario
+# (lane dropout with journal backfill, SAA passage, orbital modulation,
+# lane clock offsets, serve-overload shedding, overlapping bursts) through
+# adaptsim -scenario and require the mission scorecard and alert records to
+# be byte-identical across two runs and across localization worker counts —
+# the determinism contract of the whole sim → merge → stream → score stack,
+# end to end through the CLI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$workdir/adaptsim" ./cmd/adaptsim
+"$workdir/adaptsim" -version
+
+echo "== scenario library is listable and includes the flight scenario"
+"$workdir/adaptsim" -scenario-list >"$workdir/library.json"
+grep -q '"name": "flight"' "$workdir/library.json"
+grep -q '"dropouts": 1' "$workdir/library.json"
+
+echo "== flight scenario, run 1"
+"$workdir/adaptsim" -scenario flight -seed 11 \
+    -scorecard "$workdir/sc1.json" -alerts "$workdir/al1.jsonl" \
+    -metrics-json "$workdir/metrics1.json" 2>"$workdir/run1.log"
+grep -q 'scenario "flight"' "$workdir/run1.log"
+
+echo "== flight scenario, run 2 (same seed)"
+"$workdir/adaptsim" -scenario flight -seed 11 \
+    -scorecard "$workdir/sc2.json" -alerts "$workdir/al2.jsonl" 2>/dev/null
+
+echo "== flight scenario, run 3 (same seed, -parallelism 4)"
+"$workdir/adaptsim" -scenario flight -seed 11 -parallelism 4 \
+    -scorecard "$workdir/sc3.json" -alerts "$workdir/al3.jsonl" 2>/dev/null
+
+echo "== scorecards and alert records must match bitwise"
+cmp "$workdir/sc1.json" "$workdir/sc2.json" || {
+    echo "scorecard differs between identical runs:"
+    diff "$workdir/sc1.json" "$workdir/sc2.json" || true
+    exit 1
+}
+cmp "$workdir/sc1.json" "$workdir/sc3.json" || {
+    echo "scorecard differs across worker counts:"
+    diff "$workdir/sc1.json" "$workdir/sc3.json" || true
+    exit 1
+}
+cmp "$workdir/al1.jsonl" "$workdir/al2.jsonl"
+cmp "$workdir/al1.jsonl" "$workdir/al3.jsonl"
+
+echo "== the fault phases must actually have bitten"
+# The flight scenario composes a backfilled dropout, an SAA passage, and an
+# overload window; a scorecard where none of them left a trace means the
+# fault injection silently stopped working.
+grep -q '"scenario": "flight"' "$workdir/sc1.json"
+grep -q '"within_budget": true' "$workdir/sc1.json"
+backfill="$(sed -n 's/.*"backfill_events": \([0-9]*\).*/\1/p' "$workdir/sc1.json" | head -1)"
+shed="$(sed -n 's/.*"overload_shed": \([0-9]*\).*/\1/p' "$workdir/sc1.json" | head -1)"
+detected="$(sed -n 's/.*"bursts_detected": \([0-9]*\).*/\1/p' "$workdir/sc1.json" | head -1)"
+[ "${backfill:-0}" -gt 0 ] || { echo "no backfill events in scorecard"; exit 1; }
+[ "${shed:-0}" -gt 0 ] || { echo "no overload shedding in scorecard"; exit 1; }
+[ "${detected:-0}" -eq 3 ] || { echo "expected 3 detected bursts, got ${detected:-0}"; exit 1; }
+grep -q '"name": "dropout0"' "$workdir/sc1.json"
+grep -q '"name": "saa0"' "$workdir/sc1.json"
+grep -q '"name": "overload"' "$workdir/sc1.json"
+grep -q '"chaos_overload_shed": ' "$workdir/metrics1.json"
+
+echo "== a user-written JSON spec parses and runs"
+cat >"$workdir/custom.json" <<'EOF'
+{
+  "name": "smoke-custom",
+  "duration_sec": 2,
+  "lanes": 2,
+  "background": {"rate_hz": 4000},
+  "bursts": [{"time_sec": 1.0, "fluence": 4, "polar_deg": 25}],
+  "dropouts": [{"lane": 1, "start_sec": 0.6, "end_sec": 1.4, "backfill": true}],
+  "false_alert_budget": 1
+}
+EOF
+"$workdir/adaptsim" -scenario "$workdir/custom.json" -seed 4 \
+    -scorecard "$workdir/custom-sc.json" 2>/dev/null
+grep -q '"scenario": "smoke-custom"' "$workdir/custom-sc.json"
+grep -q '"bursts_detected": 1' "$workdir/custom-sc.json"
+
+echo "== a malformed spec is rejected"
+if "$workdir/adaptsim" -scenario /dev/null 2>/dev/null; then
+    echo "empty spec was accepted"; exit 1
+fi
+
+echo "chaos smoke: OK (flight scorecard reproduced bitwise across runs and worker counts)"
