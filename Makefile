@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover fmt vet lint serve-smoke fleet-smoke stream-smoke merge-smoke backend-parity skymap-smoke chaos-smoke fuzz-smoke check clean
+.PHONY: all build test race bench cover fmt vet lint serve-smoke fleet-smoke stream-smoke merge-smoke backend-parity skymap-smoke chaos-smoke downlink-smoke fuzz-smoke check clean
 
 all: build test
 
@@ -90,6 +90,12 @@ skymap-smoke:
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 
+## downlink-smoke: journal + alerts through an emulated 10% lossy downlink —
+## ground artifacts byte-identical to onboard, nonzero retransmits, and the
+## adaptlink transmit/receive/emulate paths agree (CI downlink-smoke job)
+downlink-smoke:
+	./scripts/downlink_smoke.sh
+
 ## fuzz-smoke: short native-fuzz runs of the untrusted-input decoders and
 ## the int8 arithmetic kernels (CI)
 FUZZTIME ?= 10s
@@ -101,6 +107,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDotInt8 -fuzztime=$(FUZZTIME) -run '^$$' ./internal/nn/quant
 	$(GO) test -fuzz=FuzzSkymapDecode -fuzztime=$(FUZZTIME) -run '^$$' ./internal/skymap
 	$(GO) test -fuzz=FuzzScenarioParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/chaos
+	$(GO) test -fuzz=FuzzChunkDecode -fuzztime=$(FUZZTIME) -run '^$$' ./internal/downlink
+	$(GO) test -fuzz=FuzzDeltaEvio -fuzztime=$(FUZZTIME) -run '^$$' ./internal/downlink
 
 ## check: everything CI checks
 check: build fmt vet race

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/background"
 	"repro/internal/detector"
+	"repro/internal/downlink"
 	"repro/internal/evio"
 	"repro/internal/expt"
 	"repro/internal/flightlog"
@@ -393,6 +394,131 @@ func BenchmarkSkymapDecode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := skymap.Decode(payload); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchJournalRecords builds a quiet-sky journal workload: one canonical
+// evio record per detected background event, the exact byte streams the
+// flight journal holds and the downlink codec preconditions.
+func benchJournalRecords(b *testing.B) ([][]byte, int64) {
+	b.Helper()
+	det := detector.DefaultConfig()
+	bg := background.DefaultModel()
+	events := bg.Simulate(&det, 0.25, xrand.New(0xD1))
+	if len(events) == 0 {
+		b.Fatal("no benchmark events")
+	}
+	records := make([][]byte, len(events))
+	var raw int64
+	for i, ev := range events {
+		rec, err := evio.Marshal([]*detector.Event{ev})
+		if err != nil {
+			b.Fatal(err)
+		}
+		records[i] = rec
+		raw += int64(len(rec))
+	}
+	return records, raw
+}
+
+// BenchmarkDownlinkCodecEncode measures the delta-evio batch encoder on a
+// quiet-sky journal segment, with and without the deflate entropy stage,
+// reporting the achieved compression ratio (EXPERIMENTS.md records it; the
+// codec test enforces the 2x floor).
+func BenchmarkDownlinkCodecEncode(b *testing.B) {
+	records, raw := benchJournalRecords(b)
+	for _, opts := range []struct {
+		name string
+		o    downlink.CodecOptions
+	}{{"flate", downlink.CodecOptions{}}, {"noflate", downlink.CodecOptions{NoFlate: true}}} {
+		b.Run(opts.name, func(b *testing.B) {
+			enc, err := downlink.EncodeRecords(records, opts.o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(raw)/float64(len(enc)), "x-compression")
+			b.SetBytes(raw)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := downlink.EncodeRecords(records, opts.o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDownlinkCodecDecode measures the ground-side batch decoder (the
+// fuzzed attack surface) reproducing the journal records bitwise.
+func BenchmarkDownlinkCodecDecode(b *testing.B) {
+	records, raw := benchJournalRecords(b)
+	payload, err := downlink.EncodeRecords(records, downlink.CodecOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(raw)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := downlink.DecodeRecords(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDownlinkScheduler measures the priority scheduler's chunking
+// throughput: enqueue mixed-class messages, drain every chunk.
+func BenchmarkDownlinkScheduler(b *testing.B) {
+	payload := make([]byte, 16<<10)
+	for i := range payload {
+		payload[i] = byte(i * 131)
+	}
+	b.SetBytes(4 * int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := downlink.NewScheduler(1024, nil)
+		for c := downlink.Class(0); c < downlink.NumClasses; c++ {
+			if _, err := s.Enqueue(0, c, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for {
+			if _, _, ok := s.NextChunk(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkDownlinkSession measures the full closed-loop ARQ session — the
+// event-time link simulation with 10% drop and reordering — delivering one
+// compressed journal batch.
+func BenchmarkDownlinkSession(b *testing.B) {
+	records, _ := benchJournalRecords(b)
+	payload, err := downlink.EncodeRecords(records, downlink.CodecOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := downlink.NewSession(downlink.Config{
+			BudgetBytesPerSec: 1 << 20,
+			Seed:              uint64(i),
+			Loss:              downlink.LossProfile{DropProb: 0.10, ReorderProb: 0.25},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Enqueue(downlink.ClassJournal, payload); err != nil {
+			b.Fatal(err)
+		}
+		if !sess.Flush(1e6) {
+			b.Fatal("session did not drain")
 		}
 	}
 }

@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// miniDownlink is a fast lossy-downlink scenario: one burst, a mid-pass
+// outage, and enough drop/reorder to force retransmissions, at a rate low
+// enough that the full journal backfill drains quickly.
+func miniDownlink() *Spec {
+	return &Spec{
+		Name:        "mini-downlink",
+		DurationSec: 3,
+		Lanes:       2,
+		Background:  BackgroundSpec{RateHz: 1500},
+		Bursts:      []BurstSpec{{TimeSec: 1.2, Fluence: 4, PolarDeg: 25}},
+		Downlink: &DownlinkSpec{
+			BudgetBytesPerSec: 16384,
+			DropProb:          0.1,
+			CorruptProb:       0.02,
+			ReorderProb:       0.2,
+			Outages:           []LinkOutageSpec{{StartSec: 3.2, EndSec: 3.8}},
+		},
+		FalseAlertBudget: 1,
+	}
+}
+
+// TestDownlinkScenario runs the emulated egress leg end to end: the link
+// must drain, reproduce the onboard journal bitwise despite drops,
+// corruption, reordering, and an outage, compress the backfill at least
+// 2×, and stay byte-deterministic across runs and worker counts.
+func TestDownlinkScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	spec := miniDownlink()
+	const seed = 23
+
+	card1, _, sc := runOnce(t, spec, seed, 1)
+	card2, _, _ := runOnce(t, spec, seed, 1)
+	card4, _, _ := runOnce(t, spec, seed, 4)
+	if !bytes.Equal(card1, card2) {
+		t.Errorf("downlink scorecard differs between identical runs:\n%s\nvs\n%s", card1, card2)
+	}
+	if !bytes.Equal(card1, card4) {
+		t.Errorf("downlink scorecard differs between workers 1 and 4:\n%s\nvs\n%s", card1, card4)
+	}
+
+	dl := sc.Downlink
+	if dl == nil {
+		t.Fatal("scorecard has no downlink section")
+	}
+	if !dl.Drained {
+		t.Errorf("downlink did not drain by the deadline (drain_sec %g)", dl.DrainSec)
+	}
+	if !dl.JournalIntact {
+		t.Error("ground journal is not bitwise-identical to the onboard journal")
+	}
+	if dl.JournalRecords == 0 || dl.JournalRawBytes == 0 {
+		t.Errorf("empty journal backfill: %d records, %d bytes", dl.JournalRecords, dl.JournalRawBytes)
+	}
+	if dl.CompressionRatio < 2.0 {
+		t.Errorf("journal compression ratio %.2f below the 2x floor", dl.CompressionRatio)
+	}
+	if dl.Retransmits == 0 {
+		t.Error("lossy link needed no retransmits")
+	}
+	if dl.OutageLost == 0 {
+		t.Error("outage window lost no frames")
+	}
+	if dl.FramesDropped == 0 || dl.FramesCorrupted == 0 {
+		t.Errorf("fault model inactive: %d dropped, %d corrupted", dl.FramesDropped, dl.FramesCorrupted)
+	}
+	if sc.BurstsDetected != 1 {
+		t.Fatalf("burst not detected, downlink alert leg untested")
+	}
+	if dl.AlertLatency == nil || dl.AlertLatency.Count == 0 {
+		t.Error("no alert latency recorded")
+	}
+	if dl.BytesByClass["alert"] == 0 || dl.BytesByClass["journal"] == 0 {
+		t.Errorf("missing per-class byte accounting: %v", dl.BytesByClass)
+	}
+}

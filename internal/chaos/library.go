@@ -112,6 +112,24 @@ func builtins() []*Spec {
 			FalseAlertBudget: 1,
 		},
 		{
+			Name:        "downlink_outage",
+			Description: "lossy 16 kB/s downlink with a mid-pass outage carrying live alerts and full journal backfill",
+			DurationSec: 8,
+			Lanes:       2,
+			Background:  BackgroundSpec{RateHz: 3000},
+			Bursts: []BurstSpec{
+				{TimeSec: 2.0, Fluence: 4, PolarDeg: 25},
+				{TimeSec: 6.0, Fluence: 3, PolarDeg: 40, AzimuthDeg: 60},
+			},
+			Downlink: &DownlinkSpec{
+				BudgetBytesPerSec: 16384,
+				DropProb:          0.1,
+				ReorderProb:       0.2,
+				Outages:           []LinkOutageSpec{{StartSec: 9, EndSec: 12}},
+			},
+			FalseAlertBudget: 1,
+		},
+		{
 			Name:        "flight",
 			Description: "multi-fault orbit: modulation, SAA passage, dropout+backfill, offsets, overload, overlapping bursts",
 			DurationSec: 9,

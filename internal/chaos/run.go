@@ -189,6 +189,13 @@ func (p *Prepared) RunTrigger(tr TriggerSpec, opts Options) (*Scorecard, []strea
 		lateDropped: lateDropped,
 		shed:        shed,
 	})
+	if p.Spec.Downlink != nil {
+		dl, err := runDownlink(p, cfg, alerts, card, opts.Metrics)
+		if err != nil {
+			return nil, nil, err
+		}
+		card.Downlink = dl
+	}
 	publish(opts.Metrics, card, phases)
 
 	recs := make([]stream.Record, len(alerts))

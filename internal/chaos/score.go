@@ -66,6 +66,10 @@ type Scorecard struct {
 
 	Bursts []BurstScore `json:"bursts"`
 	Phases []PhaseScore `json:"phases,omitempty"`
+
+	// Downlink scores the telemetry egress leg when the spec configures
+	// one: the run's products replayed through the emulated lossy link.
+	Downlink *DownlinkScore `json:"downlink,omitempty"`
 }
 
 // BurstScore is one injected burst's outcome.

@@ -77,6 +77,11 @@ type Spec struct {
 	// Overload, when non-nil, models sustained serve-layer saturation as a
 	// deterministic event-time admission gate in front of the trigger.
 	Overload *OverloadSpec `json:"overload,omitempty"`
+	// Downlink, when non-nil, runs the post-trigger telemetry downlink over
+	// an emulated lossy link: alert records, sky-map payloads, the
+	// scorecard snapshot, and delta-compressed journal backfill contend for
+	// the bandwidth budget, and the scorecard gains a downlink section.
+	Downlink *DownlinkSpec `json:"downlink,omitempty"`
 
 	// Trigger overrides the stream trigger's flight defaults; zero fields
 	// keep the defaults. The tuner searches over these three fields.
@@ -191,6 +196,34 @@ type OverloadSpec struct {
 	EndSec      float64 `json:"end_sec"`
 	CapacityHz  float64 `json:"capacity_hz"`
 	BurstEvents int     `json:"burst_events,omitempty"`
+}
+
+// DownlinkSpec configures the post-trigger telemetry downlink simulation:
+// the bandwidth budget, the link fault model, and how long past the end of
+// the exposure the link may keep draining. The simulation is event-time
+// deterministic, so the scorecard's downlink section is a pure function of
+// (spec, seed) like everything else.
+type DownlinkSpec struct {
+	// BudgetBytesPerSec is the downlink bandwidth budget (required > 0).
+	BudgetBytesPerSec float64 `json:"budget_bytes_per_sec"`
+	// ChunkBytes is the per-chunk payload size (0 = the 1024-byte default).
+	ChunkBytes int `json:"chunk_bytes,omitempty"`
+	// DropProb / CorruptProb / ReorderProb shape the link fault model
+	// (drop and corrupt in [0, 0.9], reorder in [0, 1]).
+	DropProb    float64 `json:"drop_prob,omitempty"`
+	CorruptProb float64 `json:"corrupt_prob,omitempty"`
+	ReorderProb float64 `json:"reorder_prob,omitempty"`
+	// Outages are total link blackouts: every frame in the window is lost.
+	Outages []LinkOutageSpec `json:"outages,omitempty"`
+	// DrainDeadlineSec bounds how long past the exposure end the link may
+	// run to finish backfill (0 = 3600 s).
+	DrainDeadlineSec float64 `json:"drain_deadline_sec,omitempty"`
+}
+
+// LinkOutageSpec is one downlink blackout window in event time.
+type LinkOutageSpec struct {
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
 }
 
 // TriggerSpec overrides the stream trigger's flight defaults. Zero fields
@@ -335,6 +368,11 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("chaos: overload.burst_events = %d out of [0, 2^20]", o.BurstEvents)
 		}
 	}
+	if d := s.Downlink; d != nil {
+		if err := d.validate(); err != nil {
+			return err
+		}
+	}
 	if err := s.Trigger.validate(); err != nil {
 		return err
 	}
@@ -367,6 +405,36 @@ func (b *BackgroundSpec) validate() error {
 		if !finite(w.RateFactor) || w.RateFactor < 0 || w.RateFactor > 100 {
 			return fmt.Errorf("chaos: saa[%d].rate_factor = %g out of [0, 100]", i, w.RateFactor)
 		}
+	}
+	return nil
+}
+
+func (d *DownlinkSpec) validate() error {
+	if !finite(d.BudgetBytesPerSec) || d.BudgetBytesPerSec <= 0 || d.BudgetBytesPerSec > 1e12 {
+		return fmt.Errorf("chaos: downlink.budget_bytes_per_sec = %g out of (0, 1e12]", d.BudgetBytesPerSec)
+	}
+	if d.ChunkBytes < 0 || d.ChunkBytes > 60000 {
+		return fmt.Errorf("chaos: downlink.chunk_bytes = %d out of [0, 60000]", d.ChunkBytes)
+	}
+	if !finite(d.DropProb) || d.DropProb < 0 || d.DropProb > 0.9 {
+		return fmt.Errorf("chaos: downlink.drop_prob = %g out of [0, 0.9]", d.DropProb)
+	}
+	if !finite(d.CorruptProb) || d.CorruptProb < 0 || d.CorruptProb > 0.9 {
+		return fmt.Errorf("chaos: downlink.corrupt_prob = %g out of [0, 0.9]", d.CorruptProb)
+	}
+	if !finite(d.ReorderProb) || d.ReorderProb < 0 || d.ReorderProb > 1 {
+		return fmt.Errorf("chaos: downlink.reorder_prob = %g out of [0, 1]", d.ReorderProb)
+	}
+	if len(d.Outages) > MaxFaults {
+		return fmt.Errorf("chaos: %d downlink outages exceeds the limit of %d", len(d.Outages), MaxFaults)
+	}
+	for i, w := range d.Outages {
+		if !finite(w.StartSec) || !finite(w.EndSec) || w.StartSec < 0 || w.EndSec <= w.StartSec {
+			return fmt.Errorf("chaos: downlink.outages[%d] window [%g, %g) invalid", i, w.StartSec, w.EndSec)
+		}
+	}
+	if !finite(d.DrainDeadlineSec) || d.DrainDeadlineSec < 0 || d.DrainDeadlineSec > 86400 {
+		return fmt.Errorf("chaos: downlink.drain_deadline_sec = %g out of [0, 86400]", d.DrainDeadlineSec)
 	}
 	return nil
 }

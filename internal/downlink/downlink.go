@@ -1,0 +1,101 @@
+// Package downlink models the telemetry egress path between the flight
+// stack and the ground: the one resource the whole on-board architecture
+// exists to conserve. Alerts, sky maps, scorecards, and journal backfill
+// are produced on board (internal/stream, internal/skymap, internal/chaos)
+// but a balloon or orbital link delivers a few kilobytes per second across
+// intermittent contact windows, with drops, reordering, corruption, and
+// outages in between. This package makes that link a first-class,
+// deterministic subsystem:
+//
+//   - a Scheduler drains four strict-priority traffic classes
+//     (alerts > sky maps > scorecards > journal backfill) through a
+//     token-bucket bandwidth budget and contact windows, preempting at
+//     chunk boundaries so a fresh alert always jumps a deep backfill queue;
+//   - payloads are packed into CRC32-framed, sequence-numbered chunks
+//     (frame.go) small enough that one corrupted frame costs one
+//     retransmission, not a message;
+//   - journal segments ride a delta+varint evio codec (codec.go) that
+//     exploits the detector's structure — constant per-axis sigmas,
+//     pitch-quantized positions, monotone arrival times — to cut backfill
+//     to a measured fraction of raw bytes while reproducing the journal
+//     records bitwise;
+//   - a Session (session.go) binds the flight transmitter to a ground
+//     Reassembler through a LinkEmulator that injects seeded
+//     drop/reorder/corruption/outage faults, with a selective-repeat ARQ
+//     layer (bounded retransmit window, cumulative ACK + SACK + NAK
+//     control frames, RTO backstop) recovering every loss.
+//
+// Determinism is the same contract the rest of the repo holds: the entire
+// link simulation advances on event time with every random draw taken from
+// a per-transmission substream of the seeded RNG, so for any (seed, loss
+// profile) where the link is not permanently severed, the ground-side
+// output — including the reassembled journal — is a byte-exact pure
+// function of the inputs, across runs and worker counts.
+package downlink
+
+import "fmt"
+
+// Class is a downlink traffic class. Lower values are strictly higher
+// priority: the scheduler never sends a chunk of class c while any chunk of
+// a class < c is ready.
+type Class uint8
+
+const (
+	// ClassAlert carries burst alert records — the product the mission
+	// exists for; latency-critical.
+	ClassAlert Class = iota
+	// ClassSkyMap carries encoded ASKM localization payloads
+	// (internal/skymap) accompanying alerts.
+	ClassSkyMap
+	// ClassScorecard carries scorecards and metrics snapshots.
+	ClassScorecard
+	// ClassJournal carries delta-compressed journal-segment backfill — the
+	// bulk class that fills whatever budget the others leave.
+	ClassJournal
+
+	// NumClasses is the number of traffic classes.
+	NumClasses = 4
+)
+
+// String implements fmt.Stringer for reports and metric names.
+func (c Class) String() string {
+	switch c {
+	case ClassAlert:
+		return "alert"
+	case ClassSkyMap:
+		return "skymap"
+	case ClassScorecard:
+		return "scorecard"
+	case ClassJournal:
+		return "journal"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Window is a half-open event-time interval [StartSec, EndSec), used both
+// for contact windows (when the link can transmit) and outages (when every
+// frame in flight is lost).
+type Window struct {
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+}
+
+// contains reports whether t falls inside the window.
+func (w Window) contains(t float64) bool { return t >= w.StartSec && t < w.EndSec }
+
+// Metric names published into Config.Metrics. Per-class counters append
+// "_" + Class.String().
+const (
+	CtrBytesPrefix   = "downlink_bytes"       // payload+frame bytes transmitted, per class
+	CtrChunksPrefix  = "downlink_chunks"      // chunk transmissions, per class
+	CtrRetransPrefix = "downlink_retransmits" // retransmissions, per class
+	CtrDropped       = "downlink_frames_dropped"
+	CtrCorrupted     = "downlink_frames_corrupted"
+	CtrOutageLost    = "downlink_frames_outage_lost"
+	CtrAcksSent      = "downlink_acks_sent"
+	CtrAcksLost      = "downlink_acks_lost"
+	CtrDelivered     = "downlink_messages_delivered"
+	GaugeUtilization = "downlink_budget_utilization"
+	GaugeQueuePrefix = "downlink_queue_depth" // per class
+	StageDeliver     = "downlink_deliver_latency"
+)

@@ -1,0 +1,253 @@
+package downlink
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Wire format (all integers little-endian), following the evio/flightlog/
+// skymap framing idiom: ASCII magic, version word, trailing CRC-32/IEEE
+// over everything before it. Two frame kinds share the 8-byte prelude:
+//
+//	prelude := magic "ADLK"(4) version(u16) type(u8) class(u8)
+//
+//	data  := prelude msgID(u32) chunkIdx(u16) nChunks(u16) seq(u32)
+//	         payloadLen(u16) payload crc32(u32)
+//	ack   := prelude cumAck(u32) nSack(u16) nNak(u16)
+//	         sack(nSack × u32) nak(nNak × u32) crc32(u32)
+//
+// A data frame's seq is the link-level chunk sequence number, assigned once
+// at first transmission and reused verbatim on retransmission, so the
+// ground can dedupe and detect gaps. An ack frame's class byte is zero.
+// cumAck is the next seq the ground expects (every seq < cumAck received);
+// sack lists received seqs beyond the gap, nak lists the missing seqs the
+// flight side should retransmit. DecodeFrame accepts exactly the bytes the
+// encoders produce — frame type, counts, lengths, and the CRC are all
+// checked — which is the property FuzzChunkDecode pins.
+
+// Frame type bytes.
+const (
+	frameData = 1
+	frameAck  = 2
+)
+
+// FrameVersion is the wire-format version.
+const FrameVersion uint16 = 1
+
+var frameMagic = [4]byte{'A', 'D', 'L', 'K'}
+
+const (
+	preludeSize    = 8
+	dataHeaderSize = preludeSize + 14 // msgID, chunkIdx, nChunks, seq, payloadLen
+	ackHeaderSize  = preludeSize + 8  // cumAck, nSack, nNak
+	crcSize        = 4
+
+	// MaxChunkPayload bounds a single chunk's payload so the length field
+	// can never describe more than the u16 range minus framing.
+	MaxChunkPayload = 60000
+	// maxAckList bounds the sack/nak lists an ack frame may carry.
+	maxAckList = 512
+)
+
+// DataOverhead is the framing cost of one data chunk in bytes.
+const DataOverhead = dataHeaderSize + crcSize
+
+// Chunk is one transmitted fragment of a message.
+type Chunk struct {
+	// Class is the traffic class of the message this chunk belongs to.
+	Class Class
+	// MsgID numbers messages from 0 within their class, in enqueue order.
+	MsgID uint32
+	// Index / Total locate the chunk within its message (Index < Total).
+	Index, Total uint16
+	// Seq is the link-level chunk sequence number, stable across
+	// retransmissions.
+	Seq uint32
+	// Payload is this chunk's fragment of the message payload.
+	Payload []byte
+}
+
+// FrameSize returns the encoded size of the chunk's data frame.
+func (c *Chunk) FrameSize() int { return DataOverhead + len(c.Payload) }
+
+// EncodeFrame serializes the chunk as one data frame.
+func (c *Chunk) EncodeFrame() []byte {
+	b := make([]byte, 0, c.FrameSize())
+	b = append(b, frameMagic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, FrameVersion)
+	b = append(b, frameData, byte(c.Class))
+	b = binary.LittleEndian.AppendUint32(b, c.MsgID)
+	b = binary.LittleEndian.AppendUint16(b, c.Index)
+	b = binary.LittleEndian.AppendUint16(b, c.Total)
+	b = binary.LittleEndian.AppendUint32(b, c.Seq)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Payload)))
+	b = append(b, c.Payload...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return b
+}
+
+// Ack is the ground's selective-repeat control state: cumulative ack plus
+// explicit received/missing lists.
+type Ack struct {
+	// Cum is the next expected seq: every seq < Cum has been received.
+	Cum uint32
+	// Sack lists received seqs ≥ Cum (ascending, bounded).
+	Sack []uint32
+	// Nak lists missing seqs in [Cum, highest seen] (ascending, bounded).
+	Nak []uint32
+}
+
+// FrameSize returns the encoded size of the ack frame.
+func (a *Ack) FrameSize() int { return ackHeaderSize + 4*(len(a.Sack)+len(a.Nak)) + crcSize }
+
+// EncodeFrame serializes the ack as one control frame.
+func (a *Ack) EncodeFrame() []byte {
+	b := make([]byte, 0, a.FrameSize())
+	b = append(b, frameMagic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, FrameVersion)
+	b = append(b, frameAck, 0)
+	b = binary.LittleEndian.AppendUint32(b, a.Cum)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(a.Sack)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(a.Nak)))
+	for _, s := range a.Sack {
+		b = binary.LittleEndian.AppendUint32(b, s)
+	}
+	for _, s := range a.Nak {
+		b = binary.LittleEndian.AppendUint32(b, s)
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return b
+}
+
+// Frame is one decoded wire frame: exactly one of Chunk or Ack is non-nil.
+type Frame struct {
+	Chunk *Chunk
+	Ack   *Ack
+}
+
+// DecodeFrame parses and fully validates one frame from the start of data,
+// returning the frame and its encoded length. Trailing bytes after the
+// frame are not an error — frames are streamed back to back in files and
+// pipes — but every byte of the frame itself is checked, CRC last.
+func DecodeFrame(data []byte) (*Frame, int, error) {
+	if len(data) < preludeSize {
+		return nil, 0, fmt.Errorf("downlink: frame truncated at %d bytes", len(data))
+	}
+	if [4]byte(data[0:4]) != frameMagic {
+		return nil, 0, fmt.Errorf("downlink: bad frame magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != FrameVersion {
+		return nil, 0, fmt.Errorf("downlink: unsupported frame version %d", v)
+	}
+	typ, class := data[6], data[7]
+	switch typ {
+	case frameData:
+		if class >= NumClasses {
+			return nil, 0, fmt.Errorf("downlink: unknown class %d", class)
+		}
+		if len(data) < dataHeaderSize {
+			return nil, 0, fmt.Errorf("downlink: data frame truncated at %d bytes", len(data))
+		}
+		n := int(binary.LittleEndian.Uint16(data[20:22]))
+		if n > MaxChunkPayload {
+			return nil, 0, fmt.Errorf("downlink: chunk payload %d exceeds limit", n)
+		}
+		size := dataHeaderSize + n + crcSize
+		if len(data) < size {
+			return nil, 0, fmt.Errorf("downlink: data frame needs %d bytes, have %d", size, len(data))
+		}
+		if err := checkCRC(data[:size]); err != nil {
+			return nil, 0, err
+		}
+		c := &Chunk{
+			Class:   Class(class),
+			MsgID:   binary.LittleEndian.Uint32(data[8:12]),
+			Index:   binary.LittleEndian.Uint16(data[12:14]),
+			Total:   binary.LittleEndian.Uint16(data[14:16]),
+			Seq:     binary.LittleEndian.Uint32(data[16:20]),
+			Payload: append([]byte(nil), data[dataHeaderSize:dataHeaderSize+n]...),
+		}
+		if c.Total == 0 || c.Index >= c.Total {
+			return nil, 0, fmt.Errorf("downlink: chunk %d/%d out of range", c.Index, c.Total)
+		}
+		return &Frame{Chunk: c}, size, nil
+	case frameAck:
+		if class != 0 {
+			return nil, 0, fmt.Errorf("downlink: ack frame with nonzero class %d", class)
+		}
+		if len(data) < ackHeaderSize {
+			return nil, 0, fmt.Errorf("downlink: ack frame truncated at %d bytes", len(data))
+		}
+		nSack := int(binary.LittleEndian.Uint16(data[12:14]))
+		nNak := int(binary.LittleEndian.Uint16(data[14:16]))
+		if nSack > maxAckList || nNak > maxAckList {
+			return nil, 0, fmt.Errorf("downlink: ack lists %d+%d exceed limit", nSack, nNak)
+		}
+		size := ackHeaderSize + 4*(nSack+nNak) + crcSize
+		if len(data) < size {
+			return nil, 0, fmt.Errorf("downlink: ack frame needs %d bytes, have %d", size, len(data))
+		}
+		if err := checkCRC(data[:size]); err != nil {
+			return nil, 0, err
+		}
+		a := &Ack{Cum: binary.LittleEndian.Uint32(data[8:12])}
+		off := ackHeaderSize
+		for i := 0; i < nSack; i++ {
+			a.Sack = append(a.Sack, binary.LittleEndian.Uint32(data[off:off+4]))
+			off += 4
+		}
+		for i := 0; i < nNak; i++ {
+			a.Nak = append(a.Nak, binary.LittleEndian.Uint32(data[off:off+4]))
+			off += 4
+		}
+		return &Frame{Ack: a}, size, nil
+	}
+	return nil, 0, fmt.Errorf("downlink: unknown frame type %d", typ)
+}
+
+// checkCRC verifies the trailing CRC-32 of a complete frame image.
+func checkCRC(frame []byte) error {
+	body, want := frame[:len(frame)-crcSize], binary.LittleEndian.Uint32(frame[len(frame)-crcSize:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return fmt.Errorf("downlink: frame CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	return nil
+}
+
+// ScanFrames walks a byte stream of back-to-back frames, calling fn for
+// each valid frame. A frame that fails to decode costs a one-byte resync
+// scan to the next magic — the receiver's answer to mid-stream corruption —
+// and is counted; the final return is (frames delivered, bytes skipped).
+func ScanFrames(data []byte, fn func(*Frame)) (frames int, skipped int) {
+	off := 0
+	for off < len(data) {
+		f, n, err := DecodeFrame(data[off:])
+		if err == nil {
+			fn(f)
+			frames++
+			off += n
+			continue
+		}
+		// Resync: advance to the next candidate magic strictly after off.
+		next := indexMagic(data, off+1)
+		if next < 0 {
+			skipped += len(data) - off
+			break
+		}
+		skipped += next - off
+		off = next
+	}
+	return frames, skipped
+}
+
+// indexMagic returns the offset of the first frame magic at or after from,
+// or -1.
+func indexMagic(data []byte, from int) int {
+	for i := from; i+4 <= len(data); i++ {
+		if [4]byte(data[i:i+4]) == frameMagic {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,180 @@
+package downlink
+
+import (
+	"sort"
+)
+
+// GroundStats is the receiver-side accounting.
+type GroundStats struct {
+	// FramesReceived counts valid data frames, including duplicates.
+	FramesReceived int64
+	// Duplicates counts data frames whose seq was already received.
+	Duplicates int64
+	// CorruptFrames counts frames rejected by CRC/format validation.
+	CorruptFrames int64
+	// MessagesDelivered counts fully reassembled, in-order deliveries.
+	MessagesDelivered int64
+	// BytesDelivered sums delivered message payload bytes.
+	BytesDelivered int64
+	// BytesByClass splits BytesDelivered by traffic class.
+	BytesByClass [NumClasses]int64
+	// PendingMessages counts messages seen but not yet deliverable
+	// (incomplete, or waiting on an earlier message of their class).
+	PendingMessages int
+}
+
+// msgKey identifies a message across classes.
+type msgKey struct {
+	class Class
+	id    uint32
+}
+
+// partialMsg accumulates the chunks of one message.
+type partialMsg struct {
+	total    int
+	received int
+	chunks   [][]byte
+	// firstSeenAt is the event time of the first chunk's arrival, for
+	// latency accounting by the session.
+	firstSeenAt float64
+}
+
+// Reassembler is the ground half of the downlink: it dedupes and reorders
+// chunks, tracks the selective-repeat gap state for ACK/NAK control
+// frames, reassembles messages, and delivers each class's messages in
+// msgID (enqueue) order — which is what makes the reassembled journal a
+// byte-exact reproduction of the onboard append sequence no matter how the
+// link scrambled the chunks.
+//
+// Reassembler is not safe for concurrent use.
+type Reassembler struct {
+	// OnMessage, when non-nil, receives every delivered message, strictly
+	// in per-class msgID order, with the event time of delivery.
+	OnMessage func(class Class, msgID uint32, payload []byte, t float64)
+
+	received map[uint32]bool // data seqs seen (valid frames)
+	cum      uint32          // next expected seq: all seqs < cum received
+	maxSeen  uint32          // highest seq received + 1 (0 = none)
+
+	partial     map[msgKey]*partialMsg
+	complete    map[msgKey][]byte
+	nextDeliver [NumClasses]uint32
+	stats       GroundStats
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{
+		received: make(map[uint32]bool),
+		partial:  make(map[msgKey]*partialMsg),
+		complete: make(map[msgKey][]byte),
+	}
+}
+
+// OfferFrame decodes one wire frame and offers a data chunk to the
+// reassembler. Invalid frames are counted and dropped (the link layer
+// retransmits); ack frames are ignored (they belong to the flight side).
+func (r *Reassembler) OfferFrame(data []byte, t float64) {
+	f, _, err := DecodeFrame(data)
+	if err != nil {
+		r.stats.CorruptFrames++
+		return
+	}
+	if f.Chunk != nil {
+		r.Offer(f.Chunk, t)
+	}
+}
+
+// Offer accepts one decoded chunk at event time t.
+func (r *Reassembler) Offer(c *Chunk, t float64) {
+	r.stats.FramesReceived++
+	if c.Seq < r.cum || r.received[c.Seq] {
+		r.stats.Duplicates++
+		return
+	}
+	r.received[c.Seq] = true
+	if c.Seq+1 > r.maxSeen {
+		r.maxSeen = c.Seq + 1
+	}
+	for r.received[r.cum] {
+		delete(r.received, r.cum) // retain only the sparse tail
+		r.cum++
+	}
+
+	key := msgKey{c.Class, c.MsgID}
+	if _, done := r.complete[key]; done || c.MsgID < r.nextDeliver[c.Class] {
+		return // late duplicate of an already-assembled message
+	}
+	p := r.partial[key]
+	if p == nil {
+		p = &partialMsg{total: int(c.Total), chunks: make([][]byte, c.Total), firstSeenAt: t}
+		r.partial[key] = p
+	}
+	if int(c.Total) != p.total || int(c.Index) >= p.total || p.chunks[c.Index] != nil {
+		return // inconsistent or duplicate fragment; ignore
+	}
+	p.chunks[c.Index] = c.Payload
+	p.received++
+	if p.received < p.total {
+		return
+	}
+	size := 0
+	for _, fr := range p.chunks {
+		size += len(fr)
+	}
+	payload := make([]byte, 0, size)
+	for _, fr := range p.chunks {
+		payload = append(payload, fr...)
+	}
+	delete(r.partial, key)
+	r.complete[key] = payload
+	r.deliver(c.Class, t)
+}
+
+// deliver flushes the class's contiguous run of completed messages.
+func (r *Reassembler) deliver(class Class, t float64) {
+	for {
+		key := msgKey{class, r.nextDeliver[class]}
+		payload, ok := r.complete[key]
+		if !ok {
+			return
+		}
+		delete(r.complete, key)
+		r.nextDeliver[class]++
+		r.stats.MessagesDelivered++
+		r.stats.BytesDelivered += int64(len(payload))
+		r.stats.BytesByClass[class] += int64(len(payload))
+		if r.OnMessage != nil {
+			r.OnMessage(class, key.id, payload, t)
+		}
+	}
+}
+
+// AckState snapshots the selective-repeat control state: the cumulative
+// ack plus bounded sack (received beyond the gap) and nak (missing below
+// the horizon) lists, both ascending.
+func (r *Reassembler) AckState() Ack {
+	a := Ack{Cum: r.cum}
+	for seq := range r.received {
+		if seq >= r.cum {
+			a.Sack = append(a.Sack, seq)
+		}
+	}
+	sort.Slice(a.Sack, func(i, j int) bool { return a.Sack[i] < a.Sack[j] })
+	if len(a.Sack) > maxAckList {
+		a.Sack = a.Sack[:maxAckList]
+	}
+	for seq := r.cum; seq < r.maxSeen && len(a.Nak) < maxAckList; seq++ {
+		if !r.received[seq] {
+			a.Nak = append(a.Nak, seq)
+		}
+	}
+	return a
+}
+
+// Stats returns the receiver-side accounting so far.
+func (r *Reassembler) Stats() GroundStats {
+	st := r.stats
+	st.PendingMessages = len(r.partial) + len(r.complete)
+	return st
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Telemetry-downlink smoke test, mirrored by the CI downlink-smoke job
+# (`make downlink-smoke`): record a flight journal with adaptstream while
+# pushing the session's alerts and journal backfill through an emulated 10%
+# lossy downlink, then require (1) the ground journal to be byte-identical
+# to the onboard one, (2) the ground alert stream to match the live one,
+# (3) the ARQ layer to have actually retransmitted, and (4) the adaptlink
+# transmit→receive and emulate paths to reproduce the same journal — the
+# loss-is-invisible contract of internal/downlink, end to end through the
+# CLIs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$workdir/adaptstream" ./cmd/adaptstream
+go build -o "$workdir/adaptlink" ./cmd/adaptlink
+"$workdir/adaptlink" -version
+
+echo "== record a session and downlink it live over a 10% lossy link"
+"$workdir/adaptstream" -exposure 2 -burst-at 1.0 -seed 5 \
+    -journal "$workdir/fl" -alerts "$workdir/alerts.jsonl" \
+    -downlink "$workdir/gnd" -downlink-budget 65536 \
+    -downlink-loss 0.10 -downlink-seed 7 2>"$workdir/run.log"
+grep -q 'downlink:' "$workdir/run.log"
+
+echo "== ground journal must be byte-identical to the onboard journal"
+cat "$workdir"/fl/journal-*.flog >"$workdir/onboard.bin"
+cat "$workdir"/gnd/journal/journal-*.flog >"$workdir/ground.bin"
+cmp "$workdir/onboard.bin" "$workdir/ground.bin"
+
+echo "== ground alert stream must match the live one"
+cmp "$workdir/alerts.jsonl" "$workdir/gnd/alerts.jsonl"
+
+echo "== the lossy link must have actually cost retransmissions"
+retrans="$(sed -n 's/.*"retransmits": \([0-9]*\).*/\1/p' "$workdir/gnd/downlink_stats.json" | head -1)"
+dropped="$(sed -n 's/.*"frames_dropped": \([0-9]*\).*/\1/p' "$workdir/gnd/downlink_stats.json" | head -1)"
+[ "${retrans:-0}" -gt 0 ] || { echo "no retransmits on a 10% lossy link"; exit 1; }
+[ "${dropped:-0}" -gt 0 ] || { echo "no frames dropped on a 10% lossy link"; exit 1; }
+
+echo "== the emulated downlink must be deterministic for a fixed seed"
+"$workdir/adaptstream" -exposure 2 -burst-at 1.0 -seed 5 \
+    -journal "$workdir/fl2" -alerts /dev/null \
+    -downlink "$workdir/gnd2" -downlink-budget 65536 \
+    -downlink-loss 0.10 -downlink-seed 7 2>/dev/null
+cmp "$workdir/gnd/downlink_stats.json" "$workdir/gnd2/downlink_stats.json"
+
+echo "== adaptlink transmit -> receive round-trips the journal open loop"
+"$workdir/adaptlink" -mode transmit -journal "$workdir/fl" \
+    -frames "$workdir/pass.bin" 2>"$workdir/tx.log"
+grep -q 'frames' "$workdir/tx.log"
+"$workdir/adaptlink" -mode receive -frames "$workdir/pass.bin" \
+    -ground "$workdir/gnd-rx" 2>/dev/null
+cat "$workdir"/gnd-rx/journal/journal-*.flog >"$workdir/rx.bin"
+cmp "$workdir/onboard.bin" "$workdir/rx.bin"
+
+echo "== adaptlink emulate recovers through drops, reordering, and an outage"
+"$workdir/adaptlink" -mode emulate -journal "$workdir/fl" \
+    -ground "$workdir/gnd-em" -budget 65536 \
+    -drop 0.10 -reorder 0.2 -outage 10-12 -seed 3 2>"$workdir/em.log"
+grep -q 'retransmits' "$workdir/em.log"
+cat "$workdir"/gnd-em/journal/journal-*.flog >"$workdir/em.bin"
+cmp "$workdir/onboard.bin" "$workdir/em.bin"
+outlost="$(sed -n 's/.*"outage_lost": \([0-9]*\).*/\1/p' "$workdir/gnd-em/downlink_stats.json" | head -1)"
+[ "${outlost:-0}" -gt 0 ] || { echo "outage window lost no frames"; exit 1; }
+
+echo "downlink smoke: OK (journal and alerts reproduced bitwise through a 10% lossy link)"
